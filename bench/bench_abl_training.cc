@@ -1,0 +1,77 @@
+// Ablation: the two scale adaptations this reproduction makes relative to
+// the paper — pooled training days (the paper trains on one day with
+// ~10^4 sectors; we pool several days at a few hundred sectors) and the
+// number of forest trees (ranking granularity).
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "core/task.h"
+#include "util/csv.h"
+
+namespace hotspot::bench {
+namespace {
+
+double MeanDeltaVsAverage(EvaluationRunner* runner) {
+  double rf = 0.0, avg = 0.0;
+  int count = 0;
+  for (int t : {56, 68, 80}) {
+    for (int h : {1, 7}) {
+      CellResult rf_cell = runner->Evaluate(ModelKind::kRfF1, t, h, 7);
+      CellResult avg_cell = runner->Evaluate(ModelKind::kAverage, t, h, 7);
+      if (!std::isnan(rf_cell.lift) && !std::isnan(avg_cell.lift)) {
+        rf += rf_cell.lift;
+        avg += avg_cell.lift;
+        ++count;
+      }
+    }
+  }
+  return count > 0 ? 100.0 * (rf / avg - 1.0) : std::nan("");
+}
+
+int Main() {
+  BenchOptions options = ParseOptions({.sectors = 400});
+  Study study = MakeStudy(options);
+  PrintHeader("bench_abl_training",
+              "ablation: pooled training days & forest size vs RF edge "
+              "over Average",
+              options);
+
+  Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
+
+  std::printf("\n[pooled training days] (30 trees)\n");
+  TextTable days_table({"training days", "training instances",
+                        "RF-F1 ∆ vs Average [%]"});
+  for (int days : {1, 3, 7, 12}) {
+    ForecastConfig base = BenchForecastConfig();
+    base.training_days = days;
+    EvaluationRunner runner(&forecaster, base);
+    double delta = MeanDeltaVsAverage(&runner);
+    days_table.AddRow({std::to_string(days),
+                       std::to_string(days * study.num_sectors()),
+                       FormatNumber(delta, 3)});
+  }
+  std::printf("%s", days_table.ToString().c_str());
+
+  std::printf("\n[forest size] (8 pooled days)\n");
+  TextTable trees_table({"trees", "RF-F1 ∆ vs Average [%]"});
+  for (int trees : {5, 10, 20, 40}) {
+    ForecastConfig base = BenchForecastConfig();
+    base.forest.num_trees = trees;
+    EvaluationRunner runner(&forecaster, base);
+    double delta = MeanDeltaVsAverage(&runner);
+    trees_table.AddRow({std::to_string(trees), FormatNumber(delta, 3)});
+  }
+  std::printf("%s", trees_table.ToString().c_str());
+
+  std::printf("\nreading: the RF edge over the Average baseline emerges "
+              "once the training set carries enough positive instances — "
+              "the regime the paper operates in natively with tens of "
+              "thousands of sectors.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hotspot::bench
+
+int main() { return hotspot::bench::Main(); }

@@ -1,0 +1,138 @@
+// Fig. 5: denoising-autoencoder reconstructions of KPI series — only the
+// missing stretches are replaced. We hold out known stretches, impute
+// them with the autoencoder, and compare the reconstruction error with
+// forward-fill and mean-fill baselines on the held-out ground truth.
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "nn/imputer.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace hotspot::bench {
+namespace {
+
+struct HeldOutCell {
+  int sector;
+  int hour;
+  int kpi;
+  float truth;
+};
+
+double Rmse(const Tensor3<float>& imputed,
+            const std::vector<HeldOutCell>& cells,
+            const std::vector<double>& kpi_stds) {
+  double sum = 0.0;
+  for (const HeldOutCell& cell : cells) {
+    double diff = (imputed(cell.sector, cell.hour, cell.kpi) - cell.truth) /
+                  kpi_stds[static_cast<size_t>(cell.kpi)];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum / static_cast<double>(cells.size()));
+}
+
+int Main() {
+  // Kept deliberately small: the autoencoder trains in-process.
+  BenchOptions options = ParseOptions({.sectors = 60, .weeks = 8});
+  PrintHeader("bench_fig05_imputation",
+              "Fig. 5 (autoencoder reconstruction of missing KPI values)",
+              options);
+
+  simnet::GeneratorConfig config;
+  config.topology.target_sectors = options.sectors;
+  config.weeks = options.weeks;
+  config.seed = options.seed;
+  config.inject_missing = false;  // we hold out cells ourselves
+  simnet::SyntheticNetwork network = simnet::GenerateNetwork(config);
+  Tensor3<float> truth = network.kpis;
+
+  // Per-KPI std for normalized errors.
+  std::vector<double> kpi_stds;
+  for (int k = 0; k < network.num_kpis(); ++k) {
+    std::vector<float> column;
+    for (int i = 0; i < network.num_sectors(); ++i) {
+      for (int j = 0; j < network.num_hours(); j += 7) {
+        column.push_back(truth(i, j, k));
+      }
+    }
+    double mean = 0.0;
+    for (float v : column) mean += v;
+    mean /= static_cast<double>(column.size());
+    double var = 0.0;
+    for (float v : column) var += (v - mean) * (v - mean);
+    kpi_stds.push_back(std::sqrt(var / static_cast<double>(column.size())) +
+                       1e-9);
+  }
+
+  // Hold out multi-hour stretches (the Sec. II-C missing patterns).
+  Rng rng(options.seed ^ 0xf16);
+  std::vector<HeldOutCell> cells;
+  Tensor3<float> holed = truth;
+  for (int i = 0; i < network.num_sectors(); ++i) {
+    int start = static_cast<int>(
+        rng.UniformInt(24, network.num_hours() - 48));
+    int duration = static_cast<int>(rng.UniformInt(6, 30));
+    for (int j = start; j < start + duration; ++j) {
+      for (int k = 0; k < network.num_kpis(); ++k) {
+        cells.push_back({i, j, k, truth(i, j, k)});
+        holed(i, j, k) = MissingValue();
+      }
+    }
+  }
+  std::printf("\nheld out %zu cells (%.2f%% of the tensor)\n", cells.size(),
+              100.0 * static_cast<double>(cells.size()) /
+                  static_cast<double>(truth.size()));
+
+  // Autoencoder imputation (reduced epochs vs the paper's 1000; the loss
+  // plateaus far earlier at this scale).
+  nn::ImputerConfig imputer_config;
+  imputer_config.epochs = 8;
+  imputer_config.encoder_layers = 3;
+  imputer_config.seed = options.seed;
+  Tensor3<float> ae = holed;
+  Stopwatch watch;
+  nn::KpiImputer imputer(imputer_config);
+  nn::ImputerReport report = imputer.FitAndImpute(&ae);
+  double ae_seconds = watch.ElapsedSeconds();
+
+  Tensor3<float> ffill = holed;
+  nn::ImputeForwardFill(&ffill);
+  Tensor3<float> mean_fill = holed;
+  nn::ImputeFeatureMean(&mean_fill);
+
+  double ae_rmse = Rmse(ae, cells, kpi_stds);
+  double ffill_rmse = Rmse(ffill, cells, kpi_stds);
+  double mean_rmse = Rmse(mean_fill, cells, kpi_stds);
+
+  std::printf("training: %d epochs, loss %.4f -> %.4f (%.1fs)\n",
+              imputer_config.epochs, report.first_epoch_loss,
+              report.final_epoch_loss, ae_seconds);
+  std::printf("\nnormalized RMSE on held-out cells:\n");
+  std::printf("  autoencoder : %.4f\n", ae_rmse);
+  std::printf("  forward fill: %.4f\n", ffill_rmse);
+  std::printf("  feature mean: %.4f\n", mean_rmse);
+
+  // Example reconstruction excerpt (one KPI over a held-out stretch).
+  const HeldOutCell& probe = cells[cells.size() / 2];
+  std::printf("\nexample: sector %d, KPI %s, hours %d..%d\n", probe.sector,
+              network.catalog.spec(probe.kpi).name.c_str(), probe.hour - 4,
+              probe.hour + 4);
+  std::printf("%6s %10s %10s %8s\n", "hour", "truth", "imputed", "held?");
+  for (int j = probe.hour - 4; j <= probe.hour + 4; ++j) {
+    bool held = IsMissing(holed(probe.sector, j, probe.kpi));
+    std::printf("%6d %10.4f %10.4f %8s\n", j,
+                truth(probe.sector, j, probe.kpi),
+                ae(probe.sector, j, probe.kpi), held ? "yes" : "");
+  }
+
+  std::printf("\nshape check: autoencoder beats mean-fill and tracks the "
+              "signal: %s\n",
+              ae_rmse < mean_rmse ? "PASS" : "DIVERGES");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hotspot::bench
+
+int main() { return hotspot::bench::Main(); }

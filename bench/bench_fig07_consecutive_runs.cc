@@ -1,0 +1,63 @@
+// Fig. 7: normalized histograms of consecutive hours (A) and consecutive
+// days (B) as a hot spot. The paper finds a ~16 h mode with echoes at
+// 40 = 24+16 and 64 = 48+16 hours, a dominant 1-day mode, and peaks at
+// multiples of 7 and 7x+6 days (Mon-Sat sectors occasionally open Sunday).
+#include <cstdio>
+
+#include "common.h"
+#include "core/dynamics.h"
+
+namespace hotspot::bench {
+namespace {
+
+int Main() {
+  BenchOptions options = ParseOptions();
+  Study study = MakeStudy(options);
+  PrintHeader("bench_fig07_consecutive_runs",
+              "Fig. 7 (consecutive hours / days as hot spot, log axes)",
+              options);
+
+  DurationStats stats = ComputeDurationStats(
+      study.hourly_labels, study.daily_labels, study.weekly_labels);
+
+  std::printf("\n[A] consecutive hours as hot spot (first 72 values, log "
+              "bars):\n");
+  for (int v = 1; v <= 72; ++v) {
+    if (stats.consecutive_hours.count(v) == 0) continue;
+    std::printf("%4d %8lld %s\n", v, stats.consecutive_hours.count(v),
+                v == 16 || v == 40 || v == 64 ? "  <- 16 + 24k" : "");
+  }
+
+  std::printf("\n[B] consecutive days as hot spot:\n");
+  for (int v = 1; v <= stats.consecutive_days.max_value(); ++v) {
+    if (stats.consecutive_days.count(v) == 0) continue;
+    const char* marker = "";
+    if (v % 7 == 0) marker = "  <- 7x";
+    if (v % 7 == 6) marker = "  <- 7x+6";
+    std::printf("%4d %8lld%s\n", v, stats.consecutive_days.count(v), marker);
+  }
+
+  // Shape checks: night trough bounds hour-runs below ~18 within a day;
+  // 1-day runs dominate; 7x+6-day runs present (5- and 6-day patterns).
+  long long short_runs = 0, long_runs = 0;
+  for (int v = 1; v <= 18; ++v) short_runs += stats.consecutive_hours.count(v);
+  for (int v = 19; v <= 30; ++v) long_runs += stats.consecutive_hours.count(v);
+  long long day1 = stats.consecutive_days.count(1);
+  long long day2 = stats.consecutive_days.count(2);
+  long long runs_7x6 = 0;
+  for (int v = 6; v <= stats.consecutive_days.max_value(); v += 7) {
+    runs_7x6 += stats.consecutive_days.count(v);
+  }
+  std::printf("\nhour-runs <=18h vs 19-30h: %lld vs %lld\n", short_runs,
+              long_runs);
+  std::printf("1-day runs: %lld (dominant), 2-day: %lld, 7x+6-day total: "
+              "%lld\n", day1, day2, runs_7x6);
+  bool pass = short_runs > 5 * long_runs && day1 >= day2 && runs_7x6 > 0;
+  std::printf("shape check: %s\n", pass ? "PASS" : "DIVERGES");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hotspot::bench
+
+int main() { return hotspot::bench::Main(); }

@@ -1,0 +1,86 @@
+// Figs. 13 & 14: average lift of the RF-F1 model as a function of the
+// past-window length w, for several horizons h, on both tasks. Expected
+// shapes: useful forecasts already at w = 1; a plateau from w ≈ 7 (hot
+// spots) and a slight dip beyond w = 7 (emerging hot spots); the w effect
+// shrinks for large h.
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "core/task.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+
+namespace hotspot::bench {
+namespace {
+
+void RunPanel(const char* name, Study& study, TargetKind target,
+              int training_days, double* w1_lift, double* w7_lift,
+              double* w21_lift) {
+  Forecaster forecaster = study.MakeForecaster(target);
+  ForecastConfig base = BenchForecastConfig();
+  base.training_days = training_days;
+  EvaluationRunner runner(&forecaster, base);
+
+  const std::vector<int> h_values = {1, 8, 26};
+  const std::vector<int> w_values = {1, 2, 3, 5, 7, 10, 14, 21};
+  const std::vector<int> t_values = {60, 78};
+
+  std::printf("\n[%s] RF-F1 lift (mean over t):\n", name);
+  std::vector<std::string> header = {"w"};
+  for (int h : h_values) header.push_back("h=" + std::to_string(h));
+  TextTable table(header);
+  std::vector<CellResult> cells;
+  for (int w : w_values) {
+    for (int h : h_values) {
+      for (int t : t_values) {
+        cells.push_back(runner.Evaluate(ModelKind::kRfF1, t, h, w));
+      }
+    }
+  }
+  for (int w : w_values) {
+    std::vector<std::string> row = {std::to_string(w)};
+    for (int h : h_values) {
+      MeanCi ci = AggregateLiftOverT(cells, ModelKind::kRfF1, h, w);
+      row.push_back(FormatNumber(ci.mean, 4));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  *w1_lift = AggregateLiftOverT(cells, ModelKind::kRfF1, 1, 1).mean;
+  *w7_lift = AggregateLiftOverT(cells, ModelKind::kRfF1, 1, 7).mean;
+  *w21_lift = AggregateLiftOverT(cells, ModelKind::kRfF1, 1, 21).mean;
+}
+
+int Main() {
+  BenchOptions options = ParseOptions({.sectors = 600});
+  PrintHeader("bench_fig13_14_lift_vs_window",
+              "Figs. 13-14 (RF-F1 lift vs past window w for several h)",
+              options);
+
+  Study study = MakeStudy(options, /*emerging_fraction=*/0.14);
+
+  double be_w1, be_w7, be_w21;
+  RunPanel("Fig. 13: be a hot spot", study, TargetKind::kBeHotSpot, 8,
+           &be_w1, &be_w7, &be_w21);
+  double become_w1, become_w7, become_w21;
+  RunPanel("Fig. 14: become a hot spot", study, TargetKind::kBecomeHotSpot,
+           10, &become_w1, &become_w7, &become_w21);
+
+  std::printf("\n'be hot' h=1: w=1 %.2f -> w=7 %.2f -> w=21 %.2f "
+              "(paper: rise then plateau at w>=7)\n", be_w1, be_w7, be_w21);
+  std::printf("'become hot' h=1: w=1 %.2f -> w=7 %.2f -> w=21 %.2f "
+              "(paper: plateau/slight drop beyond w=7)\n",
+              become_w1, become_w7, become_w21);
+  bool pass = be_w1 > 2.0 &&                 // useful already at w = 1
+              be_w7 >= 0.85 * be_w21 &&      // plateau: no big gain past 7
+              be_w7 >= be_w1 * 0.9;          // w=7 at least comparable
+  std::printf("shape check: %s\n", pass ? "PASS" : "DIVERGES");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hotspot::bench
+
+int main() { return hotspot::bench::Main(); }

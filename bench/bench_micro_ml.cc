@@ -1,0 +1,102 @@
+// google-benchmark microbenchmarks of the tree-ML substrate: fit and
+// predict throughput of the CART tree, random forest and histogram GBDT
+// across dataset sizes.
+#include <benchmark/benchmark.h>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace hotspot::ml {
+namespace {
+
+Dataset MakeDataset(int n, int d, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.features = Matrix<float>(n, d);
+  data.labels.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double signal = 0.0;
+    for (int k = 0; k < d; ++k) {
+      float v = static_cast<float>(rng.Gaussian());
+      data.features(i, k) = v;
+      if (k < 3) signal += v;
+    }
+    data.labels[static_cast<size_t>(i)] = signal > 0.0 ? 1.0f : 0.0f;
+  }
+  data.weights = BalancedWeights(data.labels);
+  return data;
+}
+
+void BM_DecisionTreeFit(benchmark::State& state) {
+  Dataset data = MakeDataset(static_cast<int>(state.range(0)),
+                             static_cast<int>(state.range(1)), 1);
+  for (auto _ : state) {
+    TreeConfig config;
+    config.min_weight_fraction = 0.01;
+    DecisionTree tree(config);
+    tree.Fit(data);
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecisionTreeFit)
+    ->Args({200, 50})
+    ->Args({500, 200})
+    ->Args({1000, 50});
+
+void BM_RandomForestFit(benchmark::State& state) {
+  Dataset data = MakeDataset(static_cast<int>(state.range(0)), 100, 2);
+  for (auto _ : state) {
+    ForestConfig config;
+    config.num_trees = static_cast<int>(state.range(1));
+    RandomForest forest(config);
+    forest.Fit(data);
+    benchmark::DoNotOptimize(forest.num_trees());
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Args({300, 10})->Args({300, 30});
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  Dataset data = MakeDataset(500, 100, 3);
+  ForestConfig config;
+  config.num_trees = 30;
+  RandomForest forest(config);
+  forest.Fit(data);
+  int row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        forest.PredictProba(data.features.Row(row % 500)));
+    ++row;
+  }
+}
+BENCHMARK(BM_RandomForestPredict);
+
+void BM_GbdtFit(benchmark::State& state) {
+  Dataset data = MakeDataset(static_cast<int>(state.range(0)), 100, 4);
+  for (auto _ : state) {
+    GbdtConfig config;
+    config.num_iterations = static_cast<int>(state.range(1));
+    Gbdt model(config);
+    model.Fit(data);
+    benchmark::DoNotOptimize(model.num_trees());
+  }
+}
+BENCHMARK(BM_GbdtFit)->Args({300, 20})->Args({1000, 20});
+
+void BM_FeatureBinnerFit(benchmark::State& state) {
+  Dataset data = MakeDataset(1000, static_cast<int>(state.range(0)), 5);
+  for (auto _ : state) {
+    FeatureBinner binner;
+    binner.Fit(data.features, 64);
+    benchmark::DoNotOptimize(binner.num_features());
+  }
+}
+BENCHMARK(BM_FeatureBinnerFit)->Arg(50)->Arg(500);
+
+}  // namespace
+}  // namespace hotspot::ml
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// google-benchmark microbenchmarks of the data pipeline: score
+// computation, temporal integration, window extraction, the three feature
+// extractors, and average precision.
+#include <benchmark/benchmark.h>
+
+#include "core/config.h"
+#include "core/score.h"
+#include "features/feature_tensor.h"
+#include "features/handcrafted_features.h"
+#include "features/percentile_features.h"
+#include "features/raw_features.h"
+#include "features/window.h"
+#include "simnet/generator.h"
+#include "stats/average_precision.h"
+#include "tensor/temporal.h"
+#include "util/rng.h"
+
+namespace hotspot {
+namespace {
+
+const simnet::SyntheticNetwork& SharedNetwork() {
+  static const simnet::SyntheticNetwork& network = *[] {
+    simnet::GeneratorConfig config;
+    config.topology.target_sectors = 60;
+    config.weeks = 6;
+    config.inject_missing = false;
+    return new simnet::SyntheticNetwork(simnet::GenerateNetwork(config));
+  }();
+  return network;
+}
+
+void BM_GenerateNetwork(benchmark::State& state) {
+  for (auto _ : state) {
+    simnet::GeneratorConfig config;
+    config.topology.target_sectors = static_cast<int>(state.range(0));
+    config.weeks = 4;
+    simnet::SyntheticNetwork network = simnet::GenerateNetwork(config);
+    benchmark::DoNotOptimize(network.kpis.size());
+  }
+}
+BENCHMARK(BM_GenerateNetwork)->Arg(30)->Arg(120);
+
+void BM_ComputeHourlyScore(benchmark::State& state) {
+  const simnet::SyntheticNetwork& network = SharedNetwork();
+  ScoreConfig config = ScoreConfigFromCatalog(network.catalog);
+  for (auto _ : state) {
+    Matrix<float> score = ComputeHourlyScore(network.kpis, config);
+    benchmark::DoNotOptimize(score.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(network.kpis.size()));
+}
+BENCHMARK(BM_ComputeHourlyScore);
+
+void BM_IntegrateScores(benchmark::State& state) {
+  const simnet::SyntheticNetwork& network = SharedNetwork();
+  ScoreConfig config = ScoreConfigFromCatalog(network.catalog);
+  Matrix<float> hourly = ComputeHourlyScore(network.kpis, config);
+  for (auto _ : state) {
+    Matrix<float> daily = IntegrateScores(hourly, Resolution::kDaily);
+    benchmark::DoNotOptimize(daily.size());
+  }
+}
+BENCHMARK(BM_IntegrateScores);
+
+features::FeatureTensor SharedFeatures() {
+  const simnet::SyntheticNetwork& network = SharedNetwork();
+  ScoreConfig config = ScoreConfigFromCatalog(network.catalog);
+  Matrix<float> hourly = ComputeHourlyScore(network.kpis, config);
+  Matrix<float> daily = IntegrateScores(hourly, Resolution::kDaily);
+  Matrix<float> weekly = IntegrateScores(hourly, Resolution::kWeekly);
+  Matrix<float> labels(daily.rows(), daily.cols(), 0.0f);
+  return features::FeatureTensor::Build(network.kpis,
+                                        network.calendar_matrix, hourly,
+                                        daily, weekly, labels);
+}
+
+void BM_BuildFeatureTensor(benchmark::State& state) {
+  for (auto _ : state) {
+    features::FeatureTensor x = SharedFeatures();
+    benchmark::DoNotOptimize(x.num_channels());
+  }
+}
+BENCHMARK(BM_BuildFeatureTensor);
+
+template <typename Extractor>
+void ExtractorBench(benchmark::State& state) {
+  features::FeatureTensor x = SharedFeatures();
+  Extractor extractor;
+  std::vector<float> out;
+  int sector = 0;
+  for (auto _ : state) {
+    Matrix<float> window = features::ExtractWindow(
+        x, sector % x.num_sectors(), 14, 7);
+    extractor.Extract(window, &out);
+    benchmark::DoNotOptimize(out.size());
+    ++sector;
+  }
+}
+
+void BM_RawExtractor(benchmark::State& state) {
+  ExtractorBench<features::RawExtractor>(state);
+}
+BENCHMARK(BM_RawExtractor);
+
+void BM_PercentileExtractor(benchmark::State& state) {
+  ExtractorBench<features::DailyPercentileExtractor>(state);
+}
+BENCHMARK(BM_PercentileExtractor);
+
+void BM_HandcraftedExtractor(benchmark::State& state) {
+  ExtractorBench<features::HandcraftedExtractor>(state);
+}
+BENCHMARK(BM_HandcraftedExtractor);
+
+void BM_AveragePrecision(benchmark::State& state) {
+  Rng rng(7);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<float> labels(static_cast<size_t>(n));
+  std::vector<float> scores(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    labels[static_cast<size_t>(i)] = rng.Bernoulli(0.05) ? 1.0f : 0.0f;
+    scores[static_cast<size_t>(i)] = static_cast<float>(rng.UniformDouble());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AveragePrecision(labels, scores));
+  }
+}
+BENCHMARK(BM_AveragePrecision)->Arg(1000)->Arg(20000);
+
+}  // namespace
+}  // namespace hotspot
+
+BENCHMARK_MAIN();

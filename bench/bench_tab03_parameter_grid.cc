@@ -1,0 +1,43 @@
+// Table III: the evaluation grid — models, forecast days t, horizons h,
+// and past-window lengths w — plus the subsampled grid the forecasting
+// benches actually run (with the full grid available via the library).
+#include <cstdio>
+
+#include "common.h"
+#include "core/task.h"
+
+namespace hotspot::bench {
+namespace {
+
+void PrintGrid(const char* name, const ParameterGrid& grid) {
+  std::printf("\n[%s]\n", name);
+  std::printf("Models: ");
+  for (ModelKind model : grid.models) std::printf("%s ", ModelName(model));
+  std::printf("\nt: ");
+  for (int t : grid.t_values) std::printf("%d ", t);
+  std::printf("\nh: ");
+  for (int h : grid.h_values) std::printf("%d ", h);
+  std::printf("\nw: ");
+  for (int w : grid.w_values) std::printf("%d ", w);
+  std::printf("\ncells: %lld\n", grid.NumCells());
+}
+
+int Main() {
+  BenchOptions options = ParseOptions();
+  PrintHeader("bench_tab03_parameter_grid",
+              "Table III (considered values for model, t, h, w)", options);
+  ParameterGrid paper = ParameterGrid::Paper();
+  PrintGrid("paper grid (Table III)", paper);
+  ParameterGrid bench =
+      ParameterGrid::Subsampled(8, {1, 2, 4, 7, 8, 14, 22, 29}, {7});
+  PrintGrid("bench subsample (used by bench_fig09..14)", bench);
+  std::printf("\nshape check: paper grid has 8 x 36 x 15 x 8 = %lld cells: "
+              "%s\n", paper.NumCells(),
+              paper.NumCells() == 34560 ? "PASS" : "DIVERGES");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hotspot::bench
+
+int main() { return hotspot::bench::Main(); }

@@ -1,0 +1,69 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/csv.h"
+
+namespace hotspot::bench {
+
+BenchOptions ParseOptions(BenchOptions defaults) {
+  if (const char* env = std::getenv("HOTSPOT_BENCH_SECTORS")) {
+    defaults.sectors = std::atoi(env);
+  }
+  if (const char* env = std::getenv("HOTSPOT_BENCH_WEEKS")) {
+    defaults.weeks = std::atoi(env);
+  }
+  if (const char* env = std::getenv("HOTSPOT_BENCH_SEED")) {
+    defaults.seed = std::strtoull(env, nullptr, 10);
+  }
+  return defaults;
+}
+
+Study MakeStudy(const BenchOptions& options, double emerging_fraction) {
+  simnet::GeneratorConfig config;
+  config.topology.target_sectors = options.sectors;
+  config.weeks = options.weeks;
+  config.seed = options.seed;
+  if (emerging_fraction >= 0.0) {
+    config.events.emerging_fraction = emerging_fraction;
+  }
+  return BuildStudy(config, {});
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref,
+                 const BenchOptions& options) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Scale: %d sectors, %d weeks, seed %llu (paper: tens of "
+              "thousands of sectors, 18 weeks)\n",
+              options.sectors, options.weeks,
+              static_cast<unsigned long long>(options.seed));
+  std::printf("==============================================================\n");
+}
+
+ForecastConfig BenchForecastConfig() {
+  ForecastConfig config;
+  config.forest.num_trees = 40;
+  config.gbdt.num_iterations = 40;
+  config.gbdt.feature_fraction = 0.5;
+  // Scale adaptation: the paper trains on one target day with ~10^4
+  // sectors; at bench scale we pool several past target days to reach a
+  // comparable number of positive training instances (see EXPERIMENTS.md).
+  config.training_days = 7;
+  // The single CART keeps the paper's literal one-day training: its exact
+  // split search over 80 % of the raw features does not scale to pooled
+  // instance counts (and the paper trained it on one day anyway).
+  config.tree_training_days = 1;
+  return config;
+}
+
+std::string FormatCi(double mean, double lo, double hi) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "%7.2f [%6.2f, %6.2f]", mean, lo,
+                hi);
+  return buffer;
+}
+
+}  // namespace hotspot::bench

@@ -1,0 +1,45 @@
+#ifndef HOTSPOT_BENCH_COMMON_H_
+#define HOTSPOT_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/study.h"
+
+namespace hotspot::bench {
+
+/// Common knobs of the reproduction benches. Benches are sized so that the
+/// full suite completes on one laptop core; set HOTSPOT_BENCH_SECTORS /
+/// HOTSPOT_BENCH_SEED env vars to override. The paper operates at tens of
+/// thousands of sectors; see EXPERIMENTS.md for the scale notes.
+struct BenchOptions {
+  int sectors = 500;
+  int weeks = 18;
+  uint64_t seed = 20170418;
+};
+
+/// Reads env overrides into `defaults`.
+BenchOptions ParseOptions(BenchOptions defaults = {});
+
+/// Builds the standard bench study (forward-fill imputation; see
+/// bench_fig05/bench_abl_imputation for the autoencoder path, which is the
+/// paper's method but too slow to run inside every bench).
+Study MakeStudy(const BenchOptions& options,
+                double emerging_fraction = -1.0);
+
+/// Prints the bench banner: what paper artifact this reproduces and at
+/// which scale.
+void PrintHeader(const std::string& title, const std::string& paper_ref,
+                 const BenchOptions& options);
+
+/// Classifier settings used by the forecasting benches: modest forest and
+/// pooled training days — the documented adaptation from the paper's
+/// tens-of-thousands-of-sectors regime to bench scale.
+ForecastConfig BenchForecastConfig();
+
+/// Formats a MeanCi as "m [lo, hi]".
+std::string FormatCi(double mean, double lo, double hi);
+
+}  // namespace hotspot::bench
+
+#endif  // HOTSPOT_BENCH_COMMON_H_

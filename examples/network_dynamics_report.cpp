@@ -1,0 +1,80 @@
+// Network dynamics report: the Sec. III exploratory analysis packaged as
+// an operations report — duration statistics, weekly patterns, pattern
+// consistency, and spatial structure of hot spots.
+#include <cstdio>
+
+#include "core/dynamics.h"
+#include "core/labels.h"
+#include "core/study.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace hotspot;
+
+  simnet::GeneratorConfig generator;
+  generator.topology.target_sectors = 250;
+  generator.weeks = 14;
+  generator.seed = 17;
+  Study study = BuildStudy(generator, StudyOptions{});
+
+  std::printf("=== Hot-spot dynamics report ===\n");
+  std::printf("%d sectors, %d weeks starting %s\n\n", study.num_sectors(),
+              study.num_weeks(),
+              simnet::FormatDate(study.network.calendar.start_date())
+                  .c_str());
+
+  std::printf("prevalence: %.1f%% of sector-hours, %.1f%% of sector-days "
+              "are hot\n",
+              100.0 * PositiveRate(study.hourly_labels),
+              100.0 * PositiveRate(study.daily_labels));
+
+  DurationStats stats = ComputeDurationStats(
+      study.hourly_labels, study.daily_labels, study.weekly_labels);
+  std::printf("\n-- durations --\n");
+  std::printf("most common hot-hours-per-day: %d (sleeping-hours trough "
+              "bounds hot stretches)\n",
+              [&] {
+                int best = 1;
+                for (int v = 1; v <= 24; ++v) {
+                  if (stats.hours_per_day.count(v) >
+                      stats.hours_per_day.count(best)) {
+                    best = v;
+                  }
+                }
+                return best;
+              }());
+  std::printf("single-day hot spots: %.0f%% of hot weeks\n",
+              100.0 * stats.days_per_week.RelativeCount(1));
+  std::printf("full-week hot spots: %.0f%% of hot weeks\n",
+              100.0 * stats.days_per_week.RelativeCount(7));
+
+  std::printf("\n-- weekly patterns (top 8) --\n");
+  TextTable table({"pattern", "share"});
+  for (const WeeklyPattern& pattern :
+       TopWeeklyPatterns(study.daily_labels, 8)) {
+    table.AddRow({PatternString(pattern.bits),
+                  FormatNumber(100.0 * pattern.relative_count, 3) + "%"});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  ConsistencyStats consistency = WeeklyConsistency(study.daily_labels);
+  std::printf("\npattern consistency: mean correlation %.2f (p25 %.2f, "
+              "p75 %.2f) -> weekly behavior is forecastable\n",
+              consistency.mean, consistency.p25, consistency.p75);
+
+  std::printf("\n-- spatial structure --\n");
+  std::vector<BucketSummary> average = SpatialCorrelationByDistance(
+      study.network.topology, study.hourly_labels,
+      std::min(60, study.num_sectors() - 1), SpatialAggregation::kAverage);
+  for (const BucketSummary& bucket : average) {
+    if (bucket.count == 0) continue;
+    std::printf("  %7.2f-%7.2f km: median corr %6.3f (n=%d)\n",
+                bucket.lo_km, std::min(bucket.hi_km, 999.0), bucket.median,
+                bucket.count);
+  }
+  std::printf("\nconclusion: correlations concentrate at distance 0 (same "
+              "tower) and vanish with distance, but behavioral twins exist "
+              "far apart — forecasting should NOT be spatially "
+              "constrained (Sec. III).\n");
+  return 0;
+}

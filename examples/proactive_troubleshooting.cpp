@@ -1,0 +1,133 @@
+// Proactive troubleshooting (the paper's motivation #2): detect sectors
+// that are ABOUT to become persistent hot spots — before the operator's
+// score crosses the threshold — so field teams can intervene early.
+//
+// Uses the "become a hot spot" target (Sec. IV-A): the RF model is
+// trained to recognize the pre-transition signature (creeping
+// interference, rising congestion), then the example prints a watchlist
+// with each sector's KPI symptoms.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/study.h"
+#include "util/csv.h"
+
+namespace {
+
+/// A KPI "symptom": how far today's daily mean sits above the sector's own
+/// 3-week baseline, in baseline standard deviations.
+double SymptomZ(const hotspot::Study& study, int sector, int kpi, int day) {
+  double baseline_sum = 0.0, baseline_sq = 0.0;
+  int count = 0;
+  for (int d = day - 21; d < day - 1; ++d) {
+    double daily = 0.0;
+    for (int h = 0; h < 24; ++h) {
+      daily += study.network.kpis(sector, d * 24 + h, kpi);
+    }
+    daily /= 24.0;
+    baseline_sum += daily;
+    baseline_sq += daily * daily;
+    ++count;
+  }
+  double mean = baseline_sum / count;
+  double var = baseline_sq / count - mean * mean;
+  double std = std::sqrt(std::max(var, 1e-9));
+  double today = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    today += study.network.kpis(sector, (day - 1) * 24 + h, kpi);
+  }
+  today /= 24.0;
+  return (today - mean) / std;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hotspot;
+
+  simnet::GeneratorConfig generator;
+  generator.topology.target_sectors = 300;
+  generator.weeks = 16;
+  generator.seed = 13;
+  // More emerging degradations so the example has events to catch.
+  generator.events.emerging_fraction = 0.15;
+  Study study = BuildStudy(generator, StudyOptions{});
+
+  Forecaster forecaster = study.MakeForecaster(TargetKind::kBecomeHotSpot);
+  ForecastConfig config;
+  config.model = ModelKind::kRfF1;
+  config.t = 75;
+  config.h = 3;  // a field team can be dispatched within 3 days
+  config.w = 7;
+  config.forest.num_trees = 30;
+  config.training_days = 12;
+  ForecastResult forecast = forecaster.Run(config);
+
+  std::vector<int> order(forecast.predictions.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return forecast.predictions[static_cast<size_t>(a)] >
+           forecast.predictions[static_cast<size_t>(b)];
+  });
+
+  // KPI symptoms to report: the interference / congestion indicators the
+  // paper highlights for this task (Sec. V-D).
+  const simnet::KpiCatalog& catalog = study.network.catalog;
+  const int kSymptoms[] = {
+      catalog.IndexOf("noise_rise_db"),
+      catalog.IndexOf("noise_floor_dbm"),
+      catalog.IndexOf("channel_setup_failure_ratio"),
+      catalog.IndexOf("data_utilization_rate"),
+  };
+
+  std::printf("emerging-hot-spot watchlist for day %d+%d:\n\n", config.t,
+              config.h);
+  TextTable table({"rank", "sector", "P(become hot)", "S^d today",
+                   "noise rise z", "noise floor z", "setup fail z",
+                   "data util z"});
+  for (int r = 0; r < 10; ++r) {
+    int i = order[static_cast<size_t>(r)];
+    std::vector<std::string> row = {
+        std::to_string(r + 1), std::to_string(i),
+        FormatNumber(forecast.predictions[static_cast<size_t>(i)], 3),
+        FormatNumber(study.scores.daily(i, config.t - 1), 3)};
+    for (int kpi : kSymptoms) {
+      row.push_back(FormatNumber(SymptomZ(study, i, kpi, config.t), 3));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Check the watchlist against what actually happened: did the top
+  // sectors transition into persistent hotness within the next week?
+  int transitions = 0;
+  for (int r = 0; r < 10; ++r) {
+    int i = order[static_cast<size_t>(r)];
+    for (int d = config.t; d < std::min(config.t + 7, study.num_days());
+         ++d) {
+      if (study.become_labels(i, d) != 0.0f) {
+        ++transitions;
+        break;
+      }
+    }
+  }
+  double base_rate = 0.0;
+  for (int i = 0; i < study.num_sectors(); ++i) {
+    for (int d = config.t; d < std::min(config.t + 7, study.num_days());
+         ++d) {
+      if (study.become_labels(i, d) != 0.0f) {
+        base_rate += 1.0;
+        break;
+      }
+    }
+  }
+  base_rate /= study.num_sectors();
+  std::printf("watchlist outcome: %d of 10 sectors transitioned within a "
+              "week (network base rate %.1f%%)\n",
+              transitions, 100.0 * base_rate);
+  std::printf("note: elevated interference z-scores on the watchlist are "
+              "the pre-failure signature the classifier keys on — exactly "
+              "the KPIs Fig. 16 of the paper flags.\n");
+  return 0;
+}

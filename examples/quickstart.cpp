@@ -1,0 +1,60 @@
+// Quickstart: the whole pipeline in one page.
+//
+//   1. Generate a synthetic cellular network (KPI tensor K + calendar C).
+//   2. Run the paper's preprocessing: sector filter, imputation, hot-spot
+//      score S, labels Y, feature tensor X.
+//   3. Forecast "will sector i be a hot spot in h days?" with a baseline
+//      and a random forest, and evaluate with the paper's lift metric.
+//
+// Build: cmake -B build -G Ninja && cmake --build build
+// Run:   ./build/examples/example_quickstart
+#include <cmath>
+#include <cstdio>
+
+#include "core/evaluation.h"
+#include "core/labels.h"
+#include "core/study.h"
+
+int main() {
+  using namespace hotspot;
+
+  // 1. A small country: ~200 sectors observed for 12 weeks.
+  simnet::GeneratorConfig generator;
+  generator.topology.target_sectors = 200;
+  generator.weeks = 12;
+  generator.seed = 7;
+
+  // 2. Preprocess into a Study (scores, labels, feature tensor).
+  Study study = BuildStudy(generator, StudyOptions{});
+  std::printf("network: %d sectors, %d days, %d KPIs (%d sectors dropped "
+              "by the missing-data filter)\n",
+              study.num_sectors(), study.num_days(),
+              study.network.num_kpis(), study.sectors_filtered_out);
+  std::printf("hot-spot prevalence: %.1f%% of sector-days (threshold "
+              "ε = %.2f)\n",
+              100.0 * PositiveRate(study.daily_labels),
+              study.score_config.hot_threshold);
+
+  // 3. Forecast day t+h from data up to day t (Eq. 6) and evaluate.
+  Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
+  ForecastConfig base;
+  base.forest.num_trees = 25;
+  base.training_days = 6;  // pool a few days of labels at this small scale
+  EvaluationRunner runner(&forecaster, base);
+
+  const int t = 60;  // "today"
+  std::printf("\nforecasting from day %d (%s):\n", t,
+              simnet::FormatDate(study.network.calendar.DateOfDay(t))
+                  .c_str());
+  std::printf("%4s %10s %10s %10s\n", "h", "Random", "Average", "RF-F1");
+  for (int h : {1, 3, 7, 14}) {
+    CellResult random = runner.Evaluate(ModelKind::kRandom, t, h, 7);
+    CellResult average = runner.Evaluate(ModelKind::kAverage, t, h, 7);
+    CellResult forest = runner.Evaluate(ModelKind::kRfF1, t, h, 7);
+    std::printf("%4d %9.1fx %9.1fx %9.1fx\n", h, random.lift, average.lift,
+                forest.lift);
+  }
+  std::printf("\n(lift = average precision relative to a random ranking; "
+              "see Sec. IV-B of the paper)\n");
+  return 0;
+}

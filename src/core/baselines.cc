@@ -1,0 +1,73 @@
+#include "core/baselines.h"
+
+#include <cmath>
+
+#include "tensor/temporal.h"
+#include "util/logging.h"
+
+namespace hotspot {
+
+namespace {
+
+/// NaN-safe fetch: baselines treat a NaN aggregate as "no evidence" (score
+/// 0) so rankings stay well defined.
+float OrZero(double value) {
+  return std::isnan(value) ? 0.0f : static_cast<float>(value);
+}
+
+}  // namespace
+
+std::vector<float> RandomBaseline(int num_sectors, Rng* rng) {
+  HOTSPOT_CHECK(rng != nullptr);
+  std::vector<float> predictions(static_cast<size_t>(num_sectors));
+  for (float& p : predictions) {
+    p = static_cast<float>(rng->UniformDouble());
+  }
+  return predictions;
+}
+
+std::vector<float> PersistBaseline(const Matrix<float>& daily_labels,
+                                   int t) {
+  HOTSPOT_CHECK(t >= 0 && t < daily_labels.cols());
+  std::vector<float> predictions(static_cast<size_t>(daily_labels.rows()));
+  for (int i = 0; i < daily_labels.rows(); ++i) {
+    float value = daily_labels.At(i, t);
+    predictions[static_cast<size_t>(i)] = IsMissing(value) ? 0.0f : value;
+  }
+  return predictions;
+}
+
+std::vector<float> AverageBaseline(const Matrix<float>& daily_scores, int t,
+                                   int w) {
+  HOTSPOT_CHECK(t >= 0 && t < daily_scores.cols());
+  HOTSPOT_CHECK_GE(w, 1);
+  std::vector<float> predictions(static_cast<size_t>(daily_scores.rows()));
+  for (int i = 0; i < daily_scores.rows(); ++i) {
+    std::vector<float> series = daily_scores.RowVector(i);
+    predictions[static_cast<size_t>(i)] = OrZero(TrailingMean(t, w, series));
+  }
+  return predictions;
+}
+
+std::vector<float> TrendBaseline(const Matrix<float>& daily_scores, int t,
+                                 int w) {
+  HOTSPOT_CHECK(t >= 0 && t < daily_scores.cols());
+  HOTSPOT_CHECK_GE(w, 1);
+  std::vector<float> predictions(static_cast<size_t>(daily_scores.rows()));
+  const int half = std::max(1, w / 2);
+  for (int i = 0; i < daily_scores.rows(); ++i) {
+    std::vector<float> series = daily_scores.RowVector(i);
+    double average = TrailingMean(t, w, series);
+    double recent = TrailingMean(t, half, series);
+    double earlier = TrailingMean(t - half, half, series);
+    double trend = 0.0;
+    if (!std::isnan(recent) && !std::isnan(earlier)) {
+      trend = (recent - earlier) / half;
+    }
+    predictions[static_cast<size_t>(i)] = OrZero(average) +
+                                          static_cast<float>(trend);
+  }
+  return predictions;
+}
+
+}  // namespace hotspot

@@ -1,0 +1,34 @@
+#ifndef HOTSPOT_CORE_BASELINES_H_
+#define HOTSPOT_CORE_BASELINES_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace hotspot {
+
+/// The four baseline forecasters of Sec. IV-C. Each returns one ranking
+/// score per sector for the target day t+h, computed from information
+/// available at day t. Outputs need not be probabilities — only the
+/// induced ranking matters for ψ (Sec. IV-B).
+
+/// Random model F0: Ŷ_{i,t+h} = G(0,1). Chance-level reference.
+std::vector<float> RandomBaseline(int num_sectors, Rng* rng);
+
+/// Persistence: Ŷ_{i,t+h} = Y_{i,t}.
+std::vector<float> PersistBaseline(const Matrix<float>& daily_labels, int t);
+
+/// Average: Ŷ_{i,t+h} = µ(t, w, S_{i,:}) over the daily scores.
+std::vector<float> AverageBaseline(const Matrix<float>& daily_scores, int t,
+                                   int w);
+
+/// Trend: the Average plus a projection of the current score trend,
+///   Ŷ = µ(t, w, S) + [µ(t, w/2, S) − µ(t − w/2, w/2, S)] / (w/2).
+/// For w == 1 the trend term is the difference of the last two days.
+std::vector<float> TrendBaseline(const Matrix<float>& daily_scores, int t,
+                                 int w);
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_CORE_BASELINES_H_

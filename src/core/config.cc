@@ -1,0 +1,21 @@
+#include "core/config.h"
+
+namespace hotspot {
+
+double ScoreConfig::TotalWeight() const {
+  double total = 0.0;
+  for (const Indicator& indicator : indicators) total += indicator.weight;
+  return total;
+}
+
+ScoreConfig ScoreConfigFromCatalog(const simnet::KpiCatalog& catalog) {
+  ScoreConfig config;
+  config.indicators.reserve(static_cast<size_t>(catalog.size()));
+  for (const simnet::KpiSpec& spec : catalog.specs()) {
+    config.indicators.push_back(
+        {spec.score_weight, spec.score_threshold, spec.higher_is_worse});
+  }
+  return config;
+}
+
+}  // namespace hotspot

@@ -1,0 +1,40 @@
+#ifndef HOTSPOT_CORE_CONFIG_H_
+#define HOTSPOT_CORE_CONFIG_H_
+
+#include <vector>
+
+#include "simnet/kpi_catalog.h"
+
+namespace hotspot {
+
+/// Operator scoring configuration (Eq. 1): one weighted threshold test per
+/// KPI, plus the hot-spot threshold ε applied to the integrated score
+/// (Eq. 4).
+///
+/// Eq. 1 of the paper writes S' = Σ_k Ω_k · H(K_k − ε_k); real catalogs
+/// mix "higher is worse" and "lower is worse" indicators, so each entry
+/// carries the test direction (equivalent to Eq. 1 after negating the
+/// KPI).
+struct ScoreConfig {
+  struct Indicator {
+    double weight = 1.0;     ///< Ω_k
+    double threshold = 0.5;  ///< ε_k
+    bool higher_is_worse = true;
+  };
+
+  std::vector<Indicator> indicators;
+  /// ε of Eq. 4, applied to the score normalized into [0, 1]. The default
+  /// matches the natural threshold visible in the S^w histogram (Fig. 4).
+  double hot_threshold = 0.6;
+
+  int num_indicators() const { return static_cast<int>(indicators.size()); }
+  double TotalWeight() const;
+};
+
+/// Builds the scoring configuration the synthetic operator uses, straight
+/// from the KPI catalog's Ω/ε columns.
+ScoreConfig ScoreConfigFromCatalog(const simnet::KpiCatalog& catalog);
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_CORE_CONFIG_H_

@@ -1,0 +1,284 @@
+#include "core/dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "stats/correlation.h"
+#include "stats/percentile.h"
+#include "stats/runlength.h"
+#include "tensor/temporal.h"
+#include "util/logging.h"
+
+namespace hotspot {
+
+DurationStats::DurationStats(int weeks)
+    : hours_per_day(kHoursPerDay),
+      days_per_week(kDaysPerWeek),
+      weeks_as_hotspot(weeks),
+      consecutive_hours(96),
+      consecutive_days(70) {}
+
+DurationStats ComputeDurationStats(const Matrix<float>& hourly_labels,
+                                   const Matrix<float>& daily_labels,
+                                   const Matrix<float>& weekly_labels) {
+  const int n = hourly_labels.rows();
+  HOTSPOT_CHECK_EQ(daily_labels.rows(), n);
+  HOTSPOT_CHECK_EQ(weekly_labels.rows(), n);
+  DurationStats stats(weekly_labels.cols());
+
+  for (int i = 0; i < n; ++i) {
+    std::vector<float> hourly = hourly_labels.RowVector(i);
+    std::vector<float> daily = daily_labels.RowVector(i);
+    std::vector<float> weekly = weekly_labels.RowVector(i);
+
+    for (int count : CountOnesPerBlock(hourly, kHoursPerDay)) {
+      if (count > 0) stats.hours_per_day.Add(count);
+    }
+    for (int count : CountOnesPerBlock(daily, kDaysPerWeek)) {
+      if (count > 0) stats.days_per_week.Add(count);
+    }
+    int hot_weeks = 0;
+    for (float y : weekly) {
+      if (y != 0.0f) ++hot_weeks;
+    }
+    if (hot_weeks > 0) stats.weeks_as_hotspot.Add(hot_weeks);
+
+    for (int run : RunLengthsOfOnes(hourly)) stats.consecutive_hours.Add(run);
+    for (int run : RunLengthsOfOnes(daily)) stats.consecutive_days.Add(run);
+  }
+  return stats;
+}
+
+std::vector<WeeklyPattern> TopWeeklyPatterns(const Matrix<float>& daily_labels,
+                                             int top_k) {
+  const int weeks = daily_labels.cols() / kDaysPerWeek;
+  std::map<int, long long> counts;
+  long long nonempty_total = 0;
+  for (int i = 0; i < daily_labels.rows(); ++i) {
+    for (int week = 0; week < weeks; ++week) {
+      int bits = 0;
+      for (int d = 0; d < kDaysPerWeek; ++d) {
+        float y = daily_labels.At(i, week * kDaysPerWeek + d);
+        if (!IsMissing(y) && y != 0.0f) bits |= 1 << d;
+      }
+      if (bits == 0) continue;
+      ++counts[bits];
+      ++nonempty_total;
+    }
+  }
+  std::vector<WeeklyPattern> patterns;
+  patterns.reserve(counts.size());
+  for (const auto& [bits, count] : counts) {
+    WeeklyPattern pattern;
+    pattern.bits = bits;
+    pattern.count = count;
+    pattern.relative_count =
+        nonempty_total > 0
+            ? static_cast<double>(count) / static_cast<double>(nonempty_total)
+            : 0.0;
+    patterns.push_back(pattern);
+  }
+  std::sort(patterns.begin(), patterns.end(),
+            [](const WeeklyPattern& a, const WeeklyPattern& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.bits < b.bits;
+            });
+  if (static_cast<int>(patterns.size()) > top_k) {
+    patterns.resize(static_cast<size_t>(top_k));
+  }
+  return patterns;
+}
+
+std::string PatternString(int bits) {
+  static const char kDayLetters[kDaysPerWeek] = {'M', 'T', 'W', 'T',
+                                                 'F', 'S', 'S'};
+  std::string out;
+  for (int d = 0; d < kDaysPerWeek; ++d) {
+    if (d > 0) out += ' ';
+    out += (bits >> d) & 1 ? kDayLetters[d] : '-';
+  }
+  return out;
+}
+
+ConsistencyStats WeeklyConsistency(const Matrix<float>& daily_labels) {
+  const int weeks = daily_labels.cols() / kDaysPerWeek;
+  std::vector<float> correlations;
+  for (int i = 0; i < daily_labels.rows(); ++i) {
+    // Average week of the sector.
+    float average[kDaysPerWeek] = {};
+    for (int week = 0; week < weeks; ++week) {
+      for (int d = 0; d < kDaysPerWeek; ++d) {
+        float y = daily_labels.At(i, week * kDaysPerWeek + d);
+        if (!IsMissing(y) && y != 0.0f) average[d] += 1.0f;
+      }
+    }
+    for (float& a : average) a /= static_cast<float>(weeks);
+
+    for (int week = 0; week < weeks; ++week) {
+      float this_week[kDaysPerWeek];
+      for (int d = 0; d < kDaysPerWeek; ++d) {
+        float y = daily_labels.At(i, week * kDaysPerWeek + d);
+        this_week[d] = (!IsMissing(y) && y != 0.0f) ? 1.0f : 0.0f;
+      }
+      double corr = PearsonCorrelation(average, this_week, kDaysPerWeek);
+      if (!std::isnan(corr)) {
+        correlations.push_back(static_cast<float>(corr));
+      }
+    }
+  }
+  ConsistencyStats stats;
+  stats.count = static_cast<long long>(correlations.size());
+  stats.mean = Mean(correlations);
+  std::vector<double> percentiles =
+      Percentiles(correlations, {5.0, 25.0, 50.0, 75.0, 95.0});
+  stats.p5 = percentiles[0];
+  stats.p25 = percentiles[1];
+  stats.p50 = percentiles[2];
+  stats.p75 = percentiles[3];
+  stats.p95 = percentiles[4];
+  return stats;
+}
+
+std::vector<double> SpatialBucketEdges() {
+  std::vector<double> edges = {0.0, 0.05};
+  double edge = 0.1;
+  while (edge <= 204.8) {
+    edges.push_back(edge);
+    edge *= 2.0;
+  }
+  edges.push_back(1e9);
+  return edges;
+}
+
+namespace {
+
+int BucketOf(double distance_km, const std::vector<double>& edges) {
+  for (size_t b = 0; b + 1 < edges.size(); ++b) {
+    if (distance_km >= edges[b] && distance_km < edges[b + 1]) {
+      return static_cast<int>(b);
+    }
+  }
+  return static_cast<int>(edges.size()) - 2;
+}
+
+std::vector<BucketSummary> SummarizeBuckets(
+    const std::vector<std::vector<float>>& per_bucket_values,
+    const std::vector<double>& edges) {
+  std::vector<BucketSummary> summaries;
+  for (size_t b = 0; b + 1 < edges.size(); ++b) {
+    const std::vector<float>& values = per_bucket_values[b];
+    BucketSummary summary;
+    summary.lo_km = edges[b];
+    summary.hi_km = edges[b + 1];
+    summary.count = static_cast<int>(values.size());
+    if (!values.empty()) {
+      std::vector<double> percentiles =
+          Percentiles(values, {5.0, 25.0, 50.0, 75.0, 95.0});
+      summary.whisker_lo = percentiles[0];
+      summary.q25 = percentiles[1];
+      summary.median = percentiles[2];
+      summary.q75 = percentiles[3];
+      summary.whisker_hi = percentiles[4];
+    } else {
+      summary.median = summary.q25 = summary.q75 = std::nan("");
+      summary.whisker_lo = summary.whisker_hi = std::nan("");
+    }
+    summaries.push_back(summary);
+  }
+  return summaries;
+}
+
+}  // namespace
+
+std::vector<BucketSummary> SpatialCorrelationByDistance(
+    const simnet::Topology& topology, const Matrix<float>& hourly_labels,
+    int num_neighbors, SpatialAggregation aggregation) {
+  const int n = topology.num_sectors();
+  HOTSPOT_CHECK_EQ(hourly_labels.rows(), n);
+  std::vector<double> edges = SpatialBucketEdges();
+  const int num_buckets = static_cast<int>(edges.size()) - 1;
+  std::vector<std::vector<float>> per_bucket_values(
+      static_cast<size_t>(num_buckets));
+
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> neighbors = topology.NearestSectors(i, num_neighbors);
+    // Aggregate per bucket for this sector.
+    std::vector<double> agg(static_cast<size_t>(num_buckets),
+                            std::nan(""));
+    std::vector<int> counts(static_cast<size_t>(num_buckets), 0);
+    for (int j : neighbors) {
+      double corr = PearsonCorrelation(hourly_labels.Row(i),
+                                       hourly_labels.Row(j),
+                                       hourly_labels.cols());
+      if (std::isnan(corr)) continue;
+      int bucket = BucketOf(topology.DistanceKm(i, j), edges);
+      size_t bs = static_cast<size_t>(bucket);
+      if (aggregation == SpatialAggregation::kAverage) {
+        if (counts[bs] == 0) agg[bs] = 0.0;
+        agg[bs] += corr;
+        ++counts[bs];
+      } else {
+        if (std::isnan(agg[bs]) || corr > agg[bs]) agg[bs] = corr;
+        ++counts[bs];
+      }
+    }
+    for (int b = 0; b < num_buckets; ++b) {
+      size_t bs = static_cast<size_t>(b);
+      if (counts[bs] == 0) continue;
+      double value = aggregation == SpatialAggregation::kAverage
+                         ? agg[bs] / counts[bs]
+                         : agg[bs];
+      per_bucket_values[bs].push_back(static_cast<float>(value));
+    }
+  }
+  return SummarizeBuckets(per_bucket_values, edges);
+}
+
+std::vector<BucketSummary> BestCorrelationByDistance(
+    const simnet::Topology& topology, const Matrix<float>& hourly_labels,
+    int num_best) {
+  const int n = topology.num_sectors();
+  HOTSPOT_CHECK_EQ(hourly_labels.rows(), n);
+  std::vector<double> edges = SpatialBucketEdges();
+  const int num_buckets = static_cast<int>(edges.size()) - 1;
+  std::vector<std::vector<float>> per_bucket_values(
+      static_cast<size_t>(num_buckets));
+
+  for (int i = 0; i < n; ++i) {
+    // All correlations from sector i.
+    std::vector<std::pair<float, int>> correlations;  // (corr, j)
+    correlations.reserve(static_cast<size_t>(n) - 1);
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double corr = PearsonCorrelation(hourly_labels.Row(i),
+                                       hourly_labels.Row(j),
+                                       hourly_labels.cols());
+      if (std::isnan(corr)) continue;
+      correlations.emplace_back(static_cast<float>(corr), j);
+    }
+    int take = std::min<int>(num_best, static_cast<int>(correlations.size()));
+    std::partial_sort(
+        correlations.begin(), correlations.begin() + take,
+        correlations.end(),
+        [](const auto& a, const auto& b) { return a.first > b.first; });
+
+    std::vector<double> best(static_cast<size_t>(num_buckets),
+                             std::nan(""));
+    for (int r = 0; r < take; ++r) {
+      auto [corr, j] = correlations[static_cast<size_t>(r)];
+      int bucket = BucketOf(topology.DistanceKm(i, j), edges);
+      size_t bs = static_cast<size_t>(bucket);
+      if (std::isnan(best[bs]) || corr > best[bs]) best[bs] = corr;
+    }
+    for (int b = 0; b < num_buckets; ++b) {
+      if (!std::isnan(best[static_cast<size_t>(b)])) {
+        per_bucket_values[static_cast<size_t>(b)].push_back(
+            static_cast<float>(best[static_cast<size_t>(b)]));
+      }
+    }
+  }
+  return SummarizeBuckets(per_bucket_values, edges);
+}
+
+}  // namespace hotspot

@@ -1,0 +1,94 @@
+#ifndef HOTSPOT_CORE_DYNAMICS_H_
+#define HOTSPOT_CORE_DYNAMICS_H_
+
+#include <string>
+#include <vector>
+
+#include "simnet/topology.h"
+#include "stats/histogram.h"
+#include "tensor/matrix.h"
+
+namespace hotspot {
+
+/// Duration statistics of Sec. III (Figs. 6-7).
+struct DurationStats {
+  explicit DurationStats(int weeks);
+
+  CountHistogram hours_per_day;      ///< Fig. 6A: hot hours per hot day
+  CountHistogram days_per_week;      ///< Fig. 6B: hot days per hot week
+  CountHistogram weeks_as_hotspot;   ///< Fig. 6C: hot weeks per hot sector
+  CountHistogram consecutive_hours;  ///< Fig. 7A
+  CountHistogram consecutive_days;   ///< Fig. 7B
+};
+
+/// Computes all duration histograms from the three label matrices
+/// (sector-days/weeks with zero hot samples are not counted, matching the
+/// paper's "as hot spot" phrasing).
+DurationStats ComputeDurationStats(const Matrix<float>& hourly_labels,
+                                   const Matrix<float>& daily_labels,
+                                   const Matrix<float>& weekly_labels);
+
+/// One row of Table II: a 7-day hot pattern and its relative count.
+struct WeeklyPattern {
+  int bits = 0;          ///< bit d set = hot on weekday d (0 = Monday)
+  long long count = 0;
+  double relative_count = 0.0;  ///< normalized excluding the all-zero pattern
+};
+
+/// Counts (sector, week) day-patterns of `daily_labels` (columns must be a
+/// multiple of 7, aligned to Monday) and returns the `top_k` most frequent
+/// non-empty patterns, with counts normalized over non-empty patterns
+/// (Table II's confidentiality convention).
+std::vector<WeeklyPattern> TopWeeklyPatterns(const Matrix<float>& daily_labels,
+                                             int top_k);
+
+/// "M T W T F S S"-style rendering, hyphen for non-hot days.
+std::string PatternString(int bits);
+
+/// Weekly-pattern temporal consistency (Sec. III): per sector, the
+/// correlation between its average week and each individual week.
+struct ConsistencyStats {
+  double mean = 0.0;
+  double p5 = 0.0, p25 = 0.0, p50 = 0.0, p75 = 0.0, p95 = 0.0;
+  long long count = 0;
+};
+
+ConsistencyStats WeeklyConsistency(const Matrix<float>& daily_labels);
+
+/// Box-plot summary of correlations inside one spatial distance bucket
+/// (Fig. 8): median, quartiles and 5/95 % whiskers across sectors.
+struct BucketSummary {
+  double lo_km = 0.0;
+  double hi_km = 0.0;
+  double median = 0.0;
+  double q25 = 0.0;
+  double q75 = 0.0;
+  double whisker_lo = 0.0;
+  double whisker_hi = 0.0;
+  int count = 0;
+};
+
+/// The logarithmically-spaced distance bucket edges used by Fig. 8; the
+/// first bucket [0, 0.05) holds same-tower sectors.
+std::vector<double> SpatialBucketEdges();
+
+enum class SpatialAggregation { kAverage, kMaximum };
+
+/// Fig. 8A/B: for every sector, correlate its hourly hot-spot sequence
+/// with its `num_neighbors` spatially closest sectors, aggregate per
+/// (sector, distance bucket) by mean or max, and summarize each bucket
+/// across sectors.
+std::vector<BucketSummary> SpatialCorrelationByDistance(
+    const simnet::Topology& topology, const Matrix<float>& hourly_labels,
+    int num_neighbors, SpatialAggregation aggregation);
+
+/// Fig. 8C: for every sector, find its `num_best` most correlated sectors
+/// anywhere in the country, then summarize the per-(sector, bucket)
+/// maxima.
+std::vector<BucketSummary> BestCorrelationByDistance(
+    const simnet::Topology& topology, const Matrix<float>& hourly_labels,
+    int num_best);
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_CORE_DYNAMICS_H_

@@ -1,0 +1,117 @@
+#include "core/evaluation.h"
+
+#include <cmath>
+#include <tuple>
+
+#include "core/baselines.h"
+#include "stats/average_precision.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hotspot {
+
+EvaluationRunner::EvaluationRunner(const Forecaster* forecaster,
+                                   ForecastConfig base)
+    : forecaster_(forecaster), base_(base) {
+  HOTSPOT_CHECK(forecaster != nullptr);
+}
+
+double EvaluationRunner::RandomAp(int t, int h) {
+  int day = t + h;
+  auto it = random_ap_by_day_.find(day);
+  if (it != random_ap_by_day_.end()) return it->second;
+
+  std::vector<float> labels = forecaster_->LabelsAtDay(day);
+  Rng rng(base_.seed ^ (static_cast<uint64_t>(day) * 0x9e3779b9ull));
+  double sum = 0.0;
+  int valid = 0;
+  for (int r = 0; r < random_repeats_; ++r) {
+    std::vector<float> scores =
+        RandomBaseline(static_cast<int>(labels.size()), &rng);
+    double ap = AveragePrecision(labels, scores);
+    if (!std::isnan(ap)) {
+      sum += ap;
+      ++valid;
+    }
+  }
+  double mean = valid > 0 ? sum / valid : std::nan("");
+  random_ap_by_day_[day] = mean;
+  return mean;
+}
+
+CellResult EvaluationRunner::Evaluate(ModelKind model, int t, int h, int w) {
+  ForecastConfig config = base_;
+  config.model = model;
+  config.t = t;
+  config.h = h;
+  config.w = w;
+  ForecastResult forecast = forecaster_->Run(config);
+
+  CellResult cell;
+  cell.model = model;
+  cell.t = t;
+  cell.h = h;
+  cell.w = w;
+  std::vector<float> labels = forecaster_->LabelsAtDay(t + h);
+  cell.average_precision = AveragePrecision(labels, forecast.predictions);
+  cell.lift = Lift(cell.average_precision, RandomAp(t, h));
+  return cell;
+}
+
+MeanCi AggregateLiftOverT(const std::vector<CellResult>& cells,
+                          ModelKind model, int h, int w) {
+  std::vector<double> lifts;
+  for (const CellResult& cell : cells) {
+    if (cell.model != model || cell.h != h || cell.w != w) continue;
+    if (std::isnan(cell.lift)) continue;
+    lifts.push_back(cell.lift);
+  }
+  return MeanWithCi95(lifts);
+}
+
+MeanCi AggregateDeltaOverT(const std::vector<CellResult>& cells,
+                           ModelKind model, ModelKind reference, int h,
+                           int w) {
+  // Pair by t.
+  std::map<int, double> model_lift;
+  std::map<int, double> reference_lift;
+  for (const CellResult& cell : cells) {
+    if (cell.h != h || cell.w != w) continue;
+    if (cell.model == model) model_lift[cell.t] = cell.lift;
+    if (cell.model == reference) reference_lift[cell.t] = cell.lift;
+  }
+  std::vector<double> deltas;
+  for (const auto& [t, lift] : model_lift) {
+    auto it = reference_lift.find(t);
+    if (it == reference_lift.end()) continue;
+    double delta = RelativeImprovement(it->second, lift);
+    if (!std::isnan(delta)) deltas.push_back(delta);
+  }
+  return MeanWithCi95(deltas);
+}
+
+std::vector<double> TemporalStabilityPValues(
+    const std::vector<CellResult>& cells, int t_mid) {
+  // Group ψ by (model, h, w).
+  std::map<std::tuple<int, int, int>, std::pair<std::vector<double>,
+                                                std::vector<double>>>
+      groups;
+  for (const CellResult& cell : cells) {
+    if (std::isnan(cell.average_precision)) continue;
+    auto key = std::make_tuple(static_cast<int>(cell.model), cell.h, cell.w);
+    if (cell.t <= t_mid) {
+      groups[key].first.push_back(cell.average_precision);
+    } else {
+      groups[key].second.push_back(cell.average_precision);
+    }
+  }
+  std::vector<double> p_values;
+  for (const auto& [key, split] : groups) {
+    if (split.first.empty() || split.second.empty()) continue;
+    KsResult result = KolmogorovSmirnovTest(split.first, split.second);
+    p_values.push_back(result.p_value);
+  }
+  return p_values;
+}
+
+}  // namespace hotspot

@@ -1,0 +1,71 @@
+#ifndef HOTSPOT_CORE_EVALUATION_H_
+#define HOTSPOT_CORE_EVALUATION_H_
+
+#include <map>
+#include <vector>
+
+#include "core/forecaster.h"
+#include "stats/confidence.h"
+#include "stats/ks_test.h"
+
+namespace hotspot {
+
+/// One evaluated grid cell: a model at (t, h, w) scored against the true
+/// labels of day t+h.
+struct CellResult {
+  ModelKind model = ModelKind::kRandom;
+  int t = 0;
+  int h = 0;
+  int w = 0;
+  double average_precision = 0.0;  ///< ψ
+  double lift = 0.0;               ///< Λ = ψ / ψ(Random)
+};
+
+/// Evaluates forecasts with the paper's protocol (Sec. IV-B): rank sectors
+/// by Ŷ, compute average precision ψ against the labels of day t+h, and
+/// report the lift Λ over the empirical random model.
+class EvaluationRunner {
+ public:
+  /// `base` supplies everything but (model, t, h, w); those are filled per
+  /// Evaluate call.
+  EvaluationRunner(const Forecaster* forecaster, ForecastConfig base);
+
+  /// Runs one (model, t, h, w) cell. The random reference ψ(F₀) is the
+  /// mean AP of `random_repeats` independent random rankings of the same
+  /// labels (cached per (t, h)).
+  CellResult Evaluate(ModelKind model, int t, int h, int w);
+
+  /// The cached ψ(F₀) for the labels at day t+h.
+  double RandomAp(int t, int h);
+
+  /// Number of random rankings averaged for ψ(F₀).
+  void set_random_repeats(int repeats) { random_repeats_ = repeats; }
+
+ private:
+  const Forecaster* forecaster_;
+  ForecastConfig base_;
+  int random_repeats_ = 11;
+  std::map<int, double> random_ap_by_day_;  ///< keyed by t+h
+};
+
+/// Mean lift with a 95 % CI across the t axis for a fixed (model, h, w)
+/// (the shaded series of Figs. 9-14). Cells with NaN lift are skipped.
+MeanCi AggregateLiftOverT(const std::vector<CellResult>& cells,
+                          ModelKind model, int h, int w);
+
+/// Mean ratio ∆ of `model` over `reference` with a 95 % CI across t,
+/// pairing cells by t (Figs. 10/12).
+MeanCi AggregateDeltaOverT(const std::vector<CellResult>& cells,
+                           ModelKind model, ModelKind reference, int h,
+                           int w);
+
+/// The temporal-stability analysis of Sec. V-A: for every (model, h, w)
+/// present in `cells`, split the ψ values by t into [t_split_low, t_mid]
+/// and (t_mid, t_split_high] and run a two-sample KS test. Returns the
+/// p-values of all combinations.
+std::vector<double> TemporalStabilityPValues(
+    const std::vector<CellResult>& cells, int t_mid);
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_CORE_EVALUATION_H_

@@ -1,0 +1,239 @@
+#include "core/forecaster.h"
+
+#include "core/baselines.h"
+#include "features/window.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hotspot {
+
+const char* ModelName(ModelKind model) {
+  switch (model) {
+    case ModelKind::kRandom:
+      return "Random";
+    case ModelKind::kPersist:
+      return "Persist";
+    case ModelKind::kAverage:
+      return "Average";
+    case ModelKind::kTrend:
+      return "Trend";
+    case ModelKind::kTree:
+      return "Tree";
+    case ModelKind::kRfRaw:
+      return "RF-R";
+    case ModelKind::kRfF1:
+      return "RF-F1";
+    case ModelKind::kRfF2:
+      return "RF-F2";
+    case ModelKind::kGbdt:
+      return "GBDT";
+  }
+  return "unknown";
+}
+
+std::vector<ModelKind> PaperModels() {
+  return {ModelKind::kRandom, ModelKind::kPersist, ModelKind::kAverage,
+          ModelKind::kTrend,  ModelKind::kTree,    ModelKind::kRfRaw,
+          ModelKind::kRfF1,   ModelKind::kRfF2};
+}
+
+const char* TargetName(TargetKind target) {
+  switch (target) {
+    case TargetKind::kBeHotSpot:
+      return "be_hot_spot";
+    case TargetKind::kBecomeHotSpot:
+      return "become_hot_spot";
+  }
+  return "unknown";
+}
+
+Forecaster::Forecaster(const features::FeatureTensor* features,
+                       const Matrix<float>* daily_scores,
+                       const Matrix<float>* target_labels)
+    : features_(features), daily_scores_(daily_scores),
+      target_labels_(target_labels) {
+  HOTSPOT_CHECK(features != nullptr);
+  HOTSPOT_CHECK(daily_scores != nullptr);
+  HOTSPOT_CHECK(target_labels != nullptr);
+  HOTSPOT_CHECK_EQ(features->num_sectors(), daily_scores->rows());
+  HOTSPOT_CHECK_EQ(features->num_sectors(), target_labels->rows());
+  HOTSPOT_CHECK_EQ(daily_scores->cols(), target_labels->cols());
+}
+
+int Forecaster::num_sectors() const { return features_->num_sectors(); }
+
+std::vector<float> Forecaster::LabelsAtDay(int day) const {
+  HOTSPOT_CHECK(day >= 0 && day < target_labels_->cols());
+  std::vector<float> labels(static_cast<size_t>(num_sectors()));
+  for (int i = 0; i < num_sectors(); ++i) {
+    float value = target_labels_->At(i, day);
+    labels[static_cast<size_t>(i)] = IsMissing(value) ? 0.0f : value;
+  }
+  return labels;
+}
+
+const features::FeatureExtractor* Forecaster::ExtractorFor(
+    ModelKind model) const {
+  switch (model) {
+    case ModelKind::kTree:
+    case ModelKind::kRfRaw:
+    case ModelKind::kGbdt:
+      return &raw_extractor_;
+    case ModelKind::kRfF1:
+      return &percentile_extractor_;
+    case ModelKind::kRfF2:
+      return &handcrafted_extractor_;
+    default:
+      return nullptr;
+  }
+}
+
+ml::Dataset Forecaster::BuildTrainingSet(
+    const ForecastConfig& config,
+    const features::FeatureExtractor& extractor) const {
+  const int n = num_sectors();
+  const int channels = features_->num_channels();
+  const int dim = extractor.OutputDim(config.w, channels);
+
+  // Pooled target days: t, t - stride, t - 2*stride, ... as long as the
+  // h-delayed window still fits into the data (day t always fits, which
+  // Run() checks).
+  std::vector<int> label_days;
+  for (int pooled = 0; pooled < config.training_days; ++pooled) {
+    int label_day = config.t - pooled * config.training_day_stride;
+    if (label_day - config.h - config.w < 0) break;
+    label_days.push_back(label_day);
+  }
+  HOTSPOT_CHECK(!label_days.empty());
+  const int rows = n * static_cast<int>(label_days.size());
+
+  ml::Dataset data;
+  data.features = Matrix<float>(rows, dim);
+  data.labels.resize(static_cast<size_t>(rows));
+
+  std::vector<float> row;
+  int out_row = 0;
+  for (int label_day : label_days) {
+    int window_end = label_day - config.h;
+    HOTSPOT_CHECK_LT(label_day, target_labels_->cols());
+    for (int i = 0; i < n; ++i) {
+      Matrix<float> window =
+          features::ExtractWindow(*features_, i, window_end, config.w);
+      extractor.Extract(window, &row);
+      HOTSPOT_CHECK_EQ(static_cast<int>(row.size()), dim);
+      float* dst = data.features.Row(out_row);
+      for (int c = 0; c < dim; ++c) dst[c] = row[static_cast<size_t>(c)];
+      float label = target_labels_->At(i, label_day);
+      data.labels[static_cast<size_t>(out_row)] =
+          (!IsMissing(label) && label != 0.0f) ? 1.0f : 0.0f;
+      ++out_row;
+    }
+  }
+  data.weights = ml::BalancedWeights(data.labels);
+  return data;
+}
+
+Matrix<float> Forecaster::BuildPredictionRows(
+    const ForecastConfig& config,
+    const features::FeatureExtractor& extractor) const {
+  const int n = num_sectors();
+  const int channels = features_->num_channels();
+  const int dim = extractor.OutputDim(config.w, channels);
+  Matrix<float> rows(n, dim);
+  std::vector<float> row;
+  for (int i = 0; i < n; ++i) {
+    Matrix<float> window =
+        features::ExtractWindow(*features_, i, config.t, config.w);
+    extractor.Extract(window, &row);
+    float* dst = rows.Row(i);
+    for (int c = 0; c < dim; ++c) dst[c] = row[static_cast<size_t>(c)];
+  }
+  return rows;
+}
+
+ForecastResult Forecaster::Run(const ForecastConfig& config) const {
+  HOTSPOT_CHECK_GE(config.h, 1);
+  HOTSPOT_CHECK_GE(config.w, 1);
+  HOTSPOT_CHECK_GE(config.training_days, 1);
+  HOTSPOT_CHECK_GE(config.training_day_stride, 1);
+  HOTSPOT_CHECK_GE(config.t - config.h - config.w, 0);
+  HOTSPOT_CHECK_LT(config.t, target_labels_->cols());
+
+  ForecastResult result;
+  result.model = config.model;
+
+  // Deterministic per-(model, t, h, w) seed stream.
+  Rng seeder(config.seed ^
+             (static_cast<uint64_t>(config.t) << 40) ^
+             (static_cast<uint64_t>(config.h) << 24) ^
+             (static_cast<uint64_t>(config.w) << 8) ^
+             static_cast<uint64_t>(config.model));
+
+  switch (config.model) {
+    case ModelKind::kRandom: {
+      Rng rng = seeder.Fork(1);
+      result.predictions = RandomBaseline(num_sectors(), &rng);
+      return result;
+    }
+    case ModelKind::kPersist:
+      result.predictions = PersistBaseline(*target_labels_, config.t);
+      return result;
+    case ModelKind::kAverage:
+      result.predictions =
+          AverageBaseline(*daily_scores_, config.t, config.w);
+      return result;
+    case ModelKind::kTrend:
+      result.predictions = TrendBaseline(*daily_scores_, config.t, config.w);
+      return result;
+    default:
+      break;
+  }
+
+  const features::FeatureExtractor& extractor =
+      *ExtractorFor(config.model);
+  ForecastConfig training_config = config;
+  if (config.model == ModelKind::kTree && config.tree_training_days > 0) {
+    training_config.training_days = config.tree_training_days;
+  }
+  ml::Dataset train = BuildTrainingSet(training_config, extractor);
+
+  std::unique_ptr<ml::BinaryClassifier> classifier;
+  switch (config.model) {
+    case ModelKind::kTree: {
+      ml::TreeConfig tree = config.tree;
+      tree.seed = seeder.NextUint64();
+      classifier = std::make_unique<ml::DecisionTree>(tree);
+      break;
+    }
+    case ModelKind::kRfRaw:
+    case ModelKind::kRfF1:
+    case ModelKind::kRfF2: {
+      ml::ForestConfig forest = config.forest;
+      forest.seed = seeder.NextUint64();
+      classifier = std::make_unique<ml::RandomForest>(forest);
+      break;
+    }
+    case ModelKind::kGbdt: {
+      ml::GbdtConfig gbdt = config.gbdt;
+      gbdt.seed = seeder.NextUint64();
+      classifier = std::make_unique<ml::Gbdt>(gbdt);
+      break;
+    }
+    default:
+      HOTSPOT_CHECK(false) << "not a classifier model";
+  }
+
+  classifier->Fit(train);
+
+  Matrix<float> prediction_rows = BuildPredictionRows(config, extractor);
+  result.predictions.resize(static_cast<size_t>(num_sectors()));
+  for (int i = 0; i < num_sectors(); ++i) {
+    result.predictions[static_cast<size_t>(i)] =
+        static_cast<float>(classifier->PredictProba(prediction_rows.Row(i)));
+  }
+  result.importances = classifier->FeatureImportances();
+  result.feature_dim = prediction_rows.cols();
+  return result;
+}
+
+}  // namespace hotspot

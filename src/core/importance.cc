@@ -1,0 +1,110 @@
+#include "core/importance.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "features/raw_features.h"
+#include "tensor/temporal.h"
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace hotspot {
+
+ImportanceMap ImportanceMap::FromForecast(
+    const features::FeatureTensor& source,
+    const features::FeatureExtractor& extractor,
+    const std::vector<double>& importances, int window_days) {
+  const int channels = source.num_channels();
+  HOTSPOT_CHECK_EQ(static_cast<int>(importances.size()),
+                   extractor.OutputDim(window_days, channels));
+  ImportanceMap map;
+  // Hour attribution is only defined for the raw extractor, whose output
+  // index factorizes as hour * channels + channel.
+  const bool raw =
+      dynamic_cast<const features::RawExtractor*>(&extractor) != nullptr;
+  int rows = raw ? window_days * kHoursPerDay : 1;
+  map.grid_ = Matrix<double>(rows, channels, 0.0);
+  for (int index = 0; index < static_cast<int>(importances.size());
+       ++index) {
+    int channel = extractor.SourceChannel(index, window_days, channels);
+    int hour = raw ? features::RawExtractor::SourceHour(index, channels) : 0;
+    map.grid_.At(hour, channel) += importances[static_cast<size_t>(index)];
+  }
+  return map;
+}
+
+ImportanceMap ImportanceMap::Average(const std::vector<ImportanceMap>& maps) {
+  HOTSPOT_CHECK(!maps.empty());
+  ImportanceMap average;
+  average.grid_ = Matrix<double>(maps[0].grid_.rows(),
+                                 maps[0].grid_.cols(), 0.0);
+  for (const ImportanceMap& map : maps) {
+    HOTSPOT_CHECK_EQ(map.grid_.rows(), average.grid_.rows());
+    HOTSPOT_CHECK_EQ(map.grid_.cols(), average.grid_.cols());
+    for (size_t idx = 0; idx < map.grid_.data().size(); ++idx) {
+      average.grid_.data()[idx] +=
+          map.grid_.data()[idx] / static_cast<double>(maps.size());
+    }
+  }
+  return average;
+}
+
+double ImportanceMap::ChannelTotal(int channel) const {
+  HOTSPOT_CHECK(channel >= 0 && channel < grid_.cols());
+  double total = 0.0;
+  for (int row = 0; row < grid_.rows(); ++row) {
+    total += grid_.At(row, channel);
+  }
+  return total;
+}
+
+double ImportanceMap::GroupTotal(const features::FeatureTensor& source,
+                                 features::FeatureGroup group) const {
+  HOTSPOT_CHECK_EQ(source.num_channels(), grid_.cols());
+  double total = 0.0;
+  for (int channel = 0; channel < grid_.cols(); ++channel) {
+    if (source.ChannelGroup(channel) == group) {
+      total += ChannelTotal(channel);
+    }
+  }
+  return total;
+}
+
+double ImportanceMap::LateWindowShare(int channel, int days) const {
+  if (!has_hour_attribution()) return 0.0;
+  double total = ChannelTotal(channel);
+  if (total <= 0.0) return 0.0;
+  int cutoff = std::max(0, grid_.rows() - days * kHoursPerDay);
+  double late = 0.0;
+  for (int row = cutoff; row < grid_.rows(); ++row) {
+    late += grid_.At(row, channel);
+  }
+  return late / total;
+}
+
+std::vector<int> ImportanceMap::RankedChannels() const {
+  std::vector<int> order(static_cast<size_t>(grid_.cols()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+    return ChannelTotal(a) > ChannelTotal(b);
+  });
+  return order;
+}
+
+std::string ImportanceMap::ToTable(const features::FeatureTensor& source,
+                                   int top_k) const {
+  HOTSPOT_CHECK_EQ(source.num_channels(), grid_.cols());
+  TextTable table({"rank", "channel", "group", "importance",
+                   "late-window share"});
+  std::vector<int> ranked = RankedChannels();
+  for (int r = 0; r < top_k && r < static_cast<int>(ranked.size()); ++r) {
+    int channel = ranked[static_cast<size_t>(r)];
+    table.AddRow({std::to_string(r + 1), source.ChannelName(channel),
+                  features::FeatureGroupName(source.ChannelGroup(channel)),
+                  FormatNumber(ChannelTotal(channel), 3),
+                  FormatNumber(LateWindowShare(channel, 2), 3)});
+  }
+  return table.ToString();
+}
+
+}  // namespace hotspot

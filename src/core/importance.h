@@ -1,0 +1,64 @@
+#ifndef HOTSPOT_CORE_IMPORTANCE_H_
+#define HOTSPOT_CORE_IMPORTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/forecaster.h"
+#include "features/feature_tensor.h"
+#include "tensor/matrix.h"
+
+namespace hotspot {
+
+/// Aggregated view of a classifier's flat feature importances, resolved
+/// back to the (window hour j, input channel k) grid of Figs. 15-16 and to
+/// channel/group totals. Works for any of the library's extractors via
+/// FeatureExtractor::SourceChannel.
+class ImportanceMap {
+ public:
+  /// Builds the map from one forecast's importances. For the raw extractor
+  /// the (hour, channel) grid is exact; for summary extractors (RF-F1/F2)
+  /// hour attribution is unavailable and only channel totals are filled
+  /// (the grid collapses to one row).
+  static ImportanceMap FromForecast(const features::FeatureTensor& source,
+                                    const features::FeatureExtractor& extractor,
+                                    const std::vector<double>& importances,
+                                    int window_days);
+
+  /// Averages several maps (e.g., across forecast days t). All maps must
+  /// share shapes.
+  static ImportanceMap Average(const std::vector<ImportanceMap>& maps);
+
+  /// Importance mass of channel k summed over the window.
+  double ChannelTotal(int channel) const;
+
+  /// Importance mass of one feature group.
+  double GroupTotal(const features::FeatureTensor& source,
+                    features::FeatureGroup group) const;
+
+  /// Fraction of a channel's mass in the last `days` days of the window
+  /// (Fig. 15's "importance increases as we get closer to the present").
+  /// Returns 0 for channels without mass or when hour attribution is
+  /// unavailable.
+  double LateWindowShare(int channel, int days) const;
+
+  /// Channels ordered by descending total importance.
+  std::vector<int> RankedChannels() const;
+
+  /// The (hours x channels) grid; one row when hour attribution is
+  /// unavailable.
+  const Matrix<double>& grid() const { return grid_; }
+  bool has_hour_attribution() const { return grid_.rows() > 1; }
+  int num_channels() const { return grid_.cols(); }
+
+  /// Renders the top-k channels as an aligned text table.
+  std::string ToTable(const features::FeatureTensor& source,
+                      int top_k = 12) const;
+
+ private:
+  Matrix<double> grid_;  // hours (or 1) x channels
+};
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_CORE_IMPORTANCE_H_

@@ -1,0 +1,53 @@
+#include "core/labels.h"
+
+#include "tensor/temporal.h"
+#include "util/logging.h"
+
+namespace hotspot {
+
+Matrix<float> HotSpotLabels(const Matrix<float>& scores, double epsilon) {
+  Matrix<float> labels(scores.rows(), scores.cols(), 0.0f);
+  for (int i = 0; i < scores.rows(); ++i) {
+    const float* src = scores.Row(i);
+    float* dst = labels.Row(i);
+    for (int j = 0; j < scores.cols(); ++j) {
+      if (!IsMissing(src[j]) && src[j] >= epsilon) dst[j] = 1.0f;
+    }
+  }
+  return labels;
+}
+
+Matrix<float> BecomeHotSpotLabels(const Matrix<float>& daily_scores,
+                                  double epsilon) {
+  const int n = daily_scores.rows();
+  const int days = daily_scores.cols();
+  Matrix<float> labels(n, days, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    std::vector<float> series = daily_scores.RowVector(i);
+    for (int j = 0; j + kDaysPerWeek < days; ++j) {
+      double week_before = TrailingMean(j, kDaysPerWeek, series);
+      double week_after =
+          TrailingMean(j + kDaysPerWeek, kDaysPerWeek, series);
+      float today = series[static_cast<size_t>(j)];
+      float tomorrow = series[static_cast<size_t>(j + 1)];
+      bool positive =
+          !std::isnan(week_before) && week_before < epsilon &&
+          !std::isnan(week_after) && week_after >= epsilon &&
+          !IsMissing(today) && today < epsilon &&
+          !IsMissing(tomorrow) && tomorrow >= epsilon;
+      if (positive) labels.At(i, j) = 1.0f;
+    }
+  }
+  return labels;
+}
+
+double PositiveRate(const Matrix<float>& labels) {
+  if (labels.size() == 0) return 0.0;
+  double positives = 0.0;
+  for (float y : labels.data()) {
+    if (y != 0.0f) positives += 1.0;
+  }
+  return positives / static_cast<double>(labels.size());
+}
+
+}  // namespace hotspot

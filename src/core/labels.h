@@ -1,0 +1,29 @@
+#ifndef HOTSPOT_CORE_LABELS_H_
+#define HOTSPOT_CORE_LABELS_H_
+
+#include "tensor/matrix.h"
+
+namespace hotspot {
+
+/// Binary hot-spot labels (Eq. 4): Y = H(S − ε) applied elementwise to an
+/// integrated score matrix. NaN scores yield label 0 (a sector can only be
+/// declared hot on evidence).
+Matrix<float> HotSpotLabels(const Matrix<float>& scores, double epsilon);
+
+/// "Become a hot spot" labels (Sec. IV-A) on the daily score matrix:
+/// day j is a positive for sector i when
+///   * the weekly mean ending at day j is NOT hot:   µ(j, 7, S) < ε
+///   * the weekly mean of days j+1..j+7 IS hot:      µ(j+7, 7, S) ≥ ε
+///   * day j itself is not hot and day j+1 is:       S_j < ε ≤ S_{j+1}
+/// (the prose-consistent orientation of the paper's formula; see
+/// DESIGN.md for the discrepancy note). Days without a full look-ahead
+/// week are 0. NaN scores make the affected condition fail.
+Matrix<float> BecomeHotSpotLabels(const Matrix<float>& daily_scores,
+                                  double epsilon);
+
+/// Fraction of positive labels (prevalence). NaN-free input expected.
+double PositiveRate(const Matrix<float>& labels);
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_CORE_LABELS_H_

@@ -1,0 +1,29 @@
+#ifndef HOTSPOT_CORE_SCORE_H_
+#define HOTSPOT_CORE_SCORE_H_
+
+#include "core/config.h"
+#include "tensor/matrix.h"
+#include "tensor/tensor3.h"
+
+namespace hotspot {
+
+/// The hot-spot score at the three temporal resolutions of Sec. II-B.
+struct ScoreSet {
+  Matrix<float> hourly;  ///< S^h, sectors x hours (the normalized S')
+  Matrix<float> daily;   ///< S^d, sectors x days
+  Matrix<float> weekly;  ///< S^w, sectors x weeks
+};
+
+/// Computes the hourly operator score S' (Eq. 1), normalized into [0, 1]
+/// by the weight of the indicators actually present at that hour (missing
+/// KPI values neither trip nor count). Returns NaN for hours where every
+/// KPI is missing.
+Matrix<float> ComputeHourlyScore(const Tensor3<float>& kpis,
+                                 const ScoreConfig& config);
+
+/// Computes S^h and its daily/weekly integrations (Eq. 2).
+ScoreSet ComputeScores(const Tensor3<float>& kpis, const ScoreConfig& config);
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_CORE_SCORE_H_

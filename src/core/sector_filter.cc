@@ -1,0 +1,84 @@
+#include "core/sector_filter.h"
+
+#include "tensor/temporal.h"
+#include "util/logging.h"
+
+namespace hotspot {
+
+std::vector<bool> SectorFilterMask(const Tensor3<float>& kpis,
+                                   double max_missing_fraction) {
+  const int n = kpis.dim0();
+  const int hours = kpis.dim1();
+  const int l = kpis.dim2();
+  std::vector<bool> keep(static_cast<size_t>(n), true);
+  if (hours < kHoursPerWeek) return keep;
+
+  std::vector<int> missing_per_hour(static_cast<size_t>(hours));
+  for (int i = 0; i < n; ++i) {
+    // Missing cells per hour, then a sliding one-week sum.
+    for (int j = 0; j < hours; ++j) {
+      const float* slice = kpis.Slice(i, j);
+      int missing = 0;
+      for (int k = 0; k < l; ++k) {
+        if (IsMissing(slice[k])) ++missing;
+      }
+      missing_per_hour[static_cast<size_t>(j)] = missing;
+    }
+    long long window = 0;
+    const long long cells_per_week =
+        static_cast<long long>(kHoursPerWeek) * l;
+    for (int j = 0; j < kHoursPerWeek; ++j) {
+      window += missing_per_hour[static_cast<size_t>(j)];
+    }
+    bool discard = window > max_missing_fraction * cells_per_week;
+    for (int j = kHoursPerWeek; j < hours && !discard; ++j) {
+      window += missing_per_hour[static_cast<size_t>(j)] -
+                missing_per_hour[static_cast<size_t>(j - kHoursPerWeek)];
+      discard = window > max_missing_fraction * cells_per_week;
+    }
+    keep[static_cast<size_t>(i)] = !discard;
+  }
+  return keep;
+}
+
+Tensor3<float> FilterSectors(const Tensor3<float>& kpis,
+                             const std::vector<bool>& keep) {
+  HOTSPOT_CHECK_EQ(static_cast<int>(keep.size()), kpis.dim0());
+  int kept = 0;
+  for (bool k : keep) {
+    if (k) ++kept;
+  }
+  Tensor3<float> filtered(kept, kpis.dim1(), kpis.dim2());
+  int row = 0;
+  for (int i = 0; i < kpis.dim0(); ++i) {
+    if (!keep[static_cast<size_t>(i)]) continue;
+    for (int j = 0; j < kpis.dim1(); ++j) {
+      const float* src = kpis.Slice(i, j);
+      float* dst = filtered.Slice(row, j);
+      for (int k = 0; k < kpis.dim2(); ++k) dst[k] = src[k];
+    }
+    ++row;
+  }
+  return filtered;
+}
+
+Matrix<float> FilterRows(const Matrix<float>& matrix,
+                         const std::vector<bool>& keep) {
+  HOTSPOT_CHECK_EQ(static_cast<int>(keep.size()), matrix.rows());
+  int kept = 0;
+  for (bool k : keep) {
+    if (k) ++kept;
+  }
+  Matrix<float> filtered(kept, matrix.cols());
+  int row = 0;
+  for (int i = 0; i < matrix.rows(); ++i) {
+    if (!keep[static_cast<size_t>(i)]) continue;
+    const float* src = matrix.Row(i);
+    float* dst = filtered.Row(row);
+    for (int j = 0; j < matrix.cols(); ++j) dst[j] = src[j];
+    ++row;
+  }
+  return filtered;
+}
+
+}  // namespace hotspot

@@ -1,0 +1,27 @@
+#ifndef HOTSPOT_CORE_SECTOR_FILTER_H_
+#define HOTSPOT_CORE_SECTOR_FILTER_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/tensor3.h"
+
+namespace hotspot {
+
+/// The sector-filtering rule of Sec. II-C: a sector is discarded when more
+/// than `max_missing_fraction` of its KPI cells are missing within any
+/// sliding one-week window. Returns keep[i] = true for survivors.
+std::vector<bool> SectorFilterMask(const Tensor3<float>& kpis,
+                                   double max_missing_fraction = 0.5);
+
+/// Copies the kept sectors of a tensor into a new, smaller tensor.
+Tensor3<float> FilterSectors(const Tensor3<float>& kpis,
+                             const std::vector<bool>& keep);
+
+/// Copies the kept rows of a (sectors x time) matrix.
+Matrix<float> FilterRows(const Matrix<float>& matrix,
+                         const std::vector<bool>& keep);
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_CORE_SECTOR_FILTER_H_

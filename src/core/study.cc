@@ -1,0 +1,90 @@
+#include "core/study.h"
+
+#include <cmath>
+
+#include "core/labels.h"
+#include "core/sector_filter.h"
+#include "util/logging.h"
+
+namespace hotspot {
+
+Study BuildStudy(const simnet::GeneratorConfig& generator_config,
+                 const StudyOptions& options) {
+  return BuildStudyFromNetwork(simnet::GenerateNetwork(generator_config),
+                               options);
+}
+
+Study BuildStudyFromNetwork(simnet::SyntheticNetwork network,
+                            const StudyOptions& options) {
+  Study study;
+
+  // 1. Sector filtering (Sec. II-C).
+  std::vector<bool> keep = SectorFilterMask(network.kpis);
+  int kept = 0;
+  for (bool k : keep) {
+    if (k) ++kept;
+  }
+  study.sectors_filtered_out = network.num_sectors() - kept;
+  if (study.sectors_filtered_out > 0) {
+    network.kpis = FilterSectors(network.kpis, keep);
+    network.true_load = FilterRows(network.true_load, keep);
+    network.true_failure = FilterRows(network.true_failure, keep);
+    network.true_degradation = FilterRows(network.true_degradation, keep);
+    network.true_precursor = FilterRows(network.true_precursor, keep);
+    network.topology = network.topology.Filtered(keep);
+    std::vector<simnet::SectorTraits> traits;
+    for (size_t i = 0; i < keep.size(); ++i) {
+      if (keep[i]) traits.push_back(network.traits[i]);
+    }
+    network.traits = std::move(traits);
+    // Event lists keep original ids; ground-truth consumers should use the
+    // matrices, which are filtered consistently.
+  }
+
+  // 2. Imputation.
+  switch (options.imputation) {
+    case ImputationKind::kAutoencoder: {
+      nn::KpiImputer imputer(options.imputer);
+      study.imputer_report = imputer.FitAndImpute(&network.kpis);
+      // The autoencoder only covers whole slices; guarantee completeness.
+      nn::ImputeForwardFill(&network.kpis);
+      break;
+    }
+    case ImputationKind::kForwardFill:
+      nn::ImputeForwardFill(&network.kpis);
+      break;
+    case ImputationKind::kFeatureMean:
+      nn::ImputeFeatureMean(&network.kpis);
+      break;
+    case ImputationKind::kNone:
+      break;
+  }
+
+  // 3. Scores and labels.
+  study.score_config = ScoreConfigFromCatalog(network.catalog);
+  if (!std::isnan(options.hot_threshold_override)) {
+    study.score_config.hot_threshold = options.hot_threshold_override;
+  }
+  study.scores = ComputeScores(network.kpis, study.score_config);
+  double epsilon = study.score_config.hot_threshold;
+  study.hourly_labels = HotSpotLabels(study.scores.hourly, epsilon);
+  study.daily_labels = HotSpotLabels(study.scores.daily, epsilon);
+  study.weekly_labels = HotSpotLabels(study.scores.weekly, epsilon);
+  study.become_labels = BecomeHotSpotLabels(study.scores.daily, epsilon);
+
+  // 4. The X tensor (Eq. 5).
+  std::vector<std::string> kpi_names;
+  kpi_names.reserve(static_cast<size_t>(network.catalog.size()));
+  for (const simnet::KpiSpec& spec : network.catalog.specs()) {
+    kpi_names.push_back(spec.name);
+  }
+  study.features = features::FeatureTensor::Build(
+      network.kpis, network.calendar_matrix, study.scores.hourly,
+      study.scores.daily, study.scores.weekly, study.daily_labels,
+      kpi_names);
+
+  study.network = std::move(network);
+  return study;
+}
+
+}  // namespace hotspot

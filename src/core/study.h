@@ -1,0 +1,72 @@
+#ifndef HOTSPOT_CORE_STUDY_H_
+#define HOTSPOT_CORE_STUDY_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/forecaster.h"
+#include "core/score.h"
+#include "features/feature_tensor.h"
+#include "nn/imputer.h"
+#include "simnet/generator.h"
+#include "tensor/matrix.h"
+
+namespace hotspot {
+
+/// How missing values are handled before scoring (Sec. II-C; the
+/// autoencoder is the paper's method, the others are ablation baselines).
+enum class ImputationKind { kAutoencoder, kForwardFill, kFeatureMean, kNone };
+
+/// End-to-end preprocessing options.
+struct StudyOptions {
+  ImputationKind imputation = ImputationKind::kForwardFill;
+  /// Autoencoder settings (used when imputation == kAutoencoder). The
+  /// defaults keep bench runtimes sane; raise epochs for fidelity.
+  nn::ImputerConfig imputer;
+  /// Overrides the hot threshold ε (NaN = use the score config default).
+  double hot_threshold_override = std::nan("");
+};
+
+/// Everything the paper's analyses and forecasts consume, derived from a
+/// synthetic network by the standard pipeline:
+///   sector filter → imputation → S'/S^d/S^w → Y labels → X tensor.
+struct Study {
+  simnet::SyntheticNetwork network;   ///< post-filter network (ground truth)
+  ScoreConfig score_config;
+  ScoreSet scores;                    ///< hourly/daily/weekly
+  Matrix<float> hourly_labels;        ///< Y^h
+  Matrix<float> daily_labels;         ///< Y^d
+  Matrix<float> weekly_labels;        ///< Y^w
+  Matrix<float> become_labels;        ///< "become a hot spot" (daily)
+  features::FeatureTensor features;   ///< X (Eq. 5)
+  int sectors_filtered_out = 0;
+  nn::ImputerReport imputer_report;   ///< meaningful for kAutoencoder
+
+  int num_sectors() const { return network.num_sectors(); }
+  int num_days() const { return daily_labels.cols(); }
+  int num_weeks() const { return weekly_labels.cols(); }
+
+  /// Target-label matrix for a scenario.
+  const Matrix<float>& TargetLabels(TargetKind target) const {
+    return target == TargetKind::kBeHotSpot ? daily_labels : become_labels;
+  }
+
+  /// Builds a Forecaster bound to this study's tensors for a scenario.
+  Forecaster MakeForecaster(TargetKind target) const {
+    return Forecaster(&features, &scores.daily, &TargetLabels(target));
+  }
+};
+
+/// Runs the full pipeline on a freshly generated network.
+Study BuildStudy(const simnet::GeneratorConfig& generator_config,
+                 const StudyOptions& options = {});
+
+/// Runs the full pipeline on an already generated network (consumed).
+Study BuildStudyFromNetwork(simnet::SyntheticNetwork network,
+                            const StudyOptions& options = {});
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_CORE_STUDY_H_

@@ -1,0 +1,57 @@
+#include "core/task.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace hotspot {
+
+ParameterGrid ParameterGrid::Paper() {
+  ParameterGrid grid;
+  grid.models = PaperModels();
+  for (int t = 52; t <= 87; ++t) grid.t_values.push_back(t);
+  grid.h_values = {1, 2, 3, 4, 5, 7, 8, 10, 12, 14, 16, 19, 22, 26, 29};
+  grid.w_values = {1, 2, 3, 5, 7, 10, 14, 21};
+  return grid;
+}
+
+ParameterGrid ParameterGrid::Subsampled(int t_stride,
+                                        std::vector<int> h_subset,
+                                        std::vector<int> w_subset) {
+  HOTSPOT_CHECK_GE(t_stride, 1);
+  ParameterGrid grid = Paper();
+  std::vector<int> t_values;
+  for (size_t index = 0; index < grid.t_values.size(); index += t_stride) {
+    t_values.push_back(grid.t_values[index]);
+  }
+  grid.t_values = std::move(t_values);
+  if (!h_subset.empty()) grid.h_values = std::move(h_subset);
+  if (!w_subset.empty()) grid.w_values = std::move(w_subset);
+  return grid;
+}
+
+std::vector<CellResult> RunSweep(EvaluationRunner* runner,
+                                 const ParameterGrid& grid,
+                                 const SweepOptions& options) {
+  HOTSPOT_CHECK(runner != nullptr);
+  std::vector<CellResult> cells;
+  cells.reserve(static_cast<size_t>(grid.NumCells()));
+  long long done = 0;
+  for (ModelKind model : grid.models) {
+    for (int h : grid.h_values) {
+      for (int w : grid.w_values) {
+        for (int t : grid.t_values) {
+          cells.push_back(runner->Evaluate(model, t, h, w));
+          ++done;
+        }
+      }
+    }
+    if (options.progress_to_stderr) {
+      std::fprintf(stderr, "  sweep: %s done (%lld/%lld cells)\n",
+                   ModelName(model), done, grid.NumCells());
+    }
+  }
+  return cells;
+}
+
+}  // namespace hotspot

@@ -1,0 +1,49 @@
+#ifndef HOTSPOT_CORE_TASK_H_
+#define HOTSPOT_CORE_TASK_H_
+
+#include <vector>
+
+#include "core/evaluation.h"
+#include "core/forecaster.h"
+
+namespace hotspot {
+
+/// The paper's evaluation grid (Table III).
+struct ParameterGrid {
+  std::vector<ModelKind> models;
+  std::vector<int> t_values;
+  std::vector<int> h_values;
+  std::vector<int> w_values;
+
+  /// The exact Table III grid: 8 models, t ∈ {52..87},
+  /// h ∈ {1,2,3,4,5,7,8,10,12,14,16,19,22,26,29}, w ∈ {1,2,3,5,7,10,14,21}.
+  static ParameterGrid Paper();
+
+  /// A subsampled grid for CPU-bounded benches: every `t_stride`-th t, the
+  /// given h and w subsets (empty = paper values).
+  static ParameterGrid Subsampled(int t_stride, std::vector<int> h_subset,
+                                  std::vector<int> w_subset);
+
+  long long NumCells() const {
+    return static_cast<long long>(models.size()) * t_values.size() *
+           h_values.size() * w_values.size();
+  }
+};
+
+/// Sweep options: which slices of the grid to run.
+struct SweepOptions {
+  /// Fixed w while sweeping h (Figs. 9-12), or fixed h while sweeping w
+  /// (Figs. 13-14); the full grid runs both axes.
+  bool progress_to_stderr = false;
+};
+
+/// Runs every (model, t, h, w) cell of `grid` through `runner` and returns
+/// the per-cell results. This is the engine behind the figure benches and
+/// the temporal-stability analysis.
+std::vector<CellResult> RunSweep(EvaluationRunner* runner,
+                                 const ParameterGrid& grid,
+                                 const SweepOptions& options = {});
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_CORE_TASK_H_

@@ -1,0 +1,102 @@
+#include "features/feature_tensor.h"
+
+#include "tensor/temporal.h"
+#include "util/logging.h"
+
+namespace hotspot::features {
+
+const char* FeatureGroupName(FeatureGroup group) {
+  switch (group) {
+    case FeatureGroup::kKpi:
+      return "kpi";
+    case FeatureGroup::kCalendar:
+      return "calendar";
+    case FeatureGroup::kHourlyScore:
+      return "score_hourly";
+    case FeatureGroup::kDailyScore:
+      return "score_daily";
+    case FeatureGroup::kWeeklyScore:
+      return "score_weekly";
+    case FeatureGroup::kDailyLabel:
+      return "label_daily";
+  }
+  return "unknown";
+}
+
+FeatureTensor FeatureTensor::Build(
+    const Tensor3<float>& kpis, const Matrix<float>& calendar,
+    const Matrix<float>& hourly_scores, const Matrix<float>& daily_scores,
+    const Matrix<float>& weekly_scores, const Matrix<float>& daily_labels,
+    const std::vector<std::string>& kpi_names) {
+  const int n = kpis.dim0();
+  const int hours = kpis.dim1();
+  const int l = kpis.dim2();
+  HOTSPOT_CHECK_EQ(calendar.rows(), hours);
+  HOTSPOT_CHECK_EQ(calendar.cols(), 5);
+  HOTSPOT_CHECK_EQ(hourly_scores.rows(), n);
+  HOTSPOT_CHECK_EQ(hourly_scores.cols(), hours);
+  HOTSPOT_CHECK_EQ(daily_scores.rows(), n);
+  HOTSPOT_CHECK_EQ(daily_scores.cols(), hours / kHoursPerDay);
+  HOTSPOT_CHECK_EQ(weekly_scores.rows(), n);
+  HOTSPOT_CHECK_EQ(weekly_scores.cols(), hours / kHoursPerWeek);
+  HOTSPOT_CHECK_EQ(daily_labels.rows(), n);
+  HOTSPOT_CHECK_EQ(daily_labels.cols(), hours / kHoursPerDay);
+  if (!kpi_names.empty()) {
+    HOTSPOT_CHECK_EQ(static_cast<int>(kpi_names.size()), l);
+  }
+
+  FeatureTensor built;
+  const int channels = l + 5 + 3 + 1;
+  built.tensor_ = Tensor3<float>(n, hours, channels);
+  built.names_.reserve(static_cast<size_t>(channels));
+  built.groups_.reserve(static_cast<size_t>(channels));
+
+  for (int k = 0; k < l; ++k) {
+    built.names_.push_back(kpi_names.empty() ? "kpi_" + std::to_string(k)
+                                             : kpi_names[static_cast<size_t>(k)]);
+    built.groups_.push_back(FeatureGroup::kKpi);
+  }
+  const char* kCalendarNames[5] = {"cal_hour_of_day", "cal_day_of_week",
+                                   "cal_day_of_month", "cal_weekend",
+                                   "cal_holiday"};
+  for (const char* name : kCalendarNames) {
+    built.names_.push_back(name);
+    built.groups_.push_back(FeatureGroup::kCalendar);
+  }
+  built.names_.push_back("score_hourly");
+  built.groups_.push_back(FeatureGroup::kHourlyScore);
+  built.names_.push_back("score_daily");
+  built.groups_.push_back(FeatureGroup::kDailyScore);
+  built.names_.push_back("score_weekly");
+  built.groups_.push_back(FeatureGroup::kWeeklyScore);
+  built.names_.push_back("label_daily");
+  built.groups_.push_back(FeatureGroup::kDailyLabel);
+
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < hours; ++j) {
+      float* dst = built.tensor_.Slice(i, j);
+      const float* kpi = kpis.Slice(i, j);
+      int c = 0;
+      for (int k = 0; k < l; ++k) dst[c++] = kpi[k];
+      const float* cal = calendar.Row(j);
+      for (int k = 0; k < 5; ++k) dst[c++] = cal[k];
+      dst[c++] = hourly_scores.At(i, j);
+      dst[c++] = daily_scores.At(i, j / kHoursPerDay);
+      dst[c++] = weekly_scores.At(i, j / kHoursPerWeek);
+      dst[c++] = daily_labels.At(i, j / kHoursPerDay);
+    }
+  }
+  return built;
+}
+
+const std::string& FeatureTensor::ChannelName(int channel) const {
+  HOTSPOT_CHECK(channel >= 0 && channel < num_channels());
+  return names_[static_cast<size_t>(channel)];
+}
+
+FeatureGroup FeatureTensor::ChannelGroup(int channel) const {
+  HOTSPOT_CHECK(channel >= 0 && channel < num_channels());
+  return groups_[static_cast<size_t>(channel)];
+}
+
+}  // namespace hotspot::features

@@ -1,0 +1,56 @@
+#ifndef HOTSPOT_FEATURES_FEATURE_TENSOR_H_
+#define HOTSPOT_FEATURES_FEATURE_TENSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/tensor3.h"
+
+namespace hotspot::features {
+
+/// Coarse feature groups of the assembled tensor, used by the Fig. 15/16
+/// importance reports.
+enum class FeatureGroup {
+  kKpi,            ///< the l raw KPIs
+  kCalendar,       ///< the 5 calendar columns of C
+  kHourlyScore,    ///< S^h
+  kDailyScore,     ///< up(S^d)
+  kWeeklyScore,    ///< up(S^w)
+  kDailyLabel,     ///< up(Y^d)
+};
+
+const char* FeatureGroupName(FeatureGroup group);
+
+/// The paper's input tensor X (Eq. 5): KPIs ‖ calendar ‖ S^h ‖ up(S^d) ‖
+/// up(S^w) ‖ up(Y^d), all at hourly resolution — size n x m_h x (l+5+3+1).
+/// Holds per-channel names/groups so downstream reports can label
+/// importances the way Sec. V-D does.
+class FeatureTensor {
+ public:
+  /// Assembles X. `kpi_names` may be empty (generic names are used).
+  static FeatureTensor Build(const Tensor3<float>& kpis,
+                             const Matrix<float>& calendar,
+                             const Matrix<float>& hourly_scores,
+                             const Matrix<float>& daily_scores,
+                             const Matrix<float>& weekly_scores,
+                             const Matrix<float>& daily_labels,
+                             const std::vector<std::string>& kpi_names = {});
+
+  const Tensor3<float>& tensor() const { return tensor_; }
+  int num_sectors() const { return tensor_.dim0(); }
+  int num_hours() const { return tensor_.dim1(); }
+  int num_channels() const { return tensor_.dim2(); }
+
+  const std::string& ChannelName(int channel) const;
+  FeatureGroup ChannelGroup(int channel) const;
+
+ private:
+  Tensor3<float> tensor_;
+  std::vector<std::string> names_;
+  std::vector<FeatureGroup> groups_;
+};
+
+}  // namespace hotspot::features
+
+#endif  // HOTSPOT_FEATURES_FEATURE_TENSOR_H_

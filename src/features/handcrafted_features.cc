@@ -1,0 +1,228 @@
+#include "features/handcrafted_features.h"
+
+#include <cmath>
+
+#include "stats/percentile.h"
+#include "tensor/temporal.h"
+#include "util/logging.h"
+
+namespace hotspot::features {
+
+namespace {
+
+float ToF(double value) {
+  return std::isnan(value) ? MissingValue() : static_cast<float>(value);
+}
+
+/// Writes mean/std/min/max of `values` at out[offset..offset+3].
+void WriteStats(const std::vector<float>& values, std::vector<float>* out,
+                size_t offset) {
+  (*out)[offset + 0] = ToF(Mean(values));
+  (*out)[offset + 1] = ToF(StdDev(values));
+  (*out)[offset + 2] = ToF(MinValue(values));
+  (*out)[offset + 3] = ToF(MaxValue(values));
+}
+
+double RangeOf(const float* values, int count) {
+  double lo = std::nan("");
+  double hi = std::nan("");
+  for (int i = 0; i < count; ++i) {
+    float v = values[i];
+    if (IsMissing(v)) continue;
+    if (std::isnan(lo) || v < lo) lo = v;
+    if (std::isnan(hi) || v > hi) hi = v;
+  }
+  if (std::isnan(lo)) return std::nan("");
+  return hi - lo;
+}
+
+}  // namespace
+
+int HandcraftedExtractor::OutputDim(int window_days, int channels) const {
+  (void)window_days;
+  return channels * kPerChannel;
+}
+
+void HandcraftedExtractor::Extract(const Matrix<float>& window,
+                                   std::vector<float>* out) const {
+  HOTSPOT_CHECK(out != nullptr);
+  const int hours = window.rows();
+  const int channels = window.cols();
+  HOTSPOT_CHECK_EQ(hours % kHoursPerDay, 0);
+  const int days = hours / kHoursPerDay;
+  HOTSPOT_CHECK_GE(days, 1);
+  out->assign(static_cast<size_t>(channels) * kPerChannel, 0.0f);
+
+  std::vector<float> series(static_cast<size_t>(hours));
+  std::vector<float> half;
+  for (int k = 0; k < channels; ++k) {
+    for (int h = 0; h < hours; ++h) {
+      series[static_cast<size_t>(h)] = window.At(h, k);
+    }
+    size_t base = static_cast<size_t>(k) * kPerChannel;
+
+    // Whole-window and half-window statistics.
+    WriteStats(series, out, base + 0);
+    int split = hours / 2;
+    half.assign(series.begin(), series.begin() + split);
+    WriteStats(half, out, base + 4);
+    half.assign(series.begin() + split, series.end());
+    WriteStats(half, out, base + 8);
+    for (int s = 0; s < 4; ++s) {
+      float first = (*out)[base + 4 + static_cast<size_t>(s)];
+      float second = (*out)[base + 8 + static_cast<size_t>(s)];
+      (*out)[base + 12 + static_cast<size_t>(s)] =
+          (IsMissing(first) || IsMissing(second)) ? MissingValue()
+                                                  : second - first;
+    }
+
+    // Average / extreme day profiles.
+    float day_avg[kHoursPerDay];
+    float day_min[kHoursPerDay];
+    float day_max[kHoursPerDay];
+    for (int h = 0; h < kHoursPerDay; ++h) {
+      double sum = 0.0;
+      int count = 0;
+      double lo = std::nan("");
+      double hi = std::nan("");
+      for (int d = 0; d < days; ++d) {
+        float v = series[static_cast<size_t>(d * kHoursPerDay + h)];
+        if (IsMissing(v)) continue;
+        sum += v;
+        ++count;
+        if (std::isnan(lo) || v < lo) lo = v;
+        if (std::isnan(hi) || v > hi) hi = v;
+      }
+      day_avg[h] = count > 0 ? static_cast<float>(sum / count)
+                             : MissingValue();
+      day_min[h] = ToF(lo);
+      day_max[h] = ToF(hi);
+    }
+    for (int h = 0; h < kHoursPerDay; ++h) {
+      (*out)[base + 16 + static_cast<size_t>(h)] = day_avg[h];
+      (*out)[base + 49 + static_cast<size_t>(h)] = day_min[h];
+      (*out)[base + 73 + static_cast<size_t>(h)] = day_max[h];
+    }
+
+    // Daily means, then average / extreme week profiles over day-of-window
+    // modulo 7 buckets.
+    std::vector<float> daily_mean(static_cast<size_t>(days));
+    for (int d = 0; d < days; ++d) {
+      double sum = 0.0;
+      int count = 0;
+      for (int h = 0; h < kHoursPerDay; ++h) {
+        float v = series[static_cast<size_t>(d * kHoursPerDay + h)];
+        if (IsMissing(v)) continue;
+        sum += v;
+        ++count;
+      }
+      daily_mean[static_cast<size_t>(d)] =
+          count > 0 ? static_cast<float>(sum / count) : MissingValue();
+    }
+    float week_avg[kDaysPerWeek];
+    float week_min[kDaysPerWeek];
+    float week_max[kDaysPerWeek];
+    for (int b = 0; b < kDaysPerWeek; ++b) {
+      double sum = 0.0;
+      int count = 0;
+      double lo = std::nan("");
+      double hi = std::nan("");
+      for (int d = b; d < days; d += kDaysPerWeek) {
+        float v = daily_mean[static_cast<size_t>(d)];
+        if (IsMissing(v)) continue;
+        sum += v;
+        ++count;
+        if (std::isnan(lo) || v < lo) lo = v;
+        if (std::isnan(hi) || v > hi) hi = v;
+      }
+      week_avg[b] = count > 0 ? static_cast<float>(sum / count)
+                              : MissingValue();
+      week_min[b] = ToF(lo);
+      week_max[b] = ToF(hi);
+    }
+    for (int b = 0; b < kDaysPerWeek; ++b) {
+      (*out)[base + 40 + static_cast<size_t>(b)] = week_avg[b];
+      (*out)[base + 97 + static_cast<size_t>(b)] = week_min[b];
+      (*out)[base + 104 + static_cast<size_t>(b)] = week_max[b];
+    }
+
+    // Profile peak-trough differences.
+    (*out)[base + 47] = ToF(RangeOf(day_avg, kHoursPerDay));
+    (*out)[base + 48] = ToF(RangeOf(week_avg, kDaysPerWeek));
+
+    // Last-day raw values and stats.
+    std::vector<float> last_day(
+        series.end() - kHoursPerDay, series.end());
+    for (int h = 0; h < kHoursPerDay; ++h) {
+      (*out)[base + 111 + static_cast<size_t>(h)] =
+          last_day[static_cast<size_t>(h)];
+    }
+    (*out)[base + 135] = ToF(Mean(last_day));
+    (*out)[base + 136] = ToF(StdDev(last_day));
+  }
+}
+
+int HandcraftedExtractor::SourceChannel(int index, int window_days,
+                                        int channels) const {
+  (void)window_days;
+  (void)channels;
+  return index / kPerChannel;
+}
+
+std::string HandcraftedExtractor::FeatureName(
+    int index, int window_days, const FeatureTensor& source) const {
+  (void)window_days;
+  int channel = index / kPerChannel;
+  int offset = index % kPerChannel;
+  const char* suffix;
+  char buffer[32];
+  if (offset < 4) {
+    static const char* kStats[] = {"mean", "std", "min", "max"};
+    std::snprintf(buffer, sizeof(buffer), "whole_%s", kStats[offset]);
+    suffix = buffer;
+  } else if (offset < 8) {
+    static const char* kStats[] = {"mean", "std", "min", "max"};
+    std::snprintf(buffer, sizeof(buffer), "half1_%s", kStats[offset - 4]);
+    suffix = buffer;
+  } else if (offset < 12) {
+    static const char* kStats[] = {"mean", "std", "min", "max"};
+    std::snprintf(buffer, sizeof(buffer), "half2_%s", kStats[offset - 8]);
+    suffix = buffer;
+  } else if (offset < 16) {
+    static const char* kStats[] = {"mean", "std", "min", "max"};
+    std::snprintf(buffer, sizeof(buffer), "halfdiff_%s", kStats[offset - 12]);
+    suffix = buffer;
+  } else if (offset < 40) {
+    std::snprintf(buffer, sizeof(buffer), "dayavg_h%d", offset - 16);
+    suffix = buffer;
+  } else if (offset < 47) {
+    std::snprintf(buffer, sizeof(buffer), "weekavg_d%d", offset - 40);
+    suffix = buffer;
+  } else if (offset == 47) {
+    suffix = "dayrange";
+  } else if (offset == 48) {
+    suffix = "weekrange";
+  } else if (offset < 73) {
+    std::snprintf(buffer, sizeof(buffer), "daymin_h%d", offset - 49);
+    suffix = buffer;
+  } else if (offset < 97) {
+    std::snprintf(buffer, sizeof(buffer), "daymax_h%d", offset - 73);
+    suffix = buffer;
+  } else if (offset < 104) {
+    std::snprintf(buffer, sizeof(buffer), "weekmin_d%d", offset - 97);
+    suffix = buffer;
+  } else if (offset < 111) {
+    std::snprintf(buffer, sizeof(buffer), "weekmax_d%d", offset - 104);
+    suffix = buffer;
+  } else if (offset < 135) {
+    std::snprintf(buffer, sizeof(buffer), "lastday_h%d", offset - 111);
+    suffix = buffer;
+  } else if (offset == 135) {
+    suffix = "lastday_mean";
+  } else {
+    suffix = "lastday_std";
+  }
+  return source.ChannelName(channel) + "." + suffix;
+}
+
+}  // namespace hotspot::features

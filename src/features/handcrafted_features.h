@@ -1,0 +1,42 @@
+#ifndef HOTSPOT_FEATURES_HANDCRAFTED_FEATURES_H_
+#define HOTSPOT_FEATURES_HANDCRAFTED_FEATURES_H_
+
+#include "features/raw_features.h"
+
+namespace hotspot::features {
+
+/// RF-F2 (Sec. IV-D): hand-crafted per-channel summaries of the window.
+/// For every input channel, in order:
+///   [0..3]    mean/std/min/max of the whole window
+///   [4..7]    the same for the first half
+///   [8..11]   the same for the second half
+///   [12..15]  second-half minus first-half differences of the four stats
+///   [16..39]  average day profile (mean per hour-of-day, 24)
+///   [40..46]  average week profile (mean of daily means per day-of-window
+///             modulo 7, 7; NaN for absent buckets when w < 7)
+///   [47]      day-profile peak minus trough
+///   [48]      week-profile peak minus trough
+///   [49..72]  extreme day profile: minimum per hour-of-day (24)
+///   [73..96]  extreme day profile: maximum per hour-of-day (24)
+///   [97..103] extreme week profile: minimum daily mean per bucket (7)
+///   [104..110] extreme week profile: maximum daily mean per bucket (7)
+///   [111..134] raw values of the last day's 24 hours
+///   [135..136] mean and std of the last day
+/// i.e. kPerChannel = 137 outputs per channel, channel-major layout.
+/// This feature set contains the Persistence, Average and Trend models'
+/// information, as the paper notes.
+class HandcraftedExtractor : public FeatureExtractor {
+ public:
+  static constexpr int kPerChannel = 137;
+
+  int OutputDim(int window_days, int channels) const override;
+  void Extract(const Matrix<float>& window,
+               std::vector<float>* out) const override;
+  int SourceChannel(int index, int window_days, int channels) const override;
+  std::string FeatureName(int index, int window_days,
+                          const FeatureTensor& source) const override;
+};
+
+}  // namespace hotspot::features
+
+#endif  // HOTSPOT_FEATURES_HANDCRAFTED_FEATURES_H_

@@ -1,0 +1,66 @@
+#include "features/percentile_features.h"
+
+#include "stats/percentile.h"
+#include "tensor/temporal.h"
+#include "util/logging.h"
+
+namespace hotspot::features {
+
+const double* DailyPercentileExtractor::Levels() {
+  static const double kLevels[kNumPercentiles] = {5.0, 25.0, 50.0, 75.0,
+                                                  95.0};
+  return kLevels;
+}
+
+int DailyPercentileExtractor::OutputDim(int window_days, int channels) const {
+  return window_days * channels * kNumPercentiles;
+}
+
+void DailyPercentileExtractor::Extract(const Matrix<float>& window,
+                                       std::vector<float>* out) const {
+  HOTSPOT_CHECK(out != nullptr);
+  const int hours = window.rows();
+  const int channels = window.cols();
+  HOTSPOT_CHECK_EQ(hours % kHoursPerDay, 0);
+  const int days = hours / kHoursPerDay;
+  out->assign(static_cast<size_t>(OutputDim(days, channels)), 0.0f);
+
+  std::vector<float> day_values(kHoursPerDay);
+  std::vector<double> levels(Levels(), Levels() + kNumPercentiles);
+  for (int d = 0; d < days; ++d) {
+    for (int k = 0; k < channels; ++k) {
+      for (int h = 0; h < kHoursPerDay; ++h) {
+        day_values[static_cast<size_t>(h)] =
+            window.At(d * kHoursPerDay + h, k);
+      }
+      std::vector<double> percentiles = Percentiles(day_values, levels);
+      for (int p = 0; p < kNumPercentiles; ++p) {
+        size_t index = (static_cast<size_t>(d) * channels + k) *
+                           kNumPercentiles +
+                       static_cast<size_t>(p);
+        double value = percentiles[static_cast<size_t>(p)];
+        (*out)[index] =
+            std::isnan(value) ? MissingValue() : static_cast<float>(value);
+      }
+    }
+  }
+}
+
+int DailyPercentileExtractor::SourceChannel(int index, int window_days,
+                                            int channels) const {
+  (void)window_days;
+  return (index / kNumPercentiles) % channels;
+}
+
+std::string DailyPercentileExtractor::FeatureName(
+    int index, int window_days, const FeatureTensor& source) const {
+  (void)window_days;
+  int channels = source.num_channels();
+  int percentile = index % kNumPercentiles;
+  int channel = (index / kNumPercentiles) % channels;
+  int day = index / (kNumPercentiles * channels);
+  return source.ChannelName(channel) + "@d" + std::to_string(day) + "_p" +
+         std::to_string(static_cast<int>(Levels()[percentile]));
+}
+
+}  // namespace hotspot::features

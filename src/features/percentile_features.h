@@ -1,0 +1,28 @@
+#ifndef HOTSPOT_FEATURES_PERCENTILE_FEATURES_H_
+#define HOTSPOT_FEATURES_PERCENTILE_FEATURES_H_
+
+#include "features/raw_features.h"
+
+namespace hotspot::features {
+
+/// RF-F1 (Sec. IV-D): w daily percentile summaries. For every day of the
+/// window and every channel, the 5/25/50/75/95 percentiles of the 24
+/// hourly samples — reducing each channel's day from 24 values to 5.
+/// Output layout: index = (day·channels + channel)·5 + percentile.
+class DailyPercentileExtractor : public FeatureExtractor {
+ public:
+  static constexpr int kNumPercentiles = 5;
+  /// The percentile levels the paper uses.
+  static const double* Levels();
+
+  int OutputDim(int window_days, int channels) const override;
+  void Extract(const Matrix<float>& window,
+               std::vector<float>* out) const override;
+  int SourceChannel(int index, int window_days, int channels) const override;
+  std::string FeatureName(int index, int window_days,
+                          const FeatureTensor& source) const override;
+};
+
+}  // namespace hotspot::features
+
+#endif  // HOTSPOT_FEATURES_PERCENTILE_FEATURES_H_

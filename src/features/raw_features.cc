@@ -1,0 +1,40 @@
+#include "features/raw_features.h"
+
+#include "tensor/temporal.h"
+#include "util/logging.h"
+
+namespace hotspot::features {
+
+std::string FeatureExtractor::FeatureName(int index, int window_days,
+                                          const FeatureTensor& source) const {
+  (void)window_days;
+  (void)source;
+  return "f" + std::to_string(index);
+}
+
+int RawExtractor::OutputDim(int window_days, int channels) const {
+  return window_days * kHoursPerDay * channels;
+}
+
+void RawExtractor::Extract(const Matrix<float>& window,
+                           std::vector<float>* out) const {
+  HOTSPOT_CHECK(out != nullptr);
+  out->assign(window.data().begin(), window.data().end());
+}
+
+int RawExtractor::SourceChannel(int index, int window_days,
+                                int channels) const {
+  (void)window_days;
+  return index % channels;
+}
+
+std::string RawExtractor::FeatureName(int index, int window_days,
+                                      const FeatureTensor& source) const {
+  (void)window_days;
+  int channels = source.num_channels();
+  int hour = SourceHour(index, channels);
+  int channel = index % channels;
+  return source.ChannelName(channel) + "@h" + std::to_string(hour);
+}
+
+}  // namespace hotspot::features

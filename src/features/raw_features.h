@@ -1,0 +1,56 @@
+#ifndef HOTSPOT_FEATURES_RAW_FEATURES_H_
+#define HOTSPOT_FEATURES_RAW_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "features/feature_tensor.h"
+#include "tensor/matrix.h"
+
+namespace hotspot::features {
+
+/// Abstract per-window feature extractor: turns one (hours x channels)
+/// window into a flat feature row. Implementations must produce the same
+/// dimensionality for every window of the same shape.
+class FeatureExtractor {
+ public:
+  virtual ~FeatureExtractor() = default;
+
+  /// Output dimensionality for a window of `window_days` days over
+  /// `channels` input channels.
+  virtual int OutputDim(int window_days, int channels) const = 0;
+
+  /// Fills `out` (resized to OutputDim) from `window` (24·w x channels).
+  virtual void Extract(const Matrix<float>& window,
+                       std::vector<float>* out) const = 0;
+
+  /// Human-readable name of output feature `index` (for importance
+  /// reports). Default: "f<index>".
+  virtual std::string FeatureName(int index, int window_days,
+                                  const FeatureTensor& source) const;
+
+  /// Source channel of output feature `index` (every extractor output maps
+  /// to exactly one input channel k, which Figs. 15/16 aggregate over).
+  virtual int SourceChannel(int index, int window_days,
+                            int channels) const = 0;
+};
+
+/// RF-R: the raw hourly window, flattened time-major — output index
+/// j·channels + k holds X(i, hour j of the window, channel k).
+class RawExtractor : public FeatureExtractor {
+ public:
+  int OutputDim(int window_days, int channels) const override;
+  void Extract(const Matrix<float>& window,
+               std::vector<float>* out) const override;
+  int SourceChannel(int index, int window_days, int channels) const override;
+  std::string FeatureName(int index, int window_days,
+                          const FeatureTensor& source) const override;
+
+  /// The hour-of-window of output feature `index` (for Fig. 15/16's
+  /// time axis).
+  static int SourceHour(int index, int channels) { return index / channels; }
+};
+
+}  // namespace hotspot::features
+
+#endif  // HOTSPOT_FEATURES_RAW_FEATURES_H_

@@ -1,0 +1,18 @@
+#include "features/window.h"
+
+#include "tensor/temporal.h"
+#include "util/logging.h"
+
+namespace hotspot::features {
+
+Matrix<float> ExtractWindow(const FeatureTensor& features, int sector,
+                            int end_day, int window_days) {
+  HOTSPOT_CHECK_GE(window_days, 1);
+  HOTSPOT_CHECK_GE(end_day - window_days, 0);
+  HOTSPOT_CHECK_LE(end_day * kHoursPerDay, features.num_hours());
+  int start_hour = (end_day - window_days) * kHoursPerDay;
+  int end_hour = end_day * kHoursPerDay;
+  return features.tensor().SectorSlab(sector, start_hour, end_hour);
+}
+
+}  // namespace hotspot::features

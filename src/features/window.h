@@ -1,0 +1,18 @@
+#ifndef HOTSPOT_FEATURES_WINDOW_H_
+#define HOTSPOT_FEATURES_WINDOW_H_
+
+#include "features/feature_tensor.h"
+#include "tensor/matrix.h"
+
+namespace hotspot::features {
+
+/// Extracts the input window of Eqs. 6/7 for one sector: the slice
+/// X_{i, end_day−w : end_day, :} in days, i.e. hours
+/// [24·(end_day−w), 24·end_day). Returns a (24·w) x channels matrix.
+/// Requires 0 <= end_day−w and end_day <= num_days.
+Matrix<float> ExtractWindow(const FeatureTensor& features, int sector,
+                            int end_day, int window_days);
+
+}  // namespace hotspot::features
+
+#endif  // HOTSPOT_FEATURES_WINDOW_H_

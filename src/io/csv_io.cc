@@ -1,0 +1,323 @@
+#include "io/csv_io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace hotspot::io {
+
+namespace {
+
+std::string LineError(const std::string& path, int line,
+                      const std::string& what) {
+  std::ostringstream message;
+  message << path << ":" << line << ": " << what;
+  return message.str();
+}
+
+/// Parses a float field; empty or "nan" yields NaN. Returns false on a
+/// malformed number.
+bool ParseFloatField(const std::string& field, float* value) {
+  if (field.empty() || field == "nan" || field == "NaN") {
+    *value = MissingValue();
+    return true;
+  }
+  char* end = nullptr;
+  *value = std::strtof(field.c_str(), &end);
+  return end == field.c_str() + field.size();
+}
+
+bool ParseIntField(const std::string& field, int* value) {
+  char* end = nullptr;
+  long parsed = std::strtol(field.c_str(), &end, 10);
+  if (end != field.c_str() + field.size() || field.empty()) return false;
+  *value = static_cast<int>(parsed);
+  return true;
+}
+
+std::string FloatField(float value) {
+  if (IsMissing(value)) return "";
+  return FormatNumber(value, 9);
+}
+
+}  // namespace
+
+std::vector<std::string> ParseCsvLine(const std::string& line,
+                                      char separator) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t pos = 0; pos < line.size(); ++pos) {
+    char c = line[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < line.size() && line[pos + 1] == '"') {
+          current += '"';
+          ++pos;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == separator) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+IoStatus WriteMatrixCsv(const std::string& path,
+                        const Matrix<float>& matrix) {
+  std::ofstream out(path);
+  if (!out) return IoStatus::Error("cannot open " + path + " for writing");
+  CsvWriter writer(&out);
+  std::vector<std::string> header = {"sector"};
+  for (int j = 0; j < matrix.cols(); ++j) {
+    header.push_back("t" + std::to_string(j));
+  }
+  writer.WriteRow(header);
+  for (int i = 0; i < matrix.rows(); ++i) {
+    std::vector<std::string> row = {std::to_string(i)};
+    for (int j = 0; j < matrix.cols(); ++j) {
+      row.push_back(FloatField(matrix.At(i, j)));
+    }
+    writer.WriteRow(row);
+  }
+  out.flush();
+  if (!out) return IoStatus::Error("write failed for " + path);
+  return IoStatus::Ok();
+}
+
+IoStatus ReadMatrixCsv(const std::string& path, Matrix<float>* matrix) {
+  HOTSPOT_CHECK(matrix != nullptr);
+  std::ifstream in(path);
+  if (!in) return IoStatus::Error("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return IoStatus::Error(LineError(path, 1, "missing header"));
+  }
+  std::vector<std::string> header = ParseCsvLine(line);
+  if (header.empty() || header[0] != "sector") {
+    return IoStatus::Error(LineError(path, 1, "expected 'sector' header"));
+  }
+  int cols = static_cast<int>(header.size()) - 1;
+  std::vector<std::vector<float>> rows;
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = ParseCsvLine(line);
+    if (static_cast<int>(fields.size()) != cols + 1) {
+      return IoStatus::Error(
+          LineError(path, line_number, "wrong field count"));
+    }
+    std::vector<float> row(static_cast<size_t>(cols));
+    for (int j = 0; j < cols; ++j) {
+      if (!ParseFloatField(fields[static_cast<size_t>(j + 1)],
+                           &row[static_cast<size_t>(j)])) {
+        return IoStatus::Error(
+            LineError(path, line_number, "bad number '" +
+                                             fields[static_cast<size_t>(
+                                                 j + 1)] +
+                                             "'"));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  *matrix = Matrix<float>(static_cast<int>(rows.size()), cols);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (int j = 0; j < cols; ++j) {
+      matrix->At(static_cast<int>(i), j) = rows[i][static_cast<size_t>(j)];
+    }
+  }
+  return IoStatus::Ok();
+}
+
+IoStatus WriteKpiTensorCsv(const std::string& path,
+                           const Tensor3<float>& kpis,
+                           const std::vector<std::string>& kpi_names) {
+  HOTSPOT_CHECK_EQ(static_cast<int>(kpi_names.size()), kpis.dim2());
+  std::ofstream out(path);
+  if (!out) return IoStatus::Error("cannot open " + path + " for writing");
+  CsvWriter writer(&out);
+  std::vector<std::string> header = {"sector", "hour"};
+  for (const std::string& name : kpi_names) header.push_back(name);
+  writer.WriteRow(header);
+  for (int i = 0; i < kpis.dim0(); ++i) {
+    for (int j = 0; j < kpis.dim1(); ++j) {
+      std::vector<std::string> row = {std::to_string(i), std::to_string(j)};
+      const float* slice = kpis.Slice(i, j);
+      for (int k = 0; k < kpis.dim2(); ++k) {
+        row.push_back(FloatField(slice[k]));
+      }
+      writer.WriteRow(row);
+    }
+  }
+  out.flush();
+  if (!out) return IoStatus::Error("write failed for " + path);
+  return IoStatus::Ok();
+}
+
+IoStatus ReadKpiTensorCsv(const std::string& path, Tensor3<float>* kpis,
+                          std::vector<std::string>* kpi_names) {
+  HOTSPOT_CHECK(kpis != nullptr);
+  std::ifstream in(path);
+  if (!in) return IoStatus::Error("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return IoStatus::Error(LineError(path, 1, "missing header"));
+  }
+  std::vector<std::string> header = ParseCsvLine(line);
+  if (header.size() < 3 || header[0] != "sector" || header[1] != "hour") {
+    return IoStatus::Error(
+        LineError(path, 1, "expected 'sector,hour,<kpis...>' header"));
+  }
+  const int l = static_cast<int>(header.size()) - 2;
+  if (kpi_names != nullptr) {
+    kpi_names->assign(header.begin() + 2, header.end());
+  }
+
+  struct Cell {
+    int sector;
+    int hour;
+    std::vector<float> values;
+  };
+  std::vector<Cell> cells;
+  int max_sector = -1;
+  int max_hour = -1;
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = ParseCsvLine(line);
+    if (static_cast<int>(fields.size()) != l + 2) {
+      return IoStatus::Error(
+          LineError(path, line_number, "wrong field count"));
+    }
+    Cell cell;
+    if (!ParseIntField(fields[0], &cell.sector) ||
+        !ParseIntField(fields[1], &cell.hour) || cell.sector < 0 ||
+        cell.hour < 0) {
+      return IoStatus::Error(
+          LineError(path, line_number, "bad sector/hour ids"));
+    }
+    cell.values.resize(static_cast<size_t>(l));
+    for (int k = 0; k < l; ++k) {
+      if (!ParseFloatField(fields[static_cast<size_t>(k + 2)],
+                           &cell.values[static_cast<size_t>(k)])) {
+        return IoStatus::Error(LineError(path, line_number, "bad number"));
+      }
+    }
+    max_sector = std::max(max_sector, cell.sector);
+    max_hour = std::max(max_hour, cell.hour);
+    cells.push_back(std::move(cell));
+  }
+  if (cells.empty()) return IoStatus::Error(path + ": no data rows");
+  long long expected = static_cast<long long>(max_sector + 1) *
+                       static_cast<long long>(max_hour + 1);
+  if (static_cast<long long>(cells.size()) != expected) {
+    return IoStatus::Error(path + ": sparse (sector, hour) coverage — " +
+                           std::to_string(cells.size()) + " rows for a " +
+                           std::to_string(max_sector + 1) + "x" +
+                           std::to_string(max_hour + 1) + " grid");
+  }
+  *kpis = Tensor3<float>(max_sector + 1, max_hour + 1, l);
+  for (const Cell& cell : cells) {
+    float* slice = kpis->Slice(cell.sector, cell.hour);
+    for (int k = 0; k < l; ++k) {
+      slice[k] = cell.values[static_cast<size_t>(k)];
+    }
+  }
+  return IoStatus::Ok();
+}
+
+IoStatus WriteTopologyCsv(const std::string& path,
+                          const simnet::Topology& topology) {
+  std::ofstream out(path);
+  if (!out) return IoStatus::Error("cannot open " + path + " for writing");
+  CsvWriter writer(&out);
+  writer.WriteRow({"sector", "tower", "patch", "city", "x_km", "y_km",
+                   "azimuth_deg", "archetype"});
+  for (const simnet::Sector& sector : topology.sectors()) {
+    writer.WriteRow({std::to_string(sector.id),
+                     std::to_string(sector.tower_id),
+                     std::to_string(sector.patch_id),
+                     std::to_string(sector.city_id),
+                     FormatNumber(sector.x_km, 9),
+                     FormatNumber(sector.y_km, 9),
+                     FormatNumber(sector.azimuth_deg, 9),
+                     simnet::ArchetypeName(sector.archetype)});
+  }
+  out.flush();
+  if (!out) return IoStatus::Error("write failed for " + path);
+  return IoStatus::Ok();
+}
+
+IoStatus ReadTopologyCsv(const std::string& path,
+                         simnet::Topology* topology) {
+  HOTSPOT_CHECK(topology != nullptr);
+  std::ifstream in(path);
+  if (!in) return IoStatus::Error("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return IoStatus::Error(LineError(path, 1, "missing header"));
+  }
+  std::vector<simnet::Sector> sectors;
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = ParseCsvLine(line);
+    if (fields.size() != 8) {
+      return IoStatus::Error(
+          LineError(path, line_number, "wrong field count"));
+    }
+    simnet::Sector sector;
+    float x, y, azimuth;
+    if (!ParseIntField(fields[0], &sector.id) ||
+        !ParseIntField(fields[1], &sector.tower_id) ||
+        !ParseIntField(fields[2], &sector.patch_id) ||
+        !ParseIntField(fields[3], &sector.city_id) ||
+        !ParseFloatField(fields[4], &x) || !ParseFloatField(fields[5], &y) ||
+        !ParseFloatField(fields[6], &azimuth)) {
+      return IoStatus::Error(LineError(path, line_number, "bad field"));
+    }
+    sector.x_km = x;
+    sector.y_km = y;
+    sector.azimuth_deg = azimuth;
+    bool found = false;
+    for (int a = 0; a < simnet::kNumArchetypes; ++a) {
+      if (fields[7] ==
+          simnet::ArchetypeName(static_cast<simnet::Archetype>(a))) {
+        sector.archetype = static_cast<simnet::Archetype>(a);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return IoStatus::Error(
+          LineError(path, line_number, "unknown archetype " + fields[7]));
+    }
+    if (sector.id != static_cast<int>(sectors.size())) {
+      return IoStatus::Error(
+          LineError(path, line_number, "sector ids must be dense 0-based"));
+    }
+    sectors.push_back(sector);
+  }
+  if (sectors.empty()) return IoStatus::Error(path + ": no sectors");
+  *topology = simnet::Topology::FromSectors(std::move(sectors));
+  return IoStatus::Ok();
+}
+
+}  // namespace hotspot::io

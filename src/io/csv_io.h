@@ -1,0 +1,62 @@
+#ifndef HOTSPOT_IO_CSV_IO_H_
+#define HOTSPOT_IO_CSV_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "simnet/topology.h"
+#include "tensor/matrix.h"
+#include "tensor/tensor3.h"
+
+namespace hotspot::io {
+
+/// Result of a load operation: ok() tells success; on failure `error`
+/// carries a one-line reason (file, line, what). No exceptions are thrown
+/// across this API.
+struct IoStatus {
+  bool ok = true;
+  std::string error;
+
+  static IoStatus Ok() { return {}; }
+  static IoStatus Error(std::string message) {
+    return {false, std::move(message)};
+  }
+};
+
+/// Splits one CSV line into fields, honoring double quotes with doubled
+/// escape ("") — the dialect CsvWriter emits. Exposed for tests.
+std::vector<std::string> ParseCsvLine(const std::string& line,
+                                      char separator = ',');
+
+/// Writes a sectors x time matrix as CSV with a `sector` id column and one
+/// column per time step. NaN cells are written empty.
+IoStatus WriteMatrixCsv(const std::string& path, const Matrix<float>& matrix);
+
+/// Reads back a matrix written by WriteMatrixCsv. Empty and "nan" cells
+/// load as NaN.
+IoStatus ReadMatrixCsv(const std::string& path, Matrix<float>* matrix);
+
+/// Writes the KPI tensor in long form: one row per (sector, hour) with a
+/// header `sector,hour,<kpi names...>`. NaN cells are written empty. This
+/// is also the ingestion format for real operator data: provide hourly
+/// KPI rows per sector and load with ReadKpiTensorCsv.
+IoStatus WriteKpiTensorCsv(const std::string& path,
+                           const Tensor3<float>& kpis,
+                           const std::vector<std::string>& kpi_names);
+
+/// Loads a long-form KPI file. Sectors and hours must be dense 0-based
+/// ranges (every (sector, hour) pair present exactly once); KPI names are
+/// taken from the header.
+IoStatus ReadKpiTensorCsv(const std::string& path, Tensor3<float>* kpis,
+                          std::vector<std::string>* kpi_names);
+
+/// Writes / reads the deployment topology (one row per sector: id, tower,
+/// patch, city, x_km, y_km, azimuth_deg, archetype name).
+IoStatus WriteTopologyCsv(const std::string& path,
+                          const simnet::Topology& topology);
+IoStatus ReadTopologyCsv(const std::string& path,
+                         simnet::Topology* topology);
+
+}  // namespace hotspot::io
+
+#endif  // HOTSPOT_IO_CSV_IO_H_

@@ -1,0 +1,67 @@
+#ifndef HOTSPOT_ML_DATASET_H_
+#define HOTSPOT_ML_DATASET_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/logging.h"
+
+namespace hotspot::ml {
+
+/// A supervised binary-classification dataset: one feature row per
+/// instance, a 0/1 label, and a per-instance sample weight.
+struct Dataset {
+  Matrix<float> features;      ///< n x d
+  std::vector<float> labels;   ///< n, values 0 or 1
+  std::vector<double> weights; ///< n, positive
+
+  int num_instances() const { return features.rows(); }
+  int num_features() const { return features.cols(); }
+
+  /// Checks shape consistency (labels/weights sized like features).
+  void CheckConsistent() const {
+    HOTSPOT_CHECK_EQ(static_cast<int>(labels.size()), features.rows());
+    HOTSPOT_CHECK_EQ(static_cast<int>(weights.size()), features.rows());
+  }
+};
+
+/// The paper's balancing scheme: each instance weighted by the inverse of
+/// its class frequency, so both classes carry equal total weight. Returns
+/// all-ones when a class is absent.
+inline std::vector<double> BalancedWeights(const std::vector<float>& labels) {
+  double positives = 0.0;
+  for (float y : labels) {
+    if (y != 0.0f) positives += 1.0;
+  }
+  double total = static_cast<double>(labels.size());
+  double negatives = total - positives;
+  std::vector<double> weights(labels.size(), 1.0);
+  if (positives == 0.0 || negatives == 0.0) return weights;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    weights[i] = labels[i] != 0.0f ? total / (2.0 * positives)
+                                   : total / (2.0 * negatives);
+  }
+  return weights;
+}
+
+/// Common interface of the tree-based classifiers (Tree, RandomForest,
+/// Gbdt) so the forecaster can treat them uniformly.
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  /// Trains on `data`. May be called once per instance lifetime.
+  virtual void Fit(const Dataset& data) = 0;
+
+  /// Probability of the positive class for one feature row (length =
+  /// num_features of the training data).
+  virtual double PredictProba(const float* row) const = 0;
+
+  /// Per-feature importances, normalized to sum to 1 (all-zero when the
+  /// model found no splits).
+  virtual std::vector<double> FeatureImportances() const = 0;
+};
+
+}  // namespace hotspot::ml
+
+#endif  // HOTSPOT_ML_DATASET_H_

@@ -1,0 +1,224 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace hotspot::ml {
+
+namespace {
+
+/// Weighted Gini impurity of a (positive weight, total weight) node.
+double Gini(double positive_weight, double total_weight) {
+  if (total_weight <= 0.0) return 0.0;
+  double p = positive_weight / total_weight;
+  return 2.0 * p * (1.0 - p);
+}
+
+struct SplitCandidate {
+  int feature = -1;
+  float threshold = 0.0f;
+  double impurity_decrease = 0.0;
+  bool valid = false;
+};
+
+}  // namespace
+
+DecisionTree::DecisionTree(const TreeConfig& config) : config_(config) {
+  HOTSPOT_CHECK(config.max_features_fraction > 0.0 &&
+                config.max_features_fraction <= 1.0);
+  HOTSPOT_CHECK_GE(config.min_weight_fraction, 0.0);
+}
+
+void DecisionTree::Fit(const Dataset& data) {
+  data.CheckConsistent();
+  HOTSPOT_CHECK_GT(data.num_instances(), 0);
+  HOTSPOT_CHECK(nodes_.empty());  // Fit once.
+
+  num_features_ = data.num_features();
+  importances_.assign(static_cast<size_t>(num_features_), 0.0);
+  total_weight_ = 0.0;
+  for (double w : data.weights) {
+    HOTSPOT_CHECK_GT(w, 0.0);
+    total_weight_ += w;
+  }
+
+  std::vector<int> instances(static_cast<size_t>(data.num_instances()));
+  for (int i = 0; i < data.num_instances(); ++i) {
+    instances[static_cast<size_t>(i)] = i;
+  }
+  Rng rng(config_.seed);
+  BuildNode(data, instances, 0, data.num_instances(), 0, &rng);
+
+  // Normalize importances.
+  double sum = 0.0;
+  for (double imp : importances_) sum += imp;
+  if (sum > 0.0) {
+    for (double& imp : importances_) imp /= sum;
+  }
+}
+
+int DecisionTree::BuildNode(const Dataset& data, std::vector<int>& instances,
+                            int begin, int end, int depth, Rng* rng) {
+  depth_ = std::max(depth_, depth);
+  double node_weight = 0.0;
+  double positive_weight = 0.0;
+  for (int pos = begin; pos < end; ++pos) {
+    int i = instances[static_cast<size_t>(pos)];
+    node_weight += data.weights[static_cast<size_t>(i)];
+    if (data.labels[static_cast<size_t>(i)] != 0.0f) {
+      positive_weight += data.weights[static_cast<size_t>(i)];
+    }
+  }
+
+  int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<size_t>(node_index)].prob =
+      node_weight > 0.0 ? static_cast<float>(positive_weight / node_weight)
+                        : 0.0f;
+
+  // Stopping criteria: purity, weight threshold, depth.
+  double node_impurity = Gini(positive_weight, node_weight);
+  bool can_split =
+      node_impurity > 0.0 &&
+      node_weight >= config_.min_weight_fraction * total_weight_ &&
+      (config_.max_depth == 0 || depth < config_.max_depth) &&
+      end - begin >= 2;
+  if (!can_split) return node_index;
+
+  // Random feature subset for this partition.
+  int subset_size;
+  if (config_.max_features_sqrt) {
+    subset_size = static_cast<int>(
+        std::floor(std::sqrt(static_cast<double>(num_features_))));
+  } else {
+    subset_size = static_cast<int>(
+        std::ceil(config_.max_features_fraction * num_features_));
+  }
+  subset_size = std::clamp(subset_size, 1, num_features_);
+  std::vector<int> candidate_features =
+      rng->SampleWithoutReplacement(num_features_, subset_size);
+
+  // Find the best split over the candidate features.
+  SplitCandidate best;
+  std::vector<std::pair<float, int>> sorted;  // (value, instance)
+  for (int feature : candidate_features) {
+    sorted.clear();
+    double missing_weight = 0.0;
+    double missing_positive = 0.0;
+    for (int pos = begin; pos < end; ++pos) {
+      int i = instances[static_cast<size_t>(pos)];
+      float value = data.features.At(i, feature);
+      if (IsMissing(value)) {
+        // NaN is routed left; treat it as -inf for split search.
+        missing_weight += data.weights[static_cast<size_t>(i)];
+        if (data.labels[static_cast<size_t>(i)] != 0.0f) {
+          missing_positive += data.weights[static_cast<size_t>(i)];
+        }
+        continue;
+      }
+      sorted.emplace_back(value, i);
+    }
+    if (sorted.size() < 2 && missing_weight == 0.0) continue;
+    std::sort(sorted.begin(), sorted.end());
+
+    double left_weight = missing_weight;
+    double left_positive = missing_positive;
+    for (size_t pos = 0; pos + 1 < sorted.size(); ++pos) {
+      int i = sorted[pos].second;
+      left_weight += data.weights[static_cast<size_t>(i)];
+      if (data.labels[static_cast<size_t>(i)] != 0.0f) {
+        left_positive += data.weights[static_cast<size_t>(i)];
+      }
+      // Can only split between distinct feature values.
+      if (sorted[pos].first == sorted[pos + 1].first) continue;
+      double right_weight = node_weight - left_weight;
+      double right_positive = positive_weight - left_positive;
+      if (left_weight <= 0.0 || right_weight <= 0.0) continue;
+      // min-weight constraint on children.
+      double min_child = config_.min_weight_fraction * total_weight_ * 0.5;
+      if (left_weight < min_child || right_weight < min_child) continue;
+      double decrease =
+          node_impurity -
+          (left_weight / node_weight) * Gini(left_positive, left_weight) -
+          (right_weight / node_weight) * Gini(right_positive, right_weight);
+      if (decrease > best.impurity_decrease) {
+        best.feature = feature;
+        // Midpoint threshold, like scikit-learn. For adjacent floats the
+        // midpoint can round up to the right value, which would leave the
+        // right child empty — fall back to the left value in that case
+        // (the partition test is `value <= threshold`).
+        float lo_value = sorted[pos].first;
+        float hi_value = sorted[pos + 1].first;
+        float threshold = 0.5f * (lo_value + hi_value);
+        if (!(threshold < hi_value)) threshold = lo_value;
+        best.threshold = threshold;
+        best.impurity_decrease = decrease;
+        best.valid = true;
+      }
+    }
+  }
+  if (!best.valid) return node_index;
+
+  importances_[static_cast<size_t>(best.feature)] +=
+      (node_weight / total_weight_) * best.impurity_decrease;
+
+  // Partition instances in place: left = value <= threshold or missing.
+  int mid = begin;
+  for (int pos = begin; pos < end; ++pos) {
+    int i = instances[static_cast<size_t>(pos)];
+    float value = data.features.At(i, best.feature);
+    if (IsMissing(value) || value <= best.threshold) {
+      std::swap(instances[static_cast<size_t>(pos)],
+                instances[static_cast<size_t>(mid)]);
+      ++mid;
+    }
+  }
+  HOTSPOT_CHECK(mid > begin && mid < end);
+
+  nodes_[static_cast<size_t>(node_index)].feature = best.feature;
+  nodes_[static_cast<size_t>(node_index)].threshold = best.threshold;
+  int left = BuildNode(data, instances, begin, mid, depth + 1, rng);
+  nodes_[static_cast<size_t>(node_index)].left = left;
+  int right = BuildNode(data, instances, mid, end, depth + 1, rng);
+  nodes_[static_cast<size_t>(node_index)].right = right;
+  return node_index;
+}
+
+double DecisionTree::PredictProba(const float* row) const {
+  HOTSPOT_CHECK(!nodes_.empty());
+  int node = 0;
+  while (nodes_[static_cast<size_t>(node)].feature >= 0) {
+    const Node& current = nodes_[static_cast<size_t>(node)];
+    float value = row[current.feature];
+    node = (IsMissing(value) || value <= current.threshold) ? current.left
+                                                            : current.right;
+  }
+  return nodes_[static_cast<size_t>(node)].prob;
+}
+
+std::vector<double> DecisionTree::FeatureImportances() const {
+  return importances_;
+}
+
+int DecisionTree::SplitFeatureAt(int split_index) const {
+  // Breadth-first walk over internal nodes.
+  std::deque<int> queue;
+  if (!nodes_.empty()) queue.push_back(0);
+  int seen = 0;
+  while (!queue.empty()) {
+    int node = queue.front();
+    queue.pop_front();
+    const Node& current = nodes_[static_cast<size_t>(node)];
+    if (current.feature < 0) continue;
+    if (seen == split_index) return current.feature;
+    ++seen;
+    queue.push_back(current.left);
+    queue.push_back(current.right);
+  }
+  return -1;
+}
+
+}  // namespace hotspot::ml

@@ -1,0 +1,71 @@
+#ifndef HOTSPOT_ML_DECISION_TREE_H_
+#define HOTSPOT_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/rng.h"
+
+namespace hotspot::ml {
+
+/// CART configuration. Defaults match the paper's single-Tree setup
+/// (Sec. IV-D): Gini split metric, a random 80 % of the features evaluated
+/// at every partition, and 2 % of the total weight as the stopping
+/// criterion.
+struct TreeConfig {
+  /// Fraction of features evaluated per split (ignored when
+  /// `max_features_sqrt` is set).
+  double max_features_fraction = 0.8;
+  /// Evaluate at most √d features per split (the forest setting).
+  bool max_features_sqrt = false;
+  /// A node is not split further when its weight falls below this fraction
+  /// of the total training weight (paper: 0.02 for Tree, 0.0002 for RF).
+  double min_weight_fraction = 0.02;
+  /// 0 = unlimited.
+  int max_depth = 0;
+  uint64_t seed = 1;
+};
+
+/// Weighted classification and regression tree (classification mode, Gini
+/// impurity). Missing feature values (NaN) are routed to the left child.
+class DecisionTree : public BinaryClassifier {
+ public:
+  explicit DecisionTree(const TreeConfig& config);
+
+  void Fit(const Dataset& data) override;
+  double PredictProba(const float* row) const override;
+  std::vector<double> FeatureImportances() const override;
+
+  /// Number of nodes (internal + leaves). 0 before Fit().
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int depth() const { return depth_; }
+
+  /// The feature tested by the d-th split encountered on a
+  /// breadth-first walk (used by the Sec. V-B "first splits" inspection);
+  /// -1 when there are fewer splits.
+  int SplitFeatureAt(int split_index) const;
+
+ private:
+  struct Node {
+    int feature = -1;        ///< -1 for leaves
+    float threshold = 0.0f;  ///< go left when value <= threshold (or NaN)
+    int left = -1;
+    int right = -1;
+    float prob = 0.0f;       ///< weighted positive fraction at this node
+  };
+
+  int BuildNode(const Dataset& data, std::vector<int>& instances, int begin,
+                int end, int depth, Rng* rng);
+
+  TreeConfig config_;
+  std::vector<Node> nodes_;
+  std::vector<double> importances_;
+  double total_weight_ = 0.0;
+  int num_features_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace hotspot::ml
+
+#endif  // HOTSPOT_ML_DECISION_TREE_H_

@@ -1,0 +1,353 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace hotspot::ml {
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+void FeatureBinner::Fit(const Matrix<float>& features, int max_bins) {
+  HOTSPOT_CHECK_GE(max_bins, 2);
+  HOTSPOT_CHECK_LE(max_bins, 255);
+  const int n = features.rows();
+  const int d = features.cols();
+  thresholds_.assign(static_cast<size_t>(d), {});
+  std::vector<float> column;
+  for (int f = 0; f < d; ++f) {
+    column.clear();
+    for (int i = 0; i < n; ++i) {
+      float value = features.At(i, f);
+      if (!IsMissing(value)) column.push_back(value);
+    }
+    std::sort(column.begin(), column.end());
+    column.erase(std::unique(column.begin(), column.end()), column.end());
+    std::vector<float>& cuts = thresholds_[static_cast<size_t>(f)];
+    int distinct = static_cast<int>(column.size());
+    if (distinct <= 1) continue;  // constant feature: one finite bin
+    // max_bins-1 finite bins (bin 0 is the missing bin) need at most
+    // max_bins-2 cut points.
+    int num_cuts = std::min(distinct - 1, max_bins - 2);
+    if (num_cuts <= 0) num_cuts = 1;
+    for (int c = 1; c <= num_cuts; ++c) {
+      // Evenly spaced quantiles over the distinct values; the cut sits
+      // between two adjacent distinct values.
+      size_t pos = static_cast<size_t>(
+          static_cast<double>(c) * distinct / (num_cuts + 1));
+      pos = std::min(pos, column.size() - 1);
+      if (pos == 0) pos = 1;
+      float cut = 0.5f * (column[pos - 1] + column[pos]);
+      if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+    }
+  }
+}
+
+int FeatureBinner::Bin(int feature, float value) const {
+  if (IsMissing(value)) return 0;
+  const std::vector<float>& cuts = thresholds_[static_cast<size_t>(feature)];
+  // Bin b+1 holds values <= cuts[b]; the last bin holds the rest.
+  int lo = 0;
+  int hi = static_cast<int>(cuts.size());
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (value <= cuts[static_cast<size_t>(mid)]) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo + 1;
+}
+
+int FeatureBinner::NumBins(int feature) const {
+  return static_cast<int>(thresholds_[static_cast<size_t>(feature)].size()) +
+         2;
+}
+
+const std::vector<float>& FeatureBinner::Thresholds(int feature) const {
+  return thresholds_[static_cast<size_t>(feature)];
+}
+
+Gbdt::Gbdt(const GbdtConfig& config) : config_(config) {
+  HOTSPOT_CHECK_GT(config.num_iterations, 0);
+  HOTSPOT_CHECK_GT(config.learning_rate, 0.0);
+  HOTSPOT_CHECK_GE(config.num_leaves, 2);
+  HOTSPOT_CHECK(config.feature_fraction > 0.0 &&
+                config.feature_fraction <= 1.0);
+  HOTSPOT_CHECK(config.bagging_fraction > 0.0 &&
+                config.bagging_fraction <= 1.0);
+}
+
+namespace {
+
+/// A leaf pending a possible split during leaf-wise growth.
+struct PendingLeaf {
+  int node = -1;
+  std::vector<int> rows;
+  double grad_sum = 0.0;
+  double hess_sum = 0.0;
+  int depth = 0;
+  // Best split found for this leaf.
+  double best_gain = 0.0;
+  int best_feature = -1;
+  int best_bin = -1;
+  bool evaluated = false;
+};
+
+double LeafObjective(double grad_sum, double hess_sum, double lambda) {
+  return grad_sum * grad_sum / (hess_sum + lambda);
+}
+
+}  // namespace
+
+Gbdt::Tree Gbdt::BuildTree(const Matrix<uint8_t>& binned,
+                           const std::vector<double>& grads,
+                           const std::vector<double>& hessians,
+                           const std::vector<int>& rows,
+                           const std::vector<int>& features, Rng* rng) {
+  (void)rng;
+  Tree tree;
+  std::vector<PendingLeaf> leaves;
+
+  auto make_leaf = [&](std::vector<int> leaf_rows, int depth) {
+    PendingLeaf leaf;
+    leaf.node = static_cast<int>(tree.nodes.size());
+    tree.nodes.push_back(Node{});
+    leaf.rows = std::move(leaf_rows);
+    for (int r : leaf.rows) {
+      leaf.grad_sum += grads[static_cast<size_t>(r)];
+      leaf.hess_sum += hessians[static_cast<size_t>(r)];
+    }
+    leaf.depth = depth;
+    tree.nodes[static_cast<size_t>(leaf.node)].value =
+        -config_.learning_rate * leaf.grad_sum /
+        (leaf.hess_sum + config_.lambda_l2);
+    leaves.push_back(std::move(leaf));
+    return static_cast<int>(leaves.size()) - 1;
+  };
+
+  auto evaluate_leaf = [&](PendingLeaf& leaf) {
+    leaf.evaluated = true;
+    leaf.best_gain = 0.0;
+    leaf.best_feature = -1;
+    if (config_.max_depth > 0 && leaf.depth >= config_.max_depth) return;
+    if (leaf.rows.size() < 2) return;
+    double parent_obj =
+        LeafObjective(leaf.grad_sum, leaf.hess_sum, config_.lambda_l2);
+    std::vector<double> hist_grad;
+    std::vector<double> hist_hess;
+    for (int f : features) {
+      int bins = binner_.NumBins(f);
+      hist_grad.assign(static_cast<size_t>(bins), 0.0);
+      hist_hess.assign(static_cast<size_t>(bins), 0.0);
+      for (int r : leaf.rows) {
+        int b = binned.At(r, f);
+        hist_grad[static_cast<size_t>(b)] += grads[static_cast<size_t>(r)];
+        hist_hess[static_cast<size_t>(b)] += hessians[static_cast<size_t>(r)];
+      }
+      double left_grad = 0.0;
+      double left_hess = 0.0;
+      for (int b = 0; b + 1 < bins; ++b) {
+        left_grad += hist_grad[static_cast<size_t>(b)];
+        left_hess += hist_hess[static_cast<size_t>(b)];
+        double right_grad = leaf.grad_sum - left_grad;
+        double right_hess = leaf.hess_sum - left_hess;
+        if (left_hess < config_.min_child_hessian ||
+            right_hess < config_.min_child_hessian) {
+          continue;
+        }
+        double gain =
+            LeafObjective(left_grad, left_hess, config_.lambda_l2) +
+            LeafObjective(right_grad, right_hess, config_.lambda_l2) -
+            parent_obj;
+        if (gain > leaf.best_gain) {
+          leaf.best_gain = gain;
+          leaf.best_feature = f;
+          leaf.best_bin = b;
+        }
+      }
+    }
+  };
+
+  std::vector<int> root_rows = rows;
+  make_leaf(std::move(root_rows), 0);
+
+  int leaf_count = 1;
+  while (leaf_count < config_.num_leaves) {
+    // Pick the evaluated leaf with the best gain.
+    int best_index = -1;
+    double best_gain = 0.0;
+    for (size_t idx = 0; idx < leaves.size(); ++idx) {
+      PendingLeaf& leaf = leaves[idx];
+      if (leaf.node < 0) continue;  // already split
+      if (!leaf.evaluated) evaluate_leaf(leaf);
+      if (leaf.best_feature >= 0 && leaf.best_gain > best_gain) {
+        best_gain = leaf.best_gain;
+        best_index = static_cast<int>(idx);
+      }
+    }
+    if (best_index < 0) break;
+
+    PendingLeaf& leaf = leaves[static_cast<size_t>(best_index)];
+    std::vector<int> left_rows;
+    std::vector<int> right_rows;
+    for (int r : leaf.rows) {
+      if (binned.At(r, leaf.best_feature) <= leaf.best_bin) {
+        left_rows.push_back(r);
+      } else {
+        right_rows.push_back(r);
+      }
+    }
+    HOTSPOT_CHECK(!left_rows.empty() && !right_rows.empty());
+
+    gain_importances_[static_cast<size_t>(leaf.best_feature)] +=
+        leaf.best_gain;
+
+    int node = leaf.node;
+    int depth = leaf.depth;
+    int feature = leaf.best_feature;
+    int bin = leaf.best_bin;
+    leaf.node = -1;  // consumed; references into `leaves` may dangle below
+    leaf.rows.clear();
+
+    int left_leaf = make_leaf(std::move(left_rows), depth + 1);
+    int right_leaf = make_leaf(std::move(right_rows), depth + 1);
+    Node& parent = tree.nodes[static_cast<size_t>(node)];
+    parent.feature = feature;
+    parent.bin_threshold = bin;
+    parent.left = leaves[static_cast<size_t>(left_leaf)].node;
+    parent.right = leaves[static_cast<size_t>(right_leaf)].node;
+    parent.value = 0.0;
+    ++leaf_count;
+  }
+  return tree;
+}
+
+void Gbdt::Fit(const Dataset& data) {
+  data.CheckConsistent();
+  HOTSPOT_CHECK(trees_.empty());  // Fit once.
+  const int n = data.num_instances();
+  HOTSPOT_CHECK_GT(n, 0);
+  num_features_ = data.num_features();
+  gain_importances_.assign(static_cast<size_t>(num_features_), 0.0);
+
+  binner_.Fit(data.features, config_.max_bins);
+  Matrix<uint8_t> binned(n, num_features_);
+  for (int i = 0; i < n; ++i) {
+    const float* row = data.features.Row(i);
+    for (int f = 0; f < num_features_; ++f) {
+      binned.At(i, f) = static_cast<uint8_t>(binner_.Bin(f, row[f]));
+    }
+  }
+
+  // Weighted prior.
+  double weight_sum = 0.0;
+  double positive_weight = 0.0;
+  for (int i = 0; i < n; ++i) {
+    weight_sum += data.weights[static_cast<size_t>(i)];
+    if (data.labels[static_cast<size_t>(i)] != 0.0f) {
+      positive_weight += data.weights[static_cast<size_t>(i)];
+    }
+  }
+  double prior = std::clamp(positive_weight / weight_sum, 1e-6, 1.0 - 1e-6);
+  base_score_ = std::log(prior / (1.0 - prior));
+
+  std::vector<double> scores(static_cast<size_t>(n), base_score_);
+  std::vector<double> grads(static_cast<size_t>(n));
+  std::vector<double> hessians(static_cast<size_t>(n));
+
+  Rng rng(config_.seed);
+  std::vector<int> all_features(static_cast<size_t>(num_features_));
+  for (int f = 0; f < num_features_; ++f) {
+    all_features[static_cast<size_t>(f)] = f;
+  }
+
+  for (int iter = 0; iter < config_.num_iterations; ++iter) {
+    double loss = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double p = Sigmoid(scores[static_cast<size_t>(i)]);
+      double y = data.labels[static_cast<size_t>(i)] != 0.0f ? 1.0 : 0.0;
+      double w = data.weights[static_cast<size_t>(i)];
+      grads[static_cast<size_t>(i)] = w * (p - y);
+      hessians[static_cast<size_t>(i)] = w * std::max(p * (1.0 - p), 1e-9);
+      double clipped = std::clamp(p, 1e-12, 1.0 - 1e-12);
+      loss -= w * (y * std::log(clipped) + (1.0 - y) * std::log(1.0 - clipped));
+    }
+    training_loss_.push_back(loss / weight_sum);
+
+    // Row / feature subsampling.
+    std::vector<int> rows;
+    if (config_.bagging_fraction < 1.0) {
+      int take = std::max(1, static_cast<int>(config_.bagging_fraction * n));
+      rows = rng.SampleWithoutReplacement(n, take);
+    } else {
+      rows.resize(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) rows[static_cast<size_t>(i)] = i;
+    }
+    std::vector<int> features;
+    if (config_.feature_fraction < 1.0) {
+      int take = std::max(
+          1, static_cast<int>(config_.feature_fraction * num_features_));
+      features = rng.SampleWithoutReplacement(num_features_, take);
+    } else {
+      features = all_features;
+    }
+
+    Tree tree = BuildTree(binned, grads, hessians, rows, features, &rng);
+
+    // Update scores for all rows.
+    for (int i = 0; i < n; ++i) {
+      int node = 0;
+      while (tree.nodes[static_cast<size_t>(node)].feature >= 0) {
+        const Node& current = tree.nodes[static_cast<size_t>(node)];
+        node = binned.At(i, current.feature) <= current.bin_threshold
+                   ? current.left
+                   : current.right;
+      }
+      scores[static_cast<size_t>(i)] +=
+          tree.nodes[static_cast<size_t>(node)].value;
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double Gbdt::PredictRaw(const float* row) const {
+  HOTSPOT_CHECK(!trees_.empty());
+  double score = base_score_;
+  for (const Tree& tree : trees_) {
+    int node = 0;
+    while (tree.nodes[static_cast<size_t>(node)].feature >= 0) {
+      const Node& current = tree.nodes[static_cast<size_t>(node)];
+      int bin = binner_.Bin(current.feature, row[current.feature]);
+      node = bin <= current.bin_threshold ? current.left : current.right;
+    }
+    score += tree.nodes[static_cast<size_t>(node)].value;
+  }
+  return score;
+}
+
+double Gbdt::PredictProba(const float* row) const {
+  return Sigmoid(PredictRaw(row));
+}
+
+std::vector<double> Gbdt::FeatureImportances() const {
+  std::vector<double> importances = gain_importances_;
+  double sum = 0.0;
+  for (double imp : importances) sum += imp;
+  if (sum > 0.0) {
+    for (double& imp : importances) imp /= sum;
+  }
+  return importances;
+}
+
+}  // namespace hotspot::ml

@@ -1,0 +1,48 @@
+#ifndef HOTSPOT_ML_RANDOM_FOREST_H_
+#define HOTSPOT_ML_RANDOM_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+
+namespace hotspot::ml {
+
+/// Random forest configuration. Defaults match the paper's RF setup
+/// (Sec. IV-D): √d features per split, much deeper trees (0.02 % of the
+/// total weight as the stopping criterion), bootstrap aggregation of class
+/// probabilities.
+struct ForestConfig {
+  int num_trees = 50;
+  /// Stopping criterion per tree (paper: 0.0002).
+  double min_weight_fraction = 0.0002;
+  int max_depth = 0;  ///< 0 = unlimited
+  bool bootstrap = true;
+  uint64_t seed = 1;
+};
+
+/// Bagged ensemble of DecisionTree classifiers (Breiman 2001): each tree
+/// sees a bootstrap resample of the instances and evaluates at most √d
+/// features per split; prediction is the mean of tree probabilities, and
+/// feature importances are the mean of per-tree impurity importances.
+class RandomForest : public BinaryClassifier {
+ public:
+  explicit RandomForest(const ForestConfig& config);
+
+  void Fit(const Dataset& data) override;
+  double PredictProba(const float* row) const override;
+  std::vector<double> FeatureImportances() const override;
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+  const DecisionTree& tree(int index) const;
+
+ private:
+  ForestConfig config_;
+  std::vector<std::unique_ptr<DecisionTree>> trees_;
+  int num_features_ = 0;
+};
+
+}  // namespace hotspot::ml
+
+#endif  // HOTSPOT_ML_RANDOM_FOREST_H_

@@ -1,0 +1,90 @@
+#include "nn/autoencoder.h"
+
+#include <memory>
+
+#include "util/logging.h"
+
+namespace hotspot::nn {
+
+double MaskedMse(const Matrix<float>& reconstruction,
+                 const Matrix<float>& target, const Matrix<float>& mask,
+                 Matrix<float>* grad_out) {
+  HOTSPOT_CHECK_EQ(reconstruction.rows(), target.rows());
+  HOTSPOT_CHECK_EQ(reconstruction.cols(), target.cols());
+  HOTSPOT_CHECK_EQ(reconstruction.rows(), mask.rows());
+  HOTSPOT_CHECK_EQ(reconstruction.cols(), mask.cols());
+  double sum_sq = 0.0;
+  long long count = 0;
+  for (size_t idx = 0; idx < reconstruction.data().size(); ++idx) {
+    if (mask.data()[idx] == 0.0f) continue;
+    double diff = reconstruction.data()[idx] - target.data()[idx];
+    sum_sq += diff * diff;
+    ++count;
+  }
+  double denom = count > 0 ? static_cast<double>(count) : 1.0;
+  if (grad_out != nullptr) {
+    *grad_out = Matrix<float>(reconstruction.rows(), reconstruction.cols(),
+                              0.0f);
+    for (size_t idx = 0; idx < reconstruction.data().size(); ++idx) {
+      if (mask.data()[idx] == 0.0f) continue;
+      grad_out->data()[idx] = static_cast<float>(
+          2.0 * (reconstruction.data()[idx] - target.data()[idx]) / denom);
+    }
+  }
+  return count > 0 ? sum_sq / denom : 0.0;
+}
+
+DenoisingAutoencoder::DenoisingAutoencoder(const AutoencoderConfig& config)
+    : config_(config),
+      optimizer_(config.learning_rate, config.rms_decay) {
+  HOTSPOT_CHECK_GT(config.input_dim, 0);
+  HOTSPOT_CHECK_GT(config.encoder_layers, 0);
+  Rng rng(config.seed);
+
+  // Encoder: halving widths.
+  std::vector<int> widths = {config.input_dim};
+  for (int layer = 0; layer < config.encoder_layers; ++layer) {
+    int next = widths.back() / 2;
+    HOTSPOT_CHECK_GT(next, 0);
+    widths.push_back(next);
+  }
+  code_dim_ = widths.back();
+  for (size_t layer = 0; layer + 1 < widths.size(); ++layer) {
+    network_.Add(std::make_unique<Dense>(widths[layer], widths[layer + 1],
+                                         &rng));
+    network_.Add(std::make_unique<PRelu>(widths[layer + 1]));
+  }
+  // Decoder: symmetric, PReLU between layers, linear output.
+  for (size_t layer = widths.size() - 1; layer > 0; --layer) {
+    network_.Add(std::make_unique<Dense>(widths[layer], widths[layer - 1],
+                                         &rng));
+    if (layer > 1) {
+      network_.Add(std::make_unique<PRelu>(widths[layer - 1]));
+    }
+  }
+}
+
+double DenoisingAutoencoder::TrainBatch(const Matrix<float>& corrupted,
+                                        const Matrix<float>& target,
+                                        const Matrix<float>& mask) {
+  Matrix<float> reconstruction = network_.Forward(corrupted);
+  Matrix<float> grad;
+  double loss = MaskedMse(reconstruction, target, mask, &grad);
+  network_.ZeroGrads();
+  network_.Backward(grad);
+  optimizer_.Step(network_.Params());
+  return loss;
+}
+
+Matrix<float> DenoisingAutoencoder::Reconstruct(const Matrix<float>& input) {
+  return network_.Forward(input);
+}
+
+double DenoisingAutoencoder::Loss(const Matrix<float>& corrupted,
+                                  const Matrix<float>& target,
+                                  const Matrix<float>& mask) {
+  Matrix<float> reconstruction = network_.Forward(corrupted);
+  return MaskedMse(reconstruction, target, mask, nullptr);
+}
+
+}  // namespace hotspot::nn

@@ -1,0 +1,141 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "nn/matrix_ops.h"
+#include "util/logging.h"
+
+namespace hotspot::nn {
+
+void Layer::ZeroGrads() {
+  for (ParamView view : Params()) {
+    std::memset(view.grads, 0, view.size * sizeof(float));
+  }
+}
+
+Dense::Dense(int in_dim, int out_dim, Rng* rng)
+    : in_dim_(in_dim), out_dim_(out_dim),
+      weights_(in_dim, out_dim),
+      weight_grads_(in_dim, out_dim, 0.0f),
+      bias_(static_cast<size_t>(out_dim), 0.0f),
+      bias_grads_(static_cast<size_t>(out_dim), 0.0f) {
+  HOTSPOT_CHECK_GT(in_dim, 0);
+  HOTSPOT_CHECK_GT(out_dim, 0);
+  HOTSPOT_CHECK(rng != nullptr);
+  // Glorot-uniform initialization.
+  float limit = std::sqrt(6.0f / static_cast<float>(in_dim + out_dim));
+  for (float& w : weights_.data()) {
+    w = static_cast<float>(rng->Uniform(-limit, limit));
+  }
+}
+
+Matrix<float> Dense::Forward(const Matrix<float>& input) {
+  HOTSPOT_CHECK_EQ(input.cols(), in_dim_);
+  cached_input_ = input;
+  Matrix<float> output;
+  MatMul(input, weights_, &output);
+  for (int r = 0; r < output.rows(); ++r) {
+    float* row = output.Row(r);
+    for (int c = 0; c < out_dim_; ++c) {
+      row[c] += bias_[static_cast<size_t>(c)];
+    }
+  }
+  return output;
+}
+
+Matrix<float> Dense::Backward(const Matrix<float>& grad_output) {
+  HOTSPOT_CHECK_EQ(grad_output.cols(), out_dim_);
+  HOTSPOT_CHECK_EQ(grad_output.rows(), cached_input_.rows());
+  Matrix<float> weight_grad;
+  MatMulTransposedA(cached_input_, grad_output, &weight_grad);
+  for (size_t idx = 0; idx < weight_grad.data().size(); ++idx) {
+    weight_grads_.data()[idx] += weight_grad.data()[idx];
+  }
+  for (int r = 0; r < grad_output.rows(); ++r) {
+    const float* row = grad_output.Row(r);
+    for (int c = 0; c < out_dim_; ++c) {
+      bias_grads_[static_cast<size_t>(c)] += row[c];
+    }
+  }
+  Matrix<float> grad_input;
+  MatMulTransposedB(grad_output, weights_, &grad_input);
+  return grad_input;
+}
+
+std::vector<ParamView> Dense::Params() {
+  return {
+      {weights_.data().data(), weight_grads_.data().data(),
+       weights_.data().size()},
+      {bias_.data(), bias_grads_.data(), bias_.size()},
+  };
+}
+
+PRelu::PRelu(int dim, float initial_alpha)
+    : alpha_(static_cast<size_t>(dim), initial_alpha),
+      alpha_grads_(static_cast<size_t>(dim), 0.0f) {
+  HOTSPOT_CHECK_GT(dim, 0);
+}
+
+Matrix<float> PRelu::Forward(const Matrix<float>& input) {
+  HOTSPOT_CHECK_EQ(input.cols(), static_cast<int>(alpha_.size()));
+  cached_input_ = input;
+  Matrix<float> output = input;
+  for (int r = 0; r < output.rows(); ++r) {
+    float* row = output.Row(r);
+    for (int c = 0; c < output.cols(); ++c) {
+      if (row[c] < 0.0f) row[c] *= alpha_[static_cast<size_t>(c)];
+    }
+  }
+  return output;
+}
+
+Matrix<float> PRelu::Backward(const Matrix<float>& grad_output) {
+  HOTSPOT_CHECK_EQ(grad_output.rows(), cached_input_.rows());
+  HOTSPOT_CHECK_EQ(grad_output.cols(), cached_input_.cols());
+  Matrix<float> grad_input = grad_output;
+  for (int r = 0; r < grad_output.rows(); ++r) {
+    const float* in = cached_input_.Row(r);
+    const float* gout = grad_output.Row(r);
+    float* gin = grad_input.Row(r);
+    for (int c = 0; c < grad_output.cols(); ++c) {
+      if (in[c] < 0.0f) {
+        alpha_grads_[static_cast<size_t>(c)] += gout[c] * in[c];
+        gin[c] = gout[c] * alpha_[static_cast<size_t>(c)];
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamView> PRelu::Params() {
+  return {{alpha_.data(), alpha_grads_.data(), alpha_.size()}};
+}
+
+Matrix<float> Sequential::Forward(const Matrix<float>& input) {
+  Matrix<float> activation = input;
+  for (auto& layer : layers_) activation = layer->Forward(activation);
+  return activation;
+}
+
+Matrix<float> Sequential::Backward(const Matrix<float>& grad_output) {
+  Matrix<float> grad = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->Backward(grad);
+  }
+  return grad;
+}
+
+void Sequential::ZeroGrads() {
+  for (auto& layer : layers_) layer->ZeroGrads();
+}
+
+std::vector<ParamView> Sequential::Params() {
+  std::vector<ParamView> params;
+  for (auto& layer : layers_) {
+    for (ParamView view : layer->Params()) params.push_back(view);
+  }
+  return params;
+}
+
+}  // namespace hotspot::nn

@@ -1,0 +1,107 @@
+#ifndef HOTSPOT_NN_LAYERS_H_
+#define HOTSPOT_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace hotspot::nn {
+
+/// View into one trainable parameter vector and its gradient accumulator.
+struct ParamView {
+  float* values = nullptr;
+  float* grads = nullptr;
+  size_t size = 0;
+};
+
+/// A differentiable layer operating on batches (rows = examples).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output and caches whatever Backward needs.
+  virtual Matrix<float> Forward(const Matrix<float>& input) = 0;
+
+  /// Propagates the loss gradient, accumulating parameter gradients.
+  virtual Matrix<float> Backward(const Matrix<float>& grad_output) = 0;
+
+  /// Trainable parameters (empty for parameter-free layers).
+  virtual std::vector<ParamView> Params() = 0;
+
+  /// Zeroes all gradient accumulators.
+  void ZeroGrads();
+};
+
+/// Fully connected affine layer: out = in · W + b, with Glorot-uniform
+/// initialization.
+class Dense : public Layer {
+ public:
+  Dense(int in_dim, int out_dim, Rng* rng);
+
+  Matrix<float> Forward(const Matrix<float>& input) override;
+  Matrix<float> Backward(const Matrix<float>& grad_output) override;
+  std::vector<ParamView> Params() override;
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+
+ private:
+  int in_dim_;
+  int out_dim_;
+  Matrix<float> weights_;       // in_dim x out_dim
+  Matrix<float> weight_grads_;  // same shape
+  std::vector<float> bias_;
+  std::vector<float> bias_grads_;
+  Matrix<float> cached_input_;
+};
+
+/// Parametric rectified linear unit with one learnable slope per channel
+/// (He et al. 2015), as used by the paper's autoencoder.
+class PRelu : public Layer {
+ public:
+  explicit PRelu(int dim, float initial_alpha = 0.25f);
+
+  Matrix<float> Forward(const Matrix<float>& input) override;
+  Matrix<float> Backward(const Matrix<float>& grad_output) override;
+  std::vector<ParamView> Params() override;
+
+  const std::vector<float>& alphas() const { return alpha_; }
+
+ private:
+  std::vector<float> alpha_;
+  std::vector<float> alpha_grads_;
+  Matrix<float> cached_input_;
+};
+
+/// A plain sequential container.
+class Sequential {
+ public:
+  Sequential() = default;
+
+  Sequential(const Sequential&) = delete;
+  Sequential& operator=(const Sequential&) = delete;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  void Add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  Matrix<float> Forward(const Matrix<float>& input);
+  /// Backward through all layers; returns the input gradient.
+  Matrix<float> Backward(const Matrix<float>& grad_output);
+
+  void ZeroGrads();
+  std::vector<ParamView> Params();
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace hotspot::nn
+
+#endif  // HOTSPOT_NN_LAYERS_H_

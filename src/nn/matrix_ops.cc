@@ -1,0 +1,55 @@
+#include "nn/matrix_ops.h"
+
+#include "util/logging.h"
+
+namespace hotspot::nn {
+
+void MatMul(const Matrix<float>& a, const Matrix<float>& b,
+            Matrix<float>* out) {
+  HOTSPOT_CHECK_EQ(a.cols(), b.rows());
+  *out = Matrix<float>(a.rows(), b.cols(), 0.0f);
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out->Row(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      float aik = arow[k];
+      if (aik == 0.0f) continue;
+      const float* brow = b.Row(k);
+      for (int j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+void MatMulTransposedA(const Matrix<float>& a, const Matrix<float>& b,
+                       Matrix<float>* out) {
+  HOTSPOT_CHECK_EQ(a.rows(), b.rows());
+  *out = Matrix<float>(a.cols(), b.cols(), 0.0f);
+  for (int k = 0; k < a.rows(); ++k) {
+    const float* arow = a.Row(k);
+    const float* brow = b.Row(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* orow = out->Row(i);
+      for (int j = 0; j < b.cols(); ++j) orow[j] += aki * brow[j];
+    }
+  }
+}
+
+void MatMulTransposedB(const Matrix<float>& a, const Matrix<float>& b,
+                       Matrix<float>* out) {
+  HOTSPOT_CHECK_EQ(a.cols(), b.cols());
+  *out = Matrix<float>(a.rows(), b.rows(), 0.0f);
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out->Row(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const float* brow = b.Row(j);
+      float sum = 0.0f;
+      for (int k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+      orow[j] = sum;
+    }
+  }
+}
+
+}  // namespace hotspot::nn

@@ -1,0 +1,22 @@
+#ifndef HOTSPOT_NN_MATRIX_OPS_H_
+#define HOTSPOT_NN_MATRIX_OPS_H_
+
+#include "tensor/matrix.h"
+
+namespace hotspot::nn {
+
+/// out = a (m x k) * b (k x n). `out` is resized/overwritten.
+void MatMul(const Matrix<float>& a, const Matrix<float>& b,
+            Matrix<float>* out);
+
+/// out = aᵀ (m x k, a is k x m) * b (k x n). Used for weight gradients.
+void MatMulTransposedA(const Matrix<float>& a, const Matrix<float>& b,
+                       Matrix<float>* out);
+
+/// out = a (m x k) * bᵀ (k x n, b is n x k). Used for input gradients.
+void MatMulTransposedB(const Matrix<float>& a, const Matrix<float>& b,
+                       Matrix<float>* out);
+
+}  // namespace hotspot::nn
+
+#endif  // HOTSPOT_NN_MATRIX_OPS_H_

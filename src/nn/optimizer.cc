@@ -1,0 +1,36 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hotspot::nn {
+
+RmsProp::RmsProp(double learning_rate, double decay, double epsilon)
+    : learning_rate_(learning_rate), decay_(decay), epsilon_(epsilon) {
+  HOTSPOT_CHECK_GT(learning_rate, 0.0);
+  HOTSPOT_CHECK(decay > 0.0 && decay < 1.0);
+}
+
+void RmsProp::Step(const std::vector<ParamView>& params) {
+  if (mean_square_.empty()) {
+    mean_square_.resize(params.size());
+    for (size_t p = 0; p < params.size(); ++p) {
+      mean_square_[p].assign(params[p].size, 0.0f);
+    }
+  }
+  HOTSPOT_CHECK_EQ(mean_square_.size(), params.size());
+  for (size_t p = 0; p < params.size(); ++p) {
+    const ParamView& view = params[p];
+    std::vector<float>& ms = mean_square_[p];
+    HOTSPOT_CHECK_EQ(ms.size(), view.size);
+    for (size_t i = 0; i < view.size; ++i) {
+      float g = view.grads[i];
+      ms[i] = static_cast<float>(decay_ * ms[i] + (1.0 - decay_) * g * g);
+      view.values[i] -= static_cast<float>(
+          learning_rate_ * g / (std::sqrt(ms[i]) + epsilon_));
+    }
+  }
+}
+
+}  // namespace hotspot::nn

@@ -1,0 +1,35 @@
+#ifndef HOTSPOT_NN_OPTIMIZER_H_
+#define HOTSPOT_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace hotspot::nn {
+
+/// RMSprop (Tieleman & Hinton 2012), the optimizer the paper trains its
+/// autoencoder with: per-parameter learning rates from a running average
+/// of squared gradients.
+class RmsProp {
+ public:
+  /// `learning_rate` and `decay` match the paper's 1e-4 and 0.99 defaults.
+  explicit RmsProp(double learning_rate = 1e-4, double decay = 0.99,
+                   double epsilon = 1e-8);
+
+  /// Applies one update using the gradients currently accumulated in
+  /// `params` and then leaves the gradients untouched (caller zeroes them).
+  /// The set and order of parameter views must be stable across calls.
+  void Step(const std::vector<ParamView>& params);
+
+  double learning_rate() const { return learning_rate_; }
+
+ private:
+  double learning_rate_;
+  double decay_;
+  double epsilon_;
+  std::vector<std::vector<float>> mean_square_;
+};
+
+}  // namespace hotspot::nn
+
+#endif  // HOTSPOT_NN_OPTIMIZER_H_

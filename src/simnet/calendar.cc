@@ -1,0 +1,173 @@
+#include "simnet/calendar.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace hotspot::simnet {
+
+namespace {
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+}  // namespace
+
+Date AddDays(Date base, int days) {
+  HOTSPOT_CHECK_GE(days, 0);
+  base.day += days;
+  while (base.day > DaysInMonth(base.year, base.month)) {
+    base.day -= DaysInMonth(base.year, base.month);
+    ++base.month;
+    if (base.month > 12) {
+      base.month = 1;
+      ++base.year;
+    }
+  }
+  return base;
+}
+
+int DayOfWeek(const Date& date) {
+  // Sakamoto's algorithm, shifted so Monday = 0.
+  static const int kOffsets[] = {0, 3, 2, 5, 0, 3, 5, 1, 4, 6, 2, 4};
+  int y = date.year;
+  if (date.month < 3) --y;
+  int sunday0 =
+      (y + y / 4 - y / 100 + y / 400 + kOffsets[date.month - 1] + date.day) %
+      7;
+  return (sunday0 + 6) % 7;
+}
+
+std::string FormatDate(const Date& date) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02d", date.year,
+                date.month, date.day);
+  return buffer;
+}
+
+StudyCalendar::StudyCalendar(Date start_date, int weeks,
+                             std::vector<int> holiday_offsets,
+                             std::vector<int> shopping_day_offsets)
+    : start_date_(start_date), weeks_(weeks) {
+  HOTSPOT_CHECK_GT(weeks, 0);
+  holiday_.assign(static_cast<size_t>(days()), false);
+  shopping_.assign(static_cast<size_t>(days()), false);
+  for (int offset : holiday_offsets) {
+    if (offset >= 0 && offset < days()) {
+      holiday_[static_cast<size_t>(offset)] = true;
+    }
+  }
+  for (int offset : shopping_day_offsets) {
+    if (offset >= 0 && offset < days()) {
+      shopping_[static_cast<size_t>(offset)] = true;
+    }
+  }
+}
+
+StudyCalendar StudyCalendar::Paper(int weeks) {
+  Date start{2015, 11, 30};
+  return StudyCalendar(start, weeks, DefaultHolidays(start, weeks),
+                       DefaultShoppingDays(start, weeks));
+}
+
+Date StudyCalendar::DateOfDay(int day) const {
+  HOTSPOT_CHECK(day >= 0 && day < days());
+  return AddDays(start_date_, day);
+}
+
+int StudyCalendar::DayOfWeekOfDay(int day) const {
+  return (DayOfWeek(start_date_) + day) % 7;
+}
+
+bool StudyCalendar::IsWeekend(int day) const {
+  int dow = DayOfWeekOfDay(day);
+  return dow == 5 || dow == 6;
+}
+
+bool StudyCalendar::IsHoliday(int day) const {
+  HOTSPOT_CHECK(day >= 0 && day < days());
+  return holiday_[static_cast<size_t>(day)];
+}
+
+bool StudyCalendar::IsShoppingDay(int day) const {
+  HOTSPOT_CHECK(day >= 0 && day < days());
+  return shopping_[static_cast<size_t>(day)];
+}
+
+Matrix<float> StudyCalendar::BuildCalendarMatrix() const {
+  Matrix<float> calendar(hours(), 5);
+  for (int h = 0; h < hours(); ++h) {
+    int day = DayOfHour(h);
+    Date date = DateOfDay(day);
+    calendar.At(h, 0) = static_cast<float>(HourOfDay(h));
+    calendar.At(h, 1) = static_cast<float>(DayOfWeekOfDay(day));
+    calendar.At(h, 2) = static_cast<float>(date.day);
+    calendar.At(h, 3) = IsWeekend(day) ? 1.0f : 0.0f;
+    calendar.At(h, 4) = IsHoliday(day) ? 1.0f : 0.0f;
+  }
+  return calendar;
+}
+
+namespace {
+
+int OffsetOf(const Date& start, const Date& target) {
+  // Linear scan is fine: the study period is a few hundred days.
+  Date cursor = start;
+  for (int offset = 0; offset < 400; ++offset) {
+    if (cursor == target) return offset;
+    cursor = AddDays(cursor, 1);
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::vector<int> StudyCalendar::DefaultHolidays(const Date& start,
+                                                int weeks) {
+  // Spanish national holidays falling inside Nov 30, 2015 - Apr 3, 2016,
+  // matching the operator country flavor of the paper's data.
+  const Date holidays[] = {
+      {2015, 12, 8},  // Immaculate Conception
+      {2015, 12, 25},  // Christmas
+      {2015, 12, 26},  // St. Stephen's (regional)
+      {2016, 1, 1},    // New Year
+      {2016, 1, 6},    // Epiphany
+      {2016, 3, 25},   // Good Friday
+      {2016, 3, 28},   // Easter Monday
+  };
+  std::vector<int> offsets;
+  for (const Date& holiday : holidays) {
+    int offset = OffsetOf(start, holiday);
+    if (offset >= 0 && offset < weeks * 7) offsets.push_back(offset);
+  }
+  return offsets;
+}
+
+std::vector<int> StudyCalendar::DefaultShoppingDays(const Date& start,
+                                                    int weeks) {
+  std::vector<int> offsets;
+  // Pre-Christmas rush: Dec 19-23 and the January sales kick-off Jan 7-9.
+  const Date rush[] = {{2015, 12, 19}, {2015, 12, 21}, {2015, 12, 22},
+                       {2015, 12, 23}, {2016, 1, 7},   {2016, 1, 8},
+                       {2016, 1, 9}};
+  for (const Date& date : rush) {
+    int offset = OffsetOf(start, date);
+    if (offset >= 0 && offset < weeks * 7) offsets.push_back(offset);
+  }
+  // First Saturday of every month is a popular shopping day.
+  Date cursor = start;
+  for (int day = 0; day < weeks * 7; ++day) {
+    if (cursor.day <= 7 && DayOfWeek(cursor) == 5) offsets.push_back(day);
+    cursor = AddDays(cursor, 1);
+  }
+  return offsets;
+}
+
+}  // namespace hotspot::simnet

@@ -1,0 +1,76 @@
+#ifndef HOTSPOT_SIMNET_CALENDAR_H_
+#define HOTSPOT_SIMNET_CALENDAR_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace hotspot::simnet {
+
+/// A calendar date (proleptic Gregorian).
+struct Date {
+  int year = 2015;
+  int month = 11;  ///< 1..12
+  int day = 30;    ///< 1..31
+
+  bool operator==(const Date&) const = default;
+};
+
+/// Returns `base` advanced by `days` (days >= 0).
+Date AddDays(Date base, int days);
+
+/// Day of week with Monday = 0 ... Sunday = 6.
+int DayOfWeek(const Date& date);
+
+/// "YYYY-MM-DD".
+std::string FormatDate(const Date& date);
+
+/// The study calendar: hourly timeline starting at `start_date` 00:00 and
+/// spanning `weeks` whole weeks (the paper: Nov 30, 2015 + 18 weeks). Knows
+/// weekends, public holidays, and commercially special "shopping days"
+/// (used by the event generator for Fig. 1B-style peaks).
+class StudyCalendar {
+ public:
+  /// `holiday_offsets` / `shopping_day_offsets` are day indices from
+  /// `start_date`; pass `DefaultHolidays()` etc. for the paper period.
+  StudyCalendar(Date start_date, int weeks, std::vector<int> holiday_offsets,
+                std::vector<int> shopping_day_offsets);
+
+  /// Calendar matching the paper's study period: Monday Nov 30, 2015,
+  /// 18 weeks, Spanish-style December/January holidays and Easter 2016,
+  /// with pre-Christmas Saturdays and first-Saturday sales as shopping days.
+  static StudyCalendar Paper(int weeks = 18);
+
+  int weeks() const { return weeks_; }
+  int days() const { return weeks_ * 7; }
+  int hours() const { return days() * 24; }
+  Date start_date() const { return start_date_; }
+
+  Date DateOfDay(int day) const;
+  int HourOfDay(int hour_index) const { return hour_index % 24; }
+  int DayOfHour(int hour_index) const { return hour_index / 24; }
+  /// Monday = 0 ... Sunday = 6.
+  int DayOfWeekOfDay(int day) const;
+  bool IsWeekend(int day) const;
+  bool IsHoliday(int day) const;
+  bool IsShoppingDay(int day) const;
+
+  /// The paper's enriched calendar matrix C (hours x 5): hour of day, day
+  /// of week, day of month, weekend flag, holiday flag; columns 2-5 are
+  /// brute-force upsampled to hourly resolution (Sec. II-B).
+  Matrix<float> BuildCalendarMatrix() const;
+
+  static std::vector<int> DefaultHolidays(const Date& start, int weeks);
+  static std::vector<int> DefaultShoppingDays(const Date& start, int weeks);
+
+ private:
+  Date start_date_;
+  int weeks_;
+  std::vector<bool> holiday_;
+  std::vector<bool> shopping_;
+};
+
+}  // namespace hotspot::simnet
+
+#endif  // HOTSPOT_SIMNET_CALENDAR_H_

@@ -1,0 +1,125 @@
+#include "simnet/events.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hotspot::simnet {
+
+EventTimelines GenerateEvents(const Topology& topology,
+                              const StudyCalendar& calendar,
+                              const EventConfig& config, uint64_t seed) {
+  const int n = topology.num_sectors();
+  const int hours = calendar.hours();
+  EventTimelines timelines;
+  timelines.failure = Matrix<float>(n, hours, 0.0f);
+  timelines.degradation = Matrix<float>(n, hours, 0.0f);
+  timelines.precursor = Matrix<float>(n, hours, 0.0f);
+
+  Rng root(seed);
+  Rng failure_rng = root.Fork(1);
+  Rng ramp_rng = root.Fork(2);
+
+  // Group sectors by tower so a failure hits the whole site.
+  int max_tower = 0;
+  for (const Sector& sector : topology.sectors()) {
+    max_tower = std::max(max_tower, sector.tower_id);
+  }
+  std::vector<std::vector<int>> tower_sectors(
+      static_cast<size_t>(max_tower) + 1);
+  for (const Sector& sector : topology.sectors()) {
+    tower_sectors[static_cast<size_t>(sector.tower_id)].push_back(sector.id);
+  }
+
+  // Hardware failures: Poisson arrivals per tower.
+  const double weeks = static_cast<double>(calendar.weeks());
+  for (int tower = 0; tower <= max_tower; ++tower) {
+    if (tower_sectors[static_cast<size_t>(tower)].empty()) continue;
+    int count =
+        failure_rng.Poisson(config.failure_rate_per_tower_week * weeks);
+    for (int e = 0; e < count; ++e) {
+      FailureEvent event;
+      event.tower_id = tower;
+      event.start_hour = static_cast<int>(
+          failure_rng.UniformInt(0, hours - 1));
+      double duration =
+          failure_rng.Exponential(1.0 / config.failure_mean_duration_hours);
+      duration = std::min(duration, config.failure_max_duration_hours);
+      event.duration_hours = std::max(1, static_cast<int>(duration));
+      event.intensity = failure_rng.Uniform(config.failure_min_intensity,
+                                            config.failure_max_intensity);
+      timelines.failures.push_back(event);
+
+      int end_hour = std::min(hours, event.start_hour + event.duration_hours);
+      // Interference creeps up during the precursor window before onset.
+      if (config.precursor_hours > 0) {
+        int pre_start = std::max(0, event.start_hour - config.precursor_hours);
+        for (int sector_id : tower_sectors[static_cast<size_t>(tower)]) {
+          for (int j = pre_start; j < event.start_hour && j < hours; ++j) {
+            float level = static_cast<float>(
+                1.0 - static_cast<double>(event.start_hour - j) /
+                          config.precursor_hours);
+            float& cell = timelines.precursor.At(sector_id, j);
+            cell = std::max(cell, level);
+          }
+        }
+      }
+      for (int sector_id : tower_sectors[static_cast<size_t>(tower)]) {
+        // Each sector of the site feels the failure with a slightly
+        // different severity.
+        double local =
+            event.intensity * failure_rng.Uniform(0.75, 1.0);
+        for (int j = event.start_hour; j < end_hour; ++j) {
+          float& cell = timelines.failure.At(sector_id, j);
+          cell = std::max(cell, static_cast<float>(local));
+        }
+      }
+    }
+  }
+
+  // Emerging degradation ramps.
+  for (int i = 0; i < n; ++i) {
+    if (!ramp_rng.Bernoulli(config.emerging_fraction)) continue;
+    DegradationRamp ramp;
+    ramp.sector_id = i;
+    // Leave room for the ramp to be (partially) observable.
+    ramp.start_hour = static_cast<int>(
+        ramp_rng.UniformInt(hours / 8, hours - hours / 8));
+    ramp.ramp_hours = static_cast<int>(ramp_rng.UniformInt(
+        config.emerging_min_ramp_hours, config.emerging_max_ramp_hours));
+    ramp.plateau = ramp_rng.Uniform(config.emerging_min_plateau,
+                                    config.emerging_max_plateau);
+    if (ramp_rng.Bernoulli(config.emerging_recovery_prob)) {
+      ramp.hold_hours = static_cast<int>(ramp_rng.UniformInt(7 * 24, 28 * 24));
+      ramp.recovery_hours = static_cast<int>(ramp_rng.UniformInt(24, 7 * 24));
+    }
+    timelines.ramps.push_back(ramp);
+
+    for (int j = ramp.start_hour; j < hours; ++j) {
+      int since = j - ramp.start_hour;
+      double level;
+      if (since < ramp.ramp_hours) {
+        level = ramp.plateau * since / ramp.ramp_hours;
+      } else if (ramp.recovery_hours == 0 ||
+                 since < ramp.ramp_hours + ramp.hold_hours) {
+        level = ramp.plateau;
+      } else {
+        int into_recovery = since - ramp.ramp_hours - ramp.hold_hours;
+        if (into_recovery >= ramp.recovery_hours) {
+          level = 0.0;
+        } else {
+          level = ramp.plateau *
+                  (1.0 - static_cast<double>(into_recovery) /
+                             ramp.recovery_hours);
+        }
+      }
+      float& cell = timelines.degradation.At(i, j);
+      cell = std::max(cell, static_cast<float>(level));
+    }
+  }
+
+  return timelines;
+}
+
+}  // namespace hotspot::simnet

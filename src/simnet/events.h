@@ -1,0 +1,74 @@
+#ifndef HOTSPOT_SIMNET_EVENTS_H_
+#define HOTSPOT_SIMNET_EVENTS_H_
+
+#include <vector>
+
+#include "simnet/calendar.h"
+#include "simnet/topology.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace hotspot::simnet {
+
+/// A hardware failure affecting a whole tower (all its sectors), as in the
+/// Fig. 8A discussion ("if there is a failure, it can affect all the
+/// sectors of the site").
+struct FailureEvent {
+  int tower_id = 0;
+  int start_hour = 0;
+  int duration_hours = 0;
+  double intensity = 0.0;  ///< peak failure level in [0, 1]
+};
+
+/// A slow capacity-exhaustion / degradation ramp that turns a previously
+/// healthy sector into a *persistent* hot spot — the positives of the
+/// "become a hot spot" task (Sec. IV-A).
+struct DegradationRamp {
+  int sector_id = 0;
+  int start_hour = 0;
+  int ramp_hours = 0;      ///< hours to reach the plateau
+  double plateau = 0.0;    ///< degradation level reached, in [0, 1]
+  int hold_hours = 0;      ///< hours at the plateau before recovery
+  int recovery_hours = 0;  ///< hours to ramp back down (0 = permanent)
+};
+
+struct EventConfig {
+  /// Expected hardware failures per tower per week.
+  double failure_rate_per_tower_week = 0.05;
+  double failure_mean_duration_hours = 30.0;
+  double failure_max_duration_hours = 120.0;
+  double failure_min_intensity = 0.45;
+  double failure_max_intensity = 1.0;
+  /// Fraction of sectors that experience one degradation ramp during the
+  /// study (the "emerging hot spot" population).
+  double emerging_fraction = 0.06;
+  int emerging_min_ramp_hours = 72;
+  int emerging_max_ramp_hours = 14 * 24;
+  double emerging_min_plateau = 0.45;
+  double emerging_max_plateau = 0.9;
+  /// Probability that a ramp eventually recovers (otherwise permanent).
+  double emerging_recovery_prob = 0.35;
+  /// Hours of pre-failure precursor (interference creep) before each
+  /// hardware failure; 0 disables precursors.
+  int precursor_hours = 72;
+};
+
+/// The generated event timelines: per-sector hourly failure intensity and
+/// degradation level, plus the ground-truth event lists.
+struct EventTimelines {
+  Matrix<float> failure;      ///< sectors x hours, in [0, 1]
+  Matrix<float> degradation;  ///< sectors x hours, in [0, 1]
+  /// Pre-failure precursor level, rising linearly to 1 at failure onset.
+  Matrix<float> precursor;    ///< sectors x hours, in [0, 1]
+  std::vector<FailureEvent> failures;
+  std::vector<DegradationRamp> ramps;
+};
+
+/// Simulates failures and degradation ramps. Deterministic given `seed`.
+EventTimelines GenerateEvents(const Topology& topology,
+                              const StudyCalendar& calendar,
+                              const EventConfig& config, uint64_t seed);
+
+}  // namespace hotspot::simnet
+
+#endif  // HOTSPOT_SIMNET_EVENTS_H_

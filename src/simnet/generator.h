@@ -1,0 +1,65 @@
+#ifndef HOTSPOT_SIMNET_GENERATOR_H_
+#define HOTSPOT_SIMNET_GENERATOR_H_
+
+#include <vector>
+
+#include "simnet/calendar.h"
+#include "simnet/events.h"
+#include "simnet/kpi_catalog.h"
+#include "simnet/load_model.h"
+#include "simnet/missing.h"
+#include "simnet/topology.h"
+#include "tensor/tensor3.h"
+
+namespace hotspot::simnet {
+
+/// All knobs of the synthetic data set in one place.
+struct GeneratorConfig {
+  TopologyConfig topology;
+  LoadModelConfig load;
+  EventConfig events;
+  MissingConfig missing;
+  int weeks = 18;  ///< the paper's m_w
+  bool inject_missing = true;
+  uint64_t seed = 20170418;  ///< default: the paper's arXiv date
+};
+
+/// The generated network: everything the paper's pipeline consumes (the
+/// KPI tensor K and calendar matrix C) plus the ground-truth latents that
+/// only tests and sanity benches may look at.
+struct SyntheticNetwork {
+  KpiCatalog catalog;
+  StudyCalendar calendar = StudyCalendar::Paper(1);
+  Topology topology;
+  /// K: sectors x hours x KPIs, with NaN for missing values.
+  Tensor3<float> kpis;
+  /// C: hours x 5 (Sec. II-B).
+  Matrix<float> calendar_matrix;
+
+  // --- Ground truth (not visible to the forecasting pipeline) ---
+  Matrix<float> true_load;         ///< sectors x hours
+  Matrix<float> true_failure;      ///< sectors x hours
+  Matrix<float> true_degradation;  ///< sectors x hours
+  Matrix<float> true_precursor;    ///< sectors x hours
+  std::vector<SectorTraits> traits;
+  std::vector<FailureEvent> failures;
+  std::vector<DegradationRamp> ramps;
+  MissingStats missing_stats;
+
+  int num_sectors() const { return kpis.dim0(); }
+  int num_hours() const { return kpis.dim1(); }
+  int num_kpis() const { return kpis.dim2(); }
+};
+
+/// Generates a complete synthetic data set. Deterministic given
+/// `config.seed`.
+SyntheticNetwork GenerateNetwork(const GeneratorConfig& config);
+
+/// Computes the KPI value for given latents — the single place where the
+/// KPI response model lives. Exposed for tests.
+double KpiValue(const KpiSpec& spec, double load, double failure,
+                double degradation, double precursor, double noise_unit);
+
+}  // namespace hotspot::simnet
+
+#endif  // HOTSPOT_SIMNET_GENERATOR_H_

@@ -1,0 +1,73 @@
+#ifndef HOTSPOT_SIMNET_LOAD_MODEL_H_
+#define HOTSPOT_SIMNET_LOAD_MODEL_H_
+
+#include <vector>
+
+#include "simnet/calendar.h"
+#include "simnet/topology.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace hotspot::simnet {
+
+/// Per-sector latent traits drawn at generation time; exposed as ground
+/// truth for tests and for the dynamics analyses.
+struct SectorTraits {
+  double scale = 1.0;       ///< lognormal per-sector demand scale
+  double chronic = 1.0;     ///< >1 for chronically overloaded sectors
+  /// Persistent equipment stress of chronically overloaded sectors
+  /// (interference, drops); applied as a degradation floor by the
+  /// generator so chronic sectors trip non-congestion KPIs too.
+  double chronic_degradation = 0.0;
+  int phase_hours = 0;      ///< small shift of the diurnal profile
+  bool chronic_hot = false; ///< scale*chronic makes it hot most weeks
+};
+
+/// Tuning knobs of the latent demand process.
+struct LoadModelConfig {
+  double scale_sigma = 0.22;        ///< σ of log-normal sector scale
+  double chronic_fraction = 0.08;   ///< chronically overloaded sectors
+  double chronic_min = 1.3;
+  double chronic_max = 2.0;
+  double chronic_degradation_min = 0.3;
+  double chronic_degradation_max = 0.6;
+  double ar_rho = 0.8;              ///< AR(1) persistence of hourly noise
+  double ar_sigma = 0.065;          ///< AR(1) innovation σ
+  double patch_shock_sigma = 0.12;  ///< per-(patch, day) shared log-shock
+  double sunday_open_prob = 0.12;   ///< commercial sector opens a Sunday
+  double shopping_boost = 1.4;      ///< load multiplier on shopping days
+  double holiday_residential_boost = 1.15;
+  double holiday_business_drop = 0.3;  ///< business load factor on holidays
+};
+
+/// 24-hour base profile (0..23, local time) of one archetype plus its
+/// day-of-week multipliers (Mon..Sun).
+struct ArchetypeProfile {
+  double hourly[24] = {};
+  double weekday[7] = {};
+};
+
+/// The base profile table used by the generator; exposed for tests and for
+/// documentation of the synthetic workload.
+const ArchetypeProfile& ProfileFor(Archetype archetype);
+
+/// Generates the latent hourly demand ("load") of every sector:
+/// a (sectors x hours) matrix where a typical sector peaks around 0.7-0.9
+/// at its busiest hour, chronically overloaded sectors exceed 1.0, and the
+/// night trough sits near 0.05-0.15. Deterministic given `seed`.
+///
+/// The process per sector i and hour j (day d, hour-of-day h):
+///   load = scale_i * chronic_i * weekday_mult(archetype, d)
+///          * hourly_profile(archetype, h + phase_i)
+///          * patch_shock(patch_i, d) * shopping/holiday adjustments
+///          + AR1_noise(i, j),  clamped at 0.
+///
+/// If `traits_out` is non-null it receives the per-sector traits.
+Matrix<float> GenerateLoad(const Topology& topology,
+                           const StudyCalendar& calendar,
+                           const LoadModelConfig& config, uint64_t seed,
+                           std::vector<SectorTraits>* traits_out = nullptr);
+
+}  // namespace hotspot::simnet
+
+#endif  // HOTSPOT_SIMNET_LOAD_MODEL_H_

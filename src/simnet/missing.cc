@@ -1,0 +1,95 @@
+#include "simnet/missing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/matrix.h"
+#include "tensor/temporal.h"
+#include "util/logging.h"
+
+namespace hotspot::simnet {
+
+MissingStats InjectMissing(const MissingConfig& config, uint64_t seed,
+                           Tensor3<float>* kpis) {
+  HOTSPOT_CHECK(kpis != nullptr);
+  const int n = kpis->dim0();
+  const int hours = kpis->dim1();
+  const int l = kpis->dim2();
+
+  Rng root(seed);
+  Rng cell_rng = root.Fork(1);
+  Rng slice_rng = root.Fork(2);
+  Rng outage_rng = root.Fork(3);
+  Rng dead_rng = root.Fork(4);
+
+  MissingStats stats;
+  stats.total_cells =
+      static_cast<long long>(n) * hours * l;
+
+  // Level 1: independent single-cell losses.
+  if (config.cell_rate > 0.0) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < hours; ++j) {
+        float* slice = kpis->Slice(i, j);
+        for (int k = 0; k < l; ++k) {
+          if (cell_rng.Bernoulli(config.cell_rate)) {
+            slice[k] = MissingValue();
+          }
+        }
+      }
+    }
+  }
+
+  // Level 2: whole-slice (sector, hour) losses.
+  if (config.slice_rate > 0.0) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < hours; ++j) {
+        if (!slice_rng.Bernoulli(config.slice_rate)) continue;
+        float* slice = kpis->Slice(i, j);
+        for (int k = 0; k < l; ++k) slice[k] = MissingValue();
+      }
+    }
+  }
+
+  // Level 3: multi-hour outages (all KPIs of a sector).
+  const double weeks = static_cast<double>(hours) / kHoursPerWeek;
+  for (int i = 0; i < n; ++i) {
+    int count =
+        outage_rng.Poisson(config.outage_rate_per_sector_week * weeks);
+    for (int e = 0; e < count; ++e) {
+      int start = static_cast<int>(outage_rng.UniformInt(0, hours - 1));
+      double duration =
+          outage_rng.Exponential(1.0 / config.outage_mean_hours);
+      duration = std::min(duration, config.outage_max_hours);
+      int end = std::min(hours, start + std::max(1, (int)duration));
+      for (int j = start; j < end; ++j) {
+        float* slice = kpis->Slice(i, j);
+        for (int k = 0; k < l; ++k) slice[k] = MissingValue();
+      }
+    }
+  }
+
+  // Dead sectors: one entire week mostly missing (~70 %), to be discarded
+  // by the sector filter.
+  int weeks_int = hours / kHoursPerWeek;
+  for (int i = 0; i < n; ++i) {
+    if (!dead_rng.Bernoulli(config.dead_sector_fraction)) continue;
+    ++stats.dead_sectors;
+    if (weeks_int == 0) continue;
+    int week = static_cast<int>(dead_rng.UniformInt(0, weeks_int - 1));
+    for (int j = week * kHoursPerWeek; j < (week + 1) * kHoursPerWeek; ++j) {
+      if (!dead_rng.Bernoulli(0.7)) continue;
+      float* slice = kpis->Slice(i, j);
+      for (int k = 0; k < l; ++k) slice[k] = MissingValue();
+    }
+  }
+
+  // Count what actually went missing.
+  stats.missing_cells = 0;
+  for (float v : kpis->data()) {
+    if (IsMissing(v)) ++stats.missing_cells;
+  }
+  return stats;
+}
+
+}  // namespace hotspot::simnet

@@ -1,0 +1,46 @@
+#ifndef HOTSPOT_SIMNET_MISSING_H_
+#define HOTSPOT_SIMNET_MISSING_H_
+
+#include <vector>
+
+#include "tensor/tensor3.h"
+#include "util/rng.h"
+
+namespace hotspot::simnet {
+
+/// Missing-data injection parameters, mirroring the three granularities of
+/// Sec. II-C: single (sector, hour, KPI) cells; whole-KPI slices for a
+/// (sector, hour); and multi-hour outages of a sector across all KPIs
+/// (site offline / congested backbone / probe malfunction).
+struct MissingConfig {
+  double cell_rate = 0.012;           ///< per-cell independent missingness
+  double slice_rate = 0.004;          ///< per-(sector,hour) full-slice loss
+  double outage_rate_per_sector_week = 0.05;  ///< Poisson outage arrivals
+  double outage_mean_hours = 18.0;
+  double outage_max_hours = 120.0;
+  /// Fraction of sectors made mostly-dead for one week so the >50 %
+  /// missing-per-week filter of Sec. II-C has something to discard.
+  double dead_sector_fraction = 0.02;
+};
+
+/// Statistics of an injection pass (ground truth for tests).
+struct MissingStats {
+  long long missing_cells = 0;
+  long long total_cells = 0;
+  int dead_sectors = 0;
+
+  double MissingFraction() const {
+    return total_cells == 0
+               ? 0.0
+               : static_cast<double>(missing_cells) / total_cells;
+  }
+};
+
+/// Replaces entries of `kpis` with NaN according to `config`.
+/// Deterministic given `seed`.
+MissingStats InjectMissing(const MissingConfig& config, uint64_t seed,
+                           Tensor3<float>* kpis);
+
+}  // namespace hotspot::simnet
+
+#endif  // HOTSPOT_SIMNET_MISSING_H_

@@ -1,0 +1,156 @@
+#include "simnet/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hotspot::simnet {
+
+const char* ArchetypeName(Archetype archetype) {
+  switch (archetype) {
+    case Archetype::kResidential:
+      return "residential";
+    case Archetype::kBusiness:
+      return "business";
+    case Archetype::kCommercial:
+      return "commercial";
+    case Archetype::kTransport:
+      return "transport";
+    case Archetype::kNightlife:
+      return "nightlife";
+    case Archetype::kRural:
+      return "rural";
+  }
+  return "unknown";
+}
+
+Topology Topology::Generate(const TopologyConfig& config, uint64_t seed) {
+  HOTSPOT_CHECK_GT(config.target_sectors, 0);
+  HOTSPOT_CHECK_GT(config.num_cities, 0);
+  HOTSPOT_CHECK_GE(config.max_towers_per_patch, config.min_towers_per_patch);
+  HOTSPOT_CHECK_GT(config.sectors_per_tower, 0);
+
+  Rng rng(seed);
+  Topology topology;
+
+  // City centers, uniform over the bounding box with a margin.
+  struct City {
+    double x, y;
+  };
+  std::vector<City> cities;
+  for (int c = 0; c < config.num_cities; ++c) {
+    cities.push_back({rng.Uniform(0.1, 0.9) * config.country_size_km,
+                      rng.Uniform(0.1, 0.9) * config.country_size_km});
+  }
+
+  // Archetype frequencies: urban patches mostly residential / business /
+  // commercial; the rural archetype is used only for rural patches.
+  const Archetype kUrbanArchetypes[] = {
+      Archetype::kResidential, Archetype::kResidential,
+      Archetype::kBusiness,    Archetype::kBusiness,
+      Archetype::kBusiness,    Archetype::kCommercial,
+      Archetype::kCommercial,  Archetype::kTransport,
+      Archetype::kNightlife,
+  };
+  constexpr int kNumUrban = static_cast<int>(std::size(kUrbanArchetypes));
+
+  int tower_id = 0;
+  int patch_id = 0;
+  int sector_id = 0;
+  while (sector_id < config.target_sectors) {
+    bool rural = rng.Bernoulli(config.rural_fraction);
+    double patch_x, patch_y;
+    int city_id;
+    Archetype archetype;
+    if (rural) {
+      patch_x = rng.Uniform(0.0, config.country_size_km);
+      patch_y = rng.Uniform(0.0, config.country_size_km);
+      city_id = -1;
+      archetype = Archetype::kRural;
+    } else {
+      city_id = static_cast<int>(
+          rng.UniformInt(0, static_cast<int64_t>(cities.size()) - 1));
+      const City& city = cities[static_cast<size_t>(city_id)];
+      patch_x = city.x + rng.Gaussian(0.0, config.city_sigma_km);
+      patch_y = city.y + rng.Gaussian(0.0, config.city_sigma_km);
+      archetype = kUrbanArchetypes[rng.UniformInt(0, kNumUrban - 1)];
+    }
+    int towers = static_cast<int>(rng.UniformInt(
+        config.min_towers_per_patch, config.max_towers_per_patch));
+    for (int t = 0; t < towers && sector_id < config.target_sectors; ++t) {
+      double tower_x = patch_x + rng.Gaussian(0.0, config.patch_sigma_km);
+      double tower_y = patch_y + rng.Gaussian(0.0, config.patch_sigma_km);
+      for (int s = 0;
+           s < config.sectors_per_tower && sector_id < config.target_sectors;
+           ++s) {
+        Sector sector;
+        sector.id = sector_id++;
+        sector.tower_id = tower_id;
+        sector.patch_id = patch_id;
+        sector.city_id = city_id;
+        sector.x_km = tower_x;
+        sector.y_km = tower_y;
+        sector.azimuth_deg = 360.0 * s / config.sectors_per_tower;
+        sector.archetype = archetype;
+        topology.sectors_.push_back(sector);
+      }
+      ++tower_id;
+    }
+    ++patch_id;
+  }
+  return topology;
+}
+
+Topology Topology::FromSectors(std::vector<Sector> sectors) {
+  for (size_t i = 0; i < sectors.size(); ++i) {
+    HOTSPOT_CHECK_EQ(sectors[i].id, static_cast<int>(i));
+  }
+  Topology topology;
+  topology.sectors_ = std::move(sectors);
+  return topology;
+}
+
+const Sector& Topology::sector(int i) const {
+  HOTSPOT_CHECK(i >= 0 && i < num_sectors());
+  return sectors_[static_cast<size_t>(i)];
+}
+
+double Topology::DistanceKm(int a, int b) const {
+  const Sector& sa = sector(a);
+  const Sector& sb = sector(b);
+  double dx = sa.x_km - sb.x_km;
+  double dy = sa.y_km - sb.y_km;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::vector<int> Topology::NearestSectors(int i, int count) const {
+  HOTSPOT_CHECK(i >= 0 && i < num_sectors());
+  std::vector<int> others;
+  others.reserve(static_cast<size_t>(num_sectors()) - 1);
+  for (int j = 0; j < num_sectors(); ++j) {
+    if (j != i) others.push_back(j);
+  }
+  int k = std::min<int>(count, static_cast<int>(others.size()));
+  std::partial_sort(others.begin(), others.begin() + k, others.end(),
+                    [&](int a, int b) {
+                      return DistanceKm(i, a) < DistanceKm(i, b);
+                    });
+  others.resize(static_cast<size_t>(k));
+  return others;
+}
+
+Topology Topology::Filtered(const std::vector<bool>& keep) const {
+  HOTSPOT_CHECK_EQ(static_cast<int>(keep.size()), num_sectors());
+  Topology filtered;
+  int next_id = 0;
+  for (int i = 0; i < num_sectors(); ++i) {
+    if (!keep[static_cast<size_t>(i)]) continue;
+    Sector sector = sectors_[static_cast<size_t>(i)];
+    sector.id = next_id++;
+    filtered.sectors_.push_back(sector);
+  }
+  return filtered;
+}
+
+}  // namespace hotspot::simnet

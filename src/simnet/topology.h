@@ -1,0 +1,89 @@
+#ifndef HOTSPOT_SIMNET_TOPOLOGY_H_
+#define HOTSPOT_SIMNET_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hotspot::simnet {
+
+/// Land-use archetypes driving a sector's load profile. Archetypes are
+/// assigned per *patch* (a small neighborhood of towers), and patches of
+/// the same archetype are scattered across all cities — which is what makes
+/// far-away sectors behave alike (Fig. 8C / the land-use argument in
+/// Sec. III).
+enum class Archetype {
+  kResidential,
+  kBusiness,    ///< busy Mon-Fri working hours
+  kCommercial,  ///< busy Mon-Sat, shopping-day spikes, quiet Sundays
+  kTransport,   ///< commute peaks
+  kNightlife,   ///< busy Fri/Sat evenings
+  kRural,
+};
+
+inline constexpr int kNumArchetypes = 6;
+
+const char* ArchetypeName(Archetype archetype);
+
+/// One antenna sector. Sectors of the same tower share coordinates
+/// (distance 0 km, the leftmost bucket of Fig. 8).
+struct Sector {
+  int id = 0;
+  int tower_id = 0;
+  int patch_id = 0;
+  int city_id = 0;
+  double x_km = 0.0;
+  double y_km = 0.0;
+  double azimuth_deg = 0.0;
+  Archetype archetype = Archetype::kResidential;
+};
+
+/// Parameters of the synthetic deployment.
+struct TopologyConfig {
+  int target_sectors = 600;
+  int num_cities = 5;
+  double country_size_km = 400.0;  ///< bounding box side
+  double city_sigma_km = 6.0;      ///< spread of towers around a city center
+  double patch_sigma_km = 0.15;    ///< spread of towers within a patch
+  int min_towers_per_patch = 1;
+  int max_towers_per_patch = 6;
+  int sectors_per_tower = 3;
+  double rural_fraction = 0.12;  ///< patches placed uniformly, not in cities
+};
+
+/// The generated deployment: sectors with coordinates and archetypes, plus
+/// spatial query helpers.
+class Topology {
+ public:
+  /// Generates a deployment with roughly `config.target_sectors` sectors
+  /// (always a multiple of sectors_per_tower). Deterministic given `seed`.
+  static Topology Generate(const TopologyConfig& config, uint64_t seed);
+
+  /// Wraps an explicit sector list (e.g., loaded from a file). Sector ids
+  /// must equal their position.
+  static Topology FromSectors(std::vector<Sector> sectors);
+
+  int num_sectors() const { return static_cast<int>(sectors_.size()); }
+  const Sector& sector(int i) const;
+  const std::vector<Sector>& sectors() const { return sectors_; }
+
+  /// Euclidean distance between two sectors in km.
+  double DistanceKm(int a, int b) const;
+
+  /// Indices of the `count` sectors spatially closest to `i` (excluding i
+  /// itself), ordered by increasing distance.
+  std::vector<int> NearestSectors(int i, int count) const;
+
+  /// Drops the listed sectors and renumbers ids contiguously (used by the
+  /// sector-filtering step of Sec. II-C to keep topology and tensors in
+  /// sync). `keep[i]` tells whether sector i survives.
+  Topology Filtered(const std::vector<bool>& keep) const;
+
+ private:
+  std::vector<Sector> sectors_;
+};
+
+}  // namespace hotspot::simnet
+
+#endif  // HOTSPOT_SIMNET_TOPOLOGY_H_

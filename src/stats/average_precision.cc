@@ -1,0 +1,116 @@
+#include "stats/average_precision.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace hotspot {
+
+namespace {
+
+/// Sorts indices by descending score and returns group boundaries so that
+/// tied scores form one group.
+struct RankedGroups {
+  std::vector<int> order;        // indices sorted by descending score
+  std::vector<int> group_ends;   // exclusive end offset of each tie group
+};
+
+RankedGroups RankByScore(const std::vector<float>& scores) {
+  RankedGroups ranked;
+  ranked.order.resize(scores.size());
+  std::iota(ranked.order.begin(), ranked.order.end(), 0);
+  std::stable_sort(ranked.order.begin(), ranked.order.end(),
+                   [&](int a, int b) {
+                     return scores[static_cast<size_t>(a)] >
+                            scores[static_cast<size_t>(b)];
+                   });
+  for (size_t pos = 0; pos < ranked.order.size();) {
+    float score = scores[static_cast<size_t>(ranked.order[pos])];
+    size_t end = pos;
+    while (end < ranked.order.size() &&
+           scores[static_cast<size_t>(ranked.order[end])] == score) {
+      ++end;
+    }
+    ranked.group_ends.push_back(static_cast<int>(end));
+    pos = end;
+  }
+  return ranked;
+}
+
+}  // namespace
+
+double AveragePrecision(const std::vector<float>& labels,
+                        const std::vector<float>& scores) {
+  HOTSPOT_CHECK_EQ(labels.size(), scores.size());
+  double total_positives = 0.0;
+  for (float y : labels) {
+    if (y != 0.0f) total_positives += 1.0;
+  }
+  if (total_positives == 0.0) return std::nan("");
+
+  RankedGroups ranked = RankByScore(scores);
+  double ap = 0.0;
+  double seen = 0.0;
+  double hits = 0.0;
+  int begin = 0;
+  for (int end : ranked.group_ends) {
+    double group_hits = 0.0;
+    for (int pos = begin; pos < end; ++pos) {
+      if (labels[static_cast<size_t>(ranked.order[static_cast<size_t>(
+              pos)])] != 0.0f) {
+        group_hits += 1.0;
+      }
+    }
+    seen += static_cast<double>(end - begin);
+    hits += group_hits;
+    if (group_hits > 0.0) {
+      double precision = hits / seen;
+      double delta_recall = group_hits / total_positives;
+      ap += precision * delta_recall;
+    }
+    begin = end;
+  }
+  return ap;
+}
+
+std::vector<PrPoint> PrecisionRecallCurve(const std::vector<float>& labels,
+                                          const std::vector<float>& scores) {
+  HOTSPOT_CHECK_EQ(labels.size(), scores.size());
+  double total_positives = 0.0;
+  for (float y : labels) {
+    if (y != 0.0f) total_positives += 1.0;
+  }
+  std::vector<PrPoint> curve;
+  if (total_positives == 0.0) return curve;
+
+  RankedGroups ranked = RankByScore(scores);
+  double seen = 0.0;
+  double hits = 0.0;
+  int begin = 0;
+  for (int end : ranked.group_ends) {
+    for (int pos = begin; pos < end; ++pos) {
+      if (labels[static_cast<size_t>(ranked.order[static_cast<size_t>(
+              pos)])] != 0.0f) {
+        hits += 1.0;
+      }
+    }
+    seen += static_cast<double>(end - begin);
+    curve.push_back({hits / total_positives, hits / seen});
+    begin = end;
+  }
+  return curve;
+}
+
+double Lift(double psi_model, double psi_random) {
+  if (!(psi_random > 0.0)) return std::nan("");
+  return psi_model / psi_random;
+}
+
+double RelativeImprovement(double lift_i, double lift_j) {
+  if (!(lift_i > 0.0)) return std::nan("");
+  return 100.0 * (lift_j / lift_i - 1.0);
+}
+
+}  // namespace hotspot

@@ -1,0 +1,43 @@
+#ifndef HOTSPOT_STATS_AVERAGE_PRECISION_H_
+#define HOTSPOT_STATS_AVERAGE_PRECISION_H_
+
+#include <vector>
+
+namespace hotspot {
+
+/// One (recall, precision) operating point of a precision-recall curve.
+struct PrPoint {
+  double recall = 0.0;
+  double precision = 0.0;
+};
+
+/// Average precision ψ of a ranking (Sec. IV-B): sectors are ranked by
+/// descending `scores`; AP = Σ_k P(k)·ΔR(k) over the ranking, i.e. the
+/// area under the precision-recall curve with step interpolation — the
+/// definition used by scikit-learn's average_precision_score.
+///
+/// `labels` are binary (0/1); `scores` are arbitrary real rankings (not
+/// necessarily probabilities, matching the Average/Trend baselines). Ties
+/// in `scores` are handled by treating tied items as one group (precision
+/// computed at the end of the group), so the result is permutation
+/// invariant. Returns NaN when there are no positive labels.
+double AveragePrecision(const std::vector<float>& labels,
+                        const std::vector<float>& scores);
+
+/// Full precision-recall curve (one point per distinct score threshold,
+/// highest threshold first). Returns an empty vector when there are no
+/// positives.
+std::vector<PrPoint> PrecisionRecallCurve(const std::vector<float>& labels,
+                                          const std::vector<float>& scores);
+
+/// Lift of average precision `psi_model` over `psi_random` (Λ in the
+/// paper). Returns NaN if the random AP is not positive.
+double Lift(double psi_model, double psi_random);
+
+/// Relative improvement ∆_ij = 100 (Λ_j / Λ_i − 1) of model j over model i
+/// (Sec. IV-B). Returns NaN if `lift_i` is not positive.
+double RelativeImprovement(double lift_i, double lift_j);
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_STATS_AVERAGE_PRECISION_H_

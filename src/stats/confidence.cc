@@ -1,0 +1,37 @@
+#include "stats/confidence.h"
+
+#include <cmath>
+
+namespace hotspot {
+
+MeanCi MeanWithCi95(const std::vector<double>& values) {
+  MeanCi result;
+  double sum = 0.0;
+  for (double v : values) {
+    if (std::isnan(v)) continue;
+    sum += v;
+    ++result.count;
+  }
+  if (result.count == 0) {
+    result.mean = result.ci_low = result.ci_high = std::nan("");
+    return result;
+  }
+  result.mean = sum / result.count;
+  if (result.count == 1) {
+    result.ci_low = result.ci_high = result.mean;
+    return result;
+  }
+  double sum_sq = 0.0;
+  for (double v : values) {
+    if (std::isnan(v)) continue;
+    double d = v - result.mean;
+    sum_sq += d * d;
+  }
+  double stderr_mean =
+      std::sqrt(sum_sq / (result.count - 1)) / std::sqrt(result.count);
+  result.ci_low = result.mean - 1.96 * stderr_mean;
+  result.ci_high = result.mean + 1.96 * stderr_mean;
+  return result;
+}
+
+}  // namespace hotspot

@@ -1,0 +1,22 @@
+#ifndef HOTSPOT_STATS_CONFIDENCE_H_
+#define HOTSPOT_STATS_CONFIDENCE_H_
+
+#include <vector>
+
+namespace hotspot {
+
+/// Normal-approximation summary of a sample: mean and a symmetric 95 %
+/// confidence interval on the mean (mean ± 1.96·s/√n). NaN entries are
+/// dropped. Used for the shaded regions of the paper's figures.
+struct MeanCi {
+  double mean = 0.0;
+  double ci_low = 0.0;
+  double ci_high = 0.0;
+  int count = 0;
+};
+
+MeanCi MeanWithCi95(const std::vector<double>& values);
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_STATS_CONFIDENCE_H_

@@ -1,0 +1,41 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+
+#include "tensor/matrix.h"
+#include "util/logging.h"
+
+namespace hotspot {
+
+double PearsonCorrelation(const float* x, const float* y, int n) {
+  double sum_x = 0.0, sum_y = 0.0;
+  int count = 0;
+  for (int i = 0; i < n; ++i) {
+    if (IsMissing(x[i]) || IsMissing(y[i])) continue;
+    sum_x += x[i];
+    sum_y += y[i];
+    ++count;
+  }
+  if (count < 2) return std::nan("");
+  double mean_x = sum_x / count;
+  double mean_y = sum_y / count;
+  double cov = 0.0, var_x = 0.0, var_y = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (IsMissing(x[i]) || IsMissing(y[i])) continue;
+    double dx = x[i] - mean_x;
+    double dy = y[i] - mean_y;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  if (var_x <= 0.0 || var_y <= 0.0) return std::nan("");
+  return cov / std::sqrt(var_x * var_y);
+}
+
+double PearsonCorrelation(const std::vector<float>& x,
+                          const std::vector<float>& y) {
+  HOTSPOT_CHECK_EQ(x.size(), y.size());
+  return PearsonCorrelation(x.data(), y.data(), static_cast<int>(x.size()));
+}
+
+}  // namespace hotspot

@@ -1,0 +1,19 @@
+#ifndef HOTSPOT_STATS_CORRELATION_H_
+#define HOTSPOT_STATS_CORRELATION_H_
+
+#include <vector>
+
+namespace hotspot {
+
+/// Pearson's correlation coefficient between x and y (equal length).
+/// Pairs where either value is NaN are skipped. Returns NaN when fewer than
+/// two valid pairs remain or when either series is constant.
+double PearsonCorrelation(const std::vector<float>& x,
+                          const std::vector<float>& y);
+
+/// Pearson correlation over raw pointers (avoids copies in hot loops).
+double PearsonCorrelation(const float* x, const float* y, int n);
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_STATS_CORRELATION_H_

@@ -1,0 +1,53 @@
+#include "stats/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hotspot {
+
+double KolmogorovSurvival(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += (k % 2 == 1 ? term : -term);
+    if (term < 1e-12) break;
+  }
+  double p = 2.0 * sum;
+  return std::clamp(p, 0.0, 1.0);
+}
+
+KsResult KolmogorovSmirnovTest(std::vector<double> sample1,
+                               std::vector<double> sample2) {
+  HOTSPOT_CHECK(!sample1.empty());
+  HOTSPOT_CHECK(!sample2.empty());
+  std::sort(sample1.begin(), sample1.end());
+  std::sort(sample2.begin(), sample2.end());
+
+  size_t i = 0, j = 0;
+  double d = 0.0;
+  const double n1 = static_cast<double>(sample1.size());
+  const double n2 = static_cast<double>(sample2.size());
+  while (i < sample1.size() && j < sample2.size()) {
+    double x1 = sample1[i];
+    double x2 = sample2[j];
+    double x = std::min(x1, x2);
+    while (i < sample1.size() && sample1[i] <= x) ++i;
+    while (j < sample2.size() && sample2[j] <= x) ++j;
+    double f1 = static_cast<double>(i) / n1;
+    double f2 = static_cast<double>(j) / n2;
+    d = std::max(d, std::fabs(f1 - f2));
+  }
+
+  KsResult result;
+  result.statistic = d;
+  double effective_n = n1 * n2 / (n1 + n2);
+  double lambda = (std::sqrt(effective_n) + 0.12 +
+                   0.11 / std::sqrt(effective_n)) * d;
+  result.p_value = KolmogorovSurvival(lambda);
+  return result;
+}
+
+}  // namespace hotspot

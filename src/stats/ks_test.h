@@ -1,0 +1,28 @@
+#ifndef HOTSPOT_STATS_KS_TEST_H_
+#define HOTSPOT_STATS_KS_TEST_H_
+
+#include <vector>
+
+namespace hotspot {
+
+/// Result of a two-sample Kolmogorov-Smirnov test.
+struct KsResult {
+  double statistic = 0.0;  ///< sup |F1(x) - F2(x)|
+  double p_value = 1.0;    ///< asymptotic p-value (Kolmogorov distribution)
+};
+
+/// Two-sample Kolmogorov-Smirnov test for the equality of two continuous
+/// one-dimensional distributions (Sec. V-A of the paper). Uses the
+/// asymptotic Kolmogorov distribution with the Stephens effective-n
+/// correction, matching scipy.stats.ks_2samp(mode='asymp') closely for the
+/// sample sizes used here. Both samples must be non-empty.
+KsResult KolmogorovSmirnovTest(std::vector<double> sample1,
+                               std::vector<double> sample2);
+
+/// Survival function of the Kolmogorov distribution,
+/// Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} exp(-2 k² λ²).
+double KolmogorovSurvival(double lambda);
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_STATS_KS_TEST_H_

@@ -1,0 +1,94 @@
+#include "stats/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/matrix.h"
+#include "util/logging.h"
+
+namespace hotspot {
+
+namespace {
+
+void DropMissing(std::vector<float>& values) {
+  values.erase(std::remove_if(values.begin(), values.end(),
+                              [](float v) { return IsMissing(v); }),
+               values.end());
+}
+
+double InterpolatedPercentile(const std::vector<float>& sorted, double p) {
+  if (sorted.empty()) return std::nan("");
+  if (sorted.size() == 1) return sorted[0];
+  double rank = p / 100.0 * (static_cast<double>(sorted.size()) - 1.0);
+  size_t lo = static_cast<size_t>(rank);
+  if (lo >= sorted.size() - 1) return sorted.back();
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+}  // namespace
+
+double Percentile(std::vector<float> values, double p) {
+  HOTSPOT_CHECK(p >= 0.0 && p <= 100.0);
+  DropMissing(values);
+  std::sort(values.begin(), values.end());
+  return InterpolatedPercentile(values, p);
+}
+
+std::vector<double> Percentiles(std::vector<float> values,
+                                const std::vector<double>& ps) {
+  DropMissing(values);
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) {
+    HOTSPOT_CHECK(p >= 0.0 && p <= 100.0);
+    out.push_back(InterpolatedPercentile(values, p));
+  }
+  return out;
+}
+
+double Mean(const std::vector<float>& values) {
+  double sum = 0.0;
+  long long count = 0;
+  for (float v : values) {
+    if (IsMissing(v)) continue;
+    sum += v;
+    ++count;
+  }
+  return count == 0 ? std::nan("") : sum / static_cast<double>(count);
+}
+
+double StdDev(const std::vector<float>& values) {
+  double mean = Mean(values);
+  if (std::isnan(mean)) return mean;
+  double sum_sq = 0.0;
+  long long count = 0;
+  for (float v : values) {
+    if (IsMissing(v)) continue;
+    double d = v - mean;
+    sum_sq += d * d;
+    ++count;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(count));
+}
+
+double MinValue(const std::vector<float>& values) {
+  double best = std::nan("");
+  for (float v : values) {
+    if (IsMissing(v)) continue;
+    if (std::isnan(best) || v < best) best = v;
+  }
+  return best;
+}
+
+double MaxValue(const std::vector<float>& values) {
+  double best = std::nan("");
+  for (float v : values) {
+    if (IsMissing(v)) continue;
+    if (std::isnan(best) || v > best) best = v;
+  }
+  return best;
+}
+
+}  // namespace hotspot

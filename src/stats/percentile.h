@@ -1,0 +1,30 @@
+#ifndef HOTSPOT_STATS_PERCENTILE_H_
+#define HOTSPOT_STATS_PERCENTILE_H_
+
+#include <vector>
+
+namespace hotspot {
+
+/// Returns the p-th percentile (p in [0, 100]) of `values` using linear
+/// interpolation between order statistics (the numpy default). NaN values
+/// are dropped first. Returns NaN when no finite values remain.
+double Percentile(std::vector<float> values, double p);
+
+/// Returns several percentiles in one sort. `ps` entries must be in
+/// [0, 100]. NaN values are dropped; all-NaN input yields NaNs.
+std::vector<double> Percentiles(std::vector<float> values,
+                                const std::vector<double>& ps);
+
+/// Mean of finite values (NaN when none).
+double Mean(const std::vector<float>& values);
+
+/// Population standard deviation of finite values (NaN when none).
+double StdDev(const std::vector<float>& values);
+
+/// Min / max of finite values (NaN when none).
+double MinValue(const std::vector<float>& values);
+double MaxValue(const std::vector<float>& values);
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_STATS_PERCENTILE_H_

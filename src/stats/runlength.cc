@@ -1,0 +1,38 @@
+#include "stats/runlength.h"
+
+#include "tensor/matrix.h"
+#include "util/logging.h"
+
+namespace hotspot {
+
+std::vector<int> RunLengthsOfOnes(const std::vector<float>& binary) {
+  std::vector<int> runs;
+  int current = 0;
+  for (float v : binary) {
+    bool is_one = !IsMissing(v) && v != 0.0f;
+    if (is_one) {
+      ++current;
+    } else if (current > 0) {
+      runs.push_back(current);
+      current = 0;
+    }
+  }
+  if (current > 0) runs.push_back(current);
+  return runs;
+}
+
+std::vector<int> CountOnesPerBlock(const std::vector<float>& binary,
+                                   int block_size) {
+  HOTSPOT_CHECK_GT(block_size, 0);
+  int blocks = static_cast<int>(binary.size()) / block_size;
+  std::vector<int> counts(static_cast<size_t>(blocks), 0);
+  for (int b = 0; b < blocks; ++b) {
+    for (int j = b * block_size; j < (b + 1) * block_size; ++j) {
+      float v = binary[static_cast<size_t>(j)];
+      if (!IsMissing(v) && v != 0.0f) ++counts[static_cast<size_t>(b)];
+    }
+  }
+  return counts;
+}
+
+}  // namespace hotspot

@@ -1,0 +1,21 @@
+#ifndef HOTSPOT_STATS_RUNLENGTH_H_
+#define HOTSPOT_STATS_RUNLENGTH_H_
+
+#include <vector>
+
+namespace hotspot {
+
+/// Lengths of maximal runs of 1s in a binary sequence (values != 0 count as
+/// 1; NaN breaks a run). Used for the "consecutive hours/days as hot spot"
+/// analysis of Fig. 7.
+std::vector<int> RunLengthsOfOnes(const std::vector<float>& binary);
+
+/// Number of samples equal to 1 within each consecutive block of
+/// `block_size` samples (the trailing partial block is dropped). Used for
+/// "hours per day as hot spot" / "days per week as hot spot" (Fig. 6).
+std::vector<int> CountOnesPerBlock(const std::vector<float>& binary,
+                                   int block_size);
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_STATS_RUNLENGTH_H_

@@ -1,0 +1,82 @@
+#include "tensor/temporal.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hotspot {
+
+int IntegrationHours(Resolution resolution) {
+  switch (resolution) {
+    case Resolution::kHourly:
+      return 1;
+    case Resolution::kDaily:
+      return kHoursPerDay;
+    case Resolution::kWeekly:
+      return kHoursPerWeek;
+  }
+  return 1;
+}
+
+double TrailingMean(int x, int y, const std::vector<float>& z) {
+  HOTSPOT_CHECK_GT(y, 0);
+  double sum = 0.0;
+  int count = 0;
+  int lo = x - y + 1;
+  int hi = x + 1;
+  if (lo < 0) lo = 0;
+  if (hi > static_cast<int>(z.size())) hi = static_cast<int>(z.size());
+  for (int j = lo; j < hi; ++j) {
+    float value = z[static_cast<size_t>(j)];
+    if (IsMissing(value)) continue;
+    sum += value;
+    ++count;
+  }
+  if (count == 0) return std::nan("");
+  return sum / count;
+}
+
+Matrix<float> IntegrateScores(const Matrix<float>& hourly,
+                              Resolution resolution) {
+  int delta = IntegrationHours(resolution);
+  int out_cols = hourly.cols() / delta;
+  Matrix<float> integrated(hourly.rows(), out_cols);
+  for (int i = 0; i < hourly.rows(); ++i) {
+    const float* row = hourly.Row(i);
+    for (int j = 0; j < out_cols; ++j) {
+      double sum = 0.0;
+      int count = 0;
+      for (int h = j * delta; h < (j + 1) * delta; ++h) {
+        if (IsMissing(row[h])) continue;
+        sum += row[h];
+        ++count;
+      }
+      integrated.At(i, j) =
+          count == 0 ? MissingValue() : static_cast<float>(sum / count);
+    }
+  }
+  return integrated;
+}
+
+Matrix<float> UpsampleTime(const Matrix<float>& coarse, int factor) {
+  HOTSPOT_CHECK_GT(factor, 0);
+  Matrix<float> fine(coarse.rows(), coarse.cols() * factor);
+  for (int i = 0; i < coarse.rows(); ++i) {
+    const float* src = coarse.Row(i);
+    float* dst = fine.Row(i);
+    for (int j = 0; j < fine.cols(); ++j) dst[j] = src[j / factor];
+  }
+  return fine;
+}
+
+std::vector<float> UpsampleVector(const std::vector<float>& coarse,
+                                  int factor) {
+  HOTSPOT_CHECK_GT(factor, 0);
+  std::vector<float> fine(coarse.size() * static_cast<size_t>(factor));
+  for (size_t j = 0; j < fine.size(); ++j) {
+    fine[j] = coarse[j / static_cast<size_t>(factor)];
+  }
+  return fine;
+}
+
+}  // namespace hotspot

@@ -1,0 +1,46 @@
+#ifndef HOTSPOT_TENSOR_TEMPORAL_H_
+#define HOTSPOT_TENSOR_TEMPORAL_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace hotspot {
+
+/// Temporal resolutions used throughout the paper (Sec. II-B): hourly,
+/// daily and weekly integration periods.
+enum class Resolution { kHourly, kDaily, kWeekly };
+
+/// Integration length in hours for a resolution: δh=1, δd=24, δw=168.
+int IntegrationHours(Resolution resolution);
+
+/// Hours per day / days per week constants.
+inline constexpr int kHoursPerDay = 24;
+inline constexpr int kHoursPerWeek = 168;
+inline constexpr int kDaysPerWeek = 7;
+
+/// The paper's µ(x, y, z) (Eq. 3): the mean of z over the window of length
+/// y that *precedes and includes* sample x, i.e. indices (x-y, x] in
+/// half-open terms [x-y+1, x+1). Values outside [0, z.size()) are skipped;
+/// NaN entries are skipped as well. Returns NaN when no valid sample exists.
+double TrailingMean(int x, int y, const std::vector<float>& z);
+
+/// Integrates an hourly score matrix (sectors x hours) into the requested
+/// resolution (Eq. 2): output column j is the mean of the δ hours
+/// [j*δ, (j+1)*δ). NaN entries are excluded from the mean; a window with no
+/// valid samples yields NaN. Output has floor(hours/δ) columns.
+Matrix<float> IntegrateScores(const Matrix<float>& hourly,
+                              Resolution resolution);
+
+/// Upsamples a coarse matrix along time by `factor` (the paper's U1):
+/// output(:, j) = input(:, j / factor). Output has cols*factor columns.
+Matrix<float> UpsampleTime(const Matrix<float>& coarse, int factor);
+
+/// Brute-force upsampling of a vector by `factor` (used for calendar
+/// signals with daily resolution).
+std::vector<float> UpsampleVector(const std::vector<float>& coarse,
+                                  int factor);
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_TENSOR_TEMPORAL_H_

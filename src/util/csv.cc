@@ -1,0 +1,97 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace hotspot {
+
+CsvWriter::CsvWriter(std::ostream* out, char separator)
+    : out_(out), separator_(separator) {
+  HOTSPOT_CHECK(out != nullptr);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << separator_;
+    *out_ << Escape(fields[i]);
+  }
+  *out_ << '\n';
+  ++rows_written_;
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(FormatNumber(v));
+  WriteRow(fields);
+}
+
+std::string CsvWriter::Escape(const std::string& field) const {
+  bool needs_quotes =
+      field.find(separator_) != std::string::npos ||
+      field.find('"') != std::string::npos ||
+      field.find('\n') != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string escaped = "\"";
+  for (char c : field) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+std::string FormatNumber(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g", digits, value);
+  return buffer;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  HOTSPOT_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddNumericRow(const std::vector<double>& values, int digits) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (double v : values) row.push_back(FormatNumber(v, digits));
+  AddRow(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string result = render_row(header_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    if (c > 0) rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  result += rule + "\n";
+  for (const auto& row : rows_) result += render_row(row);
+  return result;
+}
+
+}  // namespace hotspot

@@ -1,0 +1,60 @@
+#ifndef HOTSPOT_UTIL_CSV_H_
+#define HOTSPOT_UTIL_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hotspot {
+
+/// Streams rows of comma-separated values to an std::ostream. Values are
+/// quoted only when they contain separators, quotes or newlines. Used by the
+/// benchmark harness to dump series the paper's figures plot.
+class CsvWriter {
+ public:
+  /// The writer does not own `out`; it must outlive the writer.
+  explicit CsvWriter(std::ostream* out, char separator = ',');
+
+  /// Writes a header or data row. Each call emits one line.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  void WriteNumericRow(const std::vector<double>& values);
+
+  /// Number of rows written so far (including headers).
+  int rows_written() const { return rows_written_; }
+
+ private:
+  std::string Escape(const std::string& field) const;
+
+  std::ostream* out_;
+  char separator_;
+  int rows_written_ = 0;
+};
+
+/// Formats `value` with `digits` significant digits (no trailing garbage),
+/// suitable for table output.
+std::string FormatNumber(double value, int digits = 6);
+
+/// Renders an aligned text table (monospace) with a header row; used by the
+/// benches to print paper-style tables to stdout.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  void AddNumericRow(const std::vector<double>& values, int digits = 4);
+
+  /// Renders the table with column alignment.
+  std::string ToString() const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_UTIL_CSV_H_

@@ -1,0 +1,80 @@
+#ifndef HOTSPOT_UTIL_LOGGING_H_
+#define HOTSPOT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hotspot {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal_logging {
+
+/// Collects one log statement and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Aborts the process after emitting the message; used by HOTSPOT_CHECK.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Sets the minimum severity that is actually printed. Returns the previous
+/// threshold. Thread-compatible (intended for test setup / main()).
+LogLevel SetMinLogLevel(LogLevel level);
+
+/// Returns the current minimum severity.
+LogLevel MinLogLevel();
+
+/// Returns a short human-readable name ("INFO", ...) for a severity.
+const char* LogLevelName(LogLevel level);
+
+}  // namespace hotspot
+
+#define HOTSPOT_LOG(level)                                                  \
+  ::hotspot::internal_logging::LogMessage(::hotspot::LogLevel::k##level,    \
+                                          __FILE__, __LINE__)               \
+      .stream()
+
+/// CHECK-style assertion: always on (also in release builds); aborts with a
+/// message on failure. Use for programmer errors and API contract violations.
+#define HOTSPOT_CHECK(condition)                                            \
+  if (condition) {                                                          \
+  } else /* NOLINT */                                                       \
+    ::hotspot::internal_logging::FatalMessage(__FILE__, __LINE__,           \
+                                              #condition)                   \
+        .stream()
+
+#define HOTSPOT_CHECK_EQ(a, b) HOTSPOT_CHECK((a) == (b))
+#define HOTSPOT_CHECK_NE(a, b) HOTSPOT_CHECK((a) != (b))
+#define HOTSPOT_CHECK_LT(a, b) HOTSPOT_CHECK((a) < (b))
+#define HOTSPOT_CHECK_LE(a, b) HOTSPOT_CHECK((a) <= (b))
+#define HOTSPOT_CHECK_GT(a, b) HOTSPOT_CHECK((a) > (b))
+#define HOTSPOT_CHECK_GE(a, b) HOTSPOT_CHECK((a) >= (b))
+
+#endif  // HOTSPOT_UTIL_LOGGING_H_

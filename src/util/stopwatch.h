@@ -1,0 +1,28 @@
+#ifndef HOTSPOT_UTIL_STOPWATCH_H_
+#define HOTSPOT_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace hotspot {
+
+/// Minimal wall-clock stopwatch for coarse timing in benches and examples.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_UTIL_STOPWATCH_H_

@@ -1,0 +1,261 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "core/baselines.h"
+#include "core/config.h"
+#include "core/labels.h"
+#include "core/score.h"
+#include "core/sector_filter.h"
+#include "tensor/temporal.h"
+#include "util/rng.h"
+
+namespace hotspot {
+namespace {
+
+ScoreConfig TwoIndicatorConfig() {
+  ScoreConfig config;
+  // Indicator 0: weight 3, hot when value > 0.5 (higher worse).
+  // Indicator 1: weight 1, hot when value < 0.2 (lower worse).
+  config.indicators = {{3.0, 0.5, true}, {1.0, 0.2, false}};
+  config.hot_threshold = 0.6;
+  return config;
+}
+
+TEST(ScoreConfig, TotalWeight) {
+  EXPECT_DOUBLE_EQ(TwoIndicatorConfig().TotalWeight(), 4.0);
+}
+
+TEST(ScoreConfig, FromCatalogMirrorsOmegaEpsilon) {
+  simnet::KpiCatalog catalog = simnet::KpiCatalog::Default();
+  ScoreConfig config = ScoreConfigFromCatalog(catalog);
+  ASSERT_EQ(config.num_indicators(), catalog.size());
+  for (int k = 0; k < catalog.size(); ++k) {
+    EXPECT_DOUBLE_EQ(config.indicators[static_cast<size_t>(k)].weight,
+                     catalog.spec(k).score_weight);
+    EXPECT_DOUBLE_EQ(config.indicators[static_cast<size_t>(k)].threshold,
+                     catalog.spec(k).score_threshold);
+    EXPECT_EQ(config.indicators[static_cast<size_t>(k)].higher_is_worse,
+              catalog.spec(k).higher_is_worse);
+  }
+}
+
+TEST(Score, WeightedThresholdedSum) {
+  ScoreConfig config = TwoIndicatorConfig();
+  Tensor3<float> kpis(1, 4, 2);
+  // Hour 0: neither trips -> 0.
+  kpis(0, 0, 0) = 0.4f;
+  kpis(0, 0, 1) = 0.5f;
+  // Hour 1: indicator 0 trips -> 3/4.
+  kpis(0, 1, 0) = 0.9f;
+  kpis(0, 1, 1) = 0.5f;
+  // Hour 2: indicator 1 trips (lower is worse) -> 1/4.
+  kpis(0, 2, 0) = 0.4f;
+  kpis(0, 2, 1) = 0.1f;
+  // Hour 3: both trip -> 1.
+  kpis(0, 3, 0) = 0.9f;
+  kpis(0, 3, 1) = 0.1f;
+  Matrix<float> score = ComputeHourlyScore(kpis, config);
+  EXPECT_FLOAT_EQ(score(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(score(0, 1), 0.75f);
+  EXPECT_FLOAT_EQ(score(0, 2), 0.25f);
+  EXPECT_FLOAT_EQ(score(0, 3), 1.0f);
+}
+
+TEST(Score, MissingIndicatorsRenormalize) {
+  ScoreConfig config = TwoIndicatorConfig();
+  Tensor3<float> kpis(1, 2, 2);
+  // Hour 0: indicator 0 missing, indicator 1 trips -> 1/1.
+  kpis(0, 0, 0) = MissingValue();
+  kpis(0, 0, 1) = 0.1f;
+  // Hour 1: everything missing -> NaN.
+  kpis(0, 1, 0) = MissingValue();
+  kpis(0, 1, 1) = MissingValue();
+  Matrix<float> score = ComputeHourlyScore(kpis, config);
+  EXPECT_FLOAT_EQ(score(0, 0), 1.0f);
+  EXPECT_TRUE(IsMissing(score(0, 1)));
+}
+
+TEST(Score, ExactThresholdDoesNotTrip) {
+  ScoreConfig config = TwoIndicatorConfig();
+  Tensor3<float> kpis(1, 1, 2);
+  kpis(0, 0, 0) = 0.5f;  // exactly at threshold: not strictly above
+  kpis(0, 0, 1) = 0.2f;  // exactly at threshold: not strictly below
+  Matrix<float> score = ComputeHourlyScore(kpis, config);
+  EXPECT_FLOAT_EQ(score(0, 0), 0.0f);
+}
+
+TEST(Score, ComputeScoresShapes) {
+  ScoreConfig config = TwoIndicatorConfig();
+  Tensor3<float> kpis(3, 2 * kHoursPerWeek, 2, 0.0f);
+  ScoreSet scores = ComputeScores(kpis, config);
+  EXPECT_EQ(scores.hourly.cols(), 2 * kHoursPerWeek);
+  EXPECT_EQ(scores.daily.cols(), 14);
+  EXPECT_EQ(scores.weekly.cols(), 2);
+}
+
+TEST(Labels, HeavisideOfScore) {
+  Matrix<float> scores(1, 4);
+  scores(0, 0) = 0.59f;
+  scores(0, 1) = 0.60f;
+  scores(0, 2) = 0.61f;
+  scores(0, 3) = MissingValue();
+  Matrix<float> labels = HotSpotLabels(scores, 0.6);
+  EXPECT_FLOAT_EQ(labels(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(labels(0, 1), 1.0f);  // H(0) = 1: at threshold is hot
+  EXPECT_FLOAT_EQ(labels(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(labels(0, 3), 0.0f);  // NaN -> not hot
+}
+
+TEST(Labels, PositiveRate) {
+  Matrix<float> labels(2, 2, 0.0f);
+  labels(0, 0) = 1.0f;
+  EXPECT_DOUBLE_EQ(PositiveRate(labels), 0.25);
+}
+
+TEST(BecomeLabels, TransitionDayIsMarked) {
+  // One sector, 21 days: cold for 10 days, hot from day 10 on.
+  Matrix<float> daily(1, 21, 0.1f);
+  for (int j = 10; j < 21; ++j) daily(0, j) = 0.9f;
+  Matrix<float> become = BecomeHotSpotLabels(daily, 0.6);
+  // Day 9: week-before mean (days 3..9) = 0.1 < ε; week-after (10..16)
+  // = 0.9 ≥ ε; day 9 cold, day 10 hot -> positive.
+  EXPECT_FLOAT_EQ(become(0, 9), 1.0f);
+  // No other day qualifies.
+  for (int j = 0; j < 21; ++j) {
+    if (j != 9) EXPECT_FLOAT_EQ(become(0, j), 0.0f) << "day " << j;
+  }
+}
+
+TEST(BecomeLabels, AlreadyHotSectorNeverBecomes) {
+  Matrix<float> daily(1, 21, 0.9f);
+  Matrix<float> become = BecomeHotSpotLabels(daily, 0.6);
+  for (int j = 0; j < 21; ++j) EXPECT_FLOAT_EQ(become(0, j), 0.0f);
+}
+
+TEST(BecomeLabels, SingleHotDayDoesNotBecome) {
+  // A one-day spike: the following week's mean stays below ε.
+  Matrix<float> daily(1, 21, 0.1f);
+  daily(0, 10) = 0.9f;
+  Matrix<float> become = BecomeHotSpotLabels(daily, 0.6);
+  for (int j = 0; j < 21; ++j) EXPECT_FLOAT_EQ(become(0, j), 0.0f);
+}
+
+TEST(BecomeLabels, NoLookaheadPastEnd) {
+  Matrix<float> daily(1, 8, 0.1f);
+  daily(0, 7) = 0.9f;
+  Matrix<float> become = BecomeHotSpotLabels(daily, 0.6);
+  // Day 7 transitions but there is no full week after day 0..; with only
+  // 8 days, j + 7 < 8 never holds for j >= 1 and j=0 lacks the hot week.
+  for (int j = 0; j < 8; ++j) EXPECT_FLOAT_EQ(become(0, j), 0.0f);
+}
+
+TEST(SectorFilter, DiscardsSectorsWithMissingWeek) {
+  const int hours = 2 * kHoursPerWeek;
+  Tensor3<float> kpis(3, hours, 2, 1.0f);
+  // Sector 1: 60 % of the second week missing -> discard.
+  Rng rng(1);
+  for (int j = kHoursPerWeek; j < hours; ++j) {
+    for (int k = 0; k < 2; ++k) {
+      if (rng.Bernoulli(0.6)) kpis(1, j, k) = MissingValue();
+    }
+  }
+  // Sector 2: 30 % missing everywhere -> keep.
+  for (int j = 0; j < hours; ++j) {
+    for (int k = 0; k < 2; ++k) {
+      if (rng.Bernoulli(0.3)) kpis(2, j, k) = MissingValue();
+    }
+  }
+  std::vector<bool> keep = SectorFilterMask(kpis);
+  EXPECT_TRUE(keep[0]);
+  EXPECT_FALSE(keep[1]);
+  EXPECT_TRUE(keep[2]);
+}
+
+TEST(SectorFilter, SlidingWindowCatchesStraddlingGap) {
+  // A 60 %-missing stretch straddling the week boundary must still be
+  // caught by the sliding window.
+  const int hours = 2 * kHoursPerWeek;
+  Tensor3<float> kpis(1, hours, 1, 1.0f);
+  int start = kHoursPerWeek / 2;
+  for (int j = start; j < start + kHoursPerWeek * 6 / 10 + 2; ++j) {
+    kpis(0, j, 0) = MissingValue();
+  }
+  std::vector<bool> keep = SectorFilterMask(kpis);
+  EXPECT_FALSE(keep[0]);
+}
+
+TEST(SectorFilter, ShortSeriesKeepsEverything) {
+  Tensor3<float> kpis(2, 24, 1, MissingValue());
+  std::vector<bool> keep = SectorFilterMask(kpis);
+  EXPECT_TRUE(keep[0]);
+  EXPECT_TRUE(keep[1]);
+}
+
+TEST(SectorFilter, FilterSectorsCopiesSurvivors) {
+  Tensor3<float> kpis(3, 2, 1);
+  for (int i = 0; i < 3; ++i) kpis(i, 0, 0) = static_cast<float>(i);
+  Tensor3<float> filtered = FilterSectors(kpis, {true, false, true});
+  EXPECT_EQ(filtered.dim0(), 2);
+  EXPECT_FLOAT_EQ(filtered(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(filtered(1, 0, 0), 2.0f);
+}
+
+TEST(SectorFilter, FilterRowsCopiesSurvivors) {
+  Matrix<float> m(3, 2);
+  for (int i = 0; i < 3; ++i) m(i, 1) = static_cast<float>(10 * i);
+  Matrix<float> filtered = FilterRows(m, {false, true, true});
+  EXPECT_EQ(filtered.rows(), 2);
+  EXPECT_FLOAT_EQ(filtered(0, 1), 10.0f);
+  EXPECT_FLOAT_EQ(filtered(1, 1), 20.0f);
+}
+
+TEST(Baselines, RandomInUnitInterval) {
+  Rng rng(2);
+  std::vector<float> predictions = RandomBaseline(100, &rng);
+  ASSERT_EQ(predictions.size(), 100u);
+  for (float p : predictions) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LT(p, 1.0f);
+  }
+}
+
+TEST(Baselines, PersistCopiesCurrentLabel) {
+  Matrix<float> labels(2, 5, 0.0f);
+  labels(0, 3) = 1.0f;
+  std::vector<float> predictions = PersistBaseline(labels, 3);
+  EXPECT_FLOAT_EQ(predictions[0], 1.0f);
+  EXPECT_FLOAT_EQ(predictions[1], 0.0f);
+}
+
+TEST(Baselines, AverageIsTrailingMean) {
+  Matrix<float> scores(1, 6);
+  for (int j = 0; j < 6; ++j) scores(0, j) = static_cast<float>(j);
+  // µ(t=5, w=3): mean of scores at days 3,4,5 = 4.
+  std::vector<float> predictions = AverageBaseline(scores, 5, 3);
+  EXPECT_FLOAT_EQ(predictions[0], 4.0f);
+}
+
+TEST(Baselines, TrendAddsHalfWindowSlope) {
+  Matrix<float> scores(1, 8);
+  for (int j = 0; j < 8; ++j) scores(0, j) = static_cast<float>(j);
+  // t=7, w=4: average of 4..7 = 5.5; recent half µ(7,2)=6.5; earlier half
+  // µ(5,2)=4.5; trend = (6.5-4.5)/2 = 1.
+  std::vector<float> predictions = TrendBaseline(scores, 7, 4);
+  EXPECT_FLOAT_EQ(predictions[0], 6.5f);
+}
+
+TEST(Baselines, TrendFlatSeriesEqualsAverage) {
+  Matrix<float> scores(1, 10, 0.4f);
+  std::vector<float> trend = TrendBaseline(scores, 8, 6);
+  std::vector<float> average = AverageBaseline(scores, 8, 6);
+  EXPECT_FLOAT_EQ(trend[0], average[0]);
+}
+
+TEST(Baselines, NaNScoresTreatedAsNoEvidence) {
+  Matrix<float> scores(1, 5, MissingValue());
+  std::vector<float> average = AverageBaseline(scores, 4, 3);
+  EXPECT_FLOAT_EQ(average[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace hotspot

@@ -1,0 +1,176 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "core/dynamics.h"
+#include "tensor/temporal.h"
+
+namespace hotspot {
+namespace {
+
+TEST(DurationStats, HoursPerDayCountsOnlyHotDays) {
+  // One sector, 2 days: 3 hot hours on day 0, none on day 1.
+  Matrix<float> hourly(1, 48, 0.0f);
+  hourly(0, 5) = hourly(0, 6) = hourly(0, 7) = 1.0f;
+  Matrix<float> daily(1, 2, 0.0f);
+  Matrix<float> weekly(1, 1, 0.0f);
+  DurationStats stats = ComputeDurationStats(hourly, daily, weekly);
+  EXPECT_EQ(stats.hours_per_day.total(), 1);
+  EXPECT_EQ(stats.hours_per_day.count(3), 1);
+}
+
+TEST(DurationStats, DaysPerWeekAndWeeks) {
+  // 2 weeks of daily labels: week 0 has 2 hot days, week 1 has 0.
+  Matrix<float> hourly(1, 2 * kHoursPerWeek, 0.0f);
+  Matrix<float> daily(1, 14, 0.0f);
+  daily(0, 1) = daily(0, 4) = 1.0f;
+  Matrix<float> weekly(1, 2, 0.0f);
+  weekly(0, 0) = 1.0f;
+  DurationStats stats = ComputeDurationStats(hourly, daily, weekly);
+  EXPECT_EQ(stats.days_per_week.count(2), 1);
+  EXPECT_EQ(stats.days_per_week.total(), 1);
+  EXPECT_EQ(stats.weeks_as_hotspot.count(1), 1);
+}
+
+TEST(DurationStats, ConsecutiveRuns) {
+  Matrix<float> hourly(1, 48, 0.0f);
+  for (int j = 10; j < 26; ++j) hourly(0, j) = 1.0f;  // 16-hour run
+  Matrix<float> daily(1, 2, 1.0f);                    // 2-day run
+  Matrix<float> weekly(1, 1, 0.0f);
+  DurationStats stats = ComputeDurationStats(hourly, daily, weekly);
+  EXPECT_EQ(stats.consecutive_hours.count(16), 1);
+  EXPECT_EQ(stats.consecutive_days.count(2), 1);
+}
+
+TEST(WeeklyPatterns, CountsAndNormalizesExcludingEmpty) {
+  // 2 sectors, 2 weeks. Sector 0: MTWTF both weeks. Sector 1: one empty
+  // week, one Saturday-only week.
+  Matrix<float> daily(2, 14, 0.0f);
+  for (int week = 0; week < 2; ++week) {
+    for (int d = 0; d < 5; ++d) daily(0, week * 7 + d) = 1.0f;
+  }
+  daily(1, 7 + 5) = 1.0f;
+  std::vector<WeeklyPattern> patterns = TopWeeklyPatterns(daily, 10);
+  ASSERT_EQ(patterns.size(), 2u);
+  EXPECT_EQ(patterns[0].bits, 0b0011111);
+  EXPECT_EQ(patterns[0].count, 2);
+  EXPECT_NEAR(patterns[0].relative_count, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(patterns[1].bits, 1 << 5);
+  EXPECT_NEAR(patterns[1].relative_count, 1.0 / 3.0, 1e-12);
+}
+
+TEST(WeeklyPatterns, TopKTruncates) {
+  Matrix<float> daily(3, 7, 0.0f);
+  daily(0, 0) = 1.0f;
+  daily(1, 1) = 1.0f;
+  daily(2, 2) = 1.0f;
+  EXPECT_EQ(TopWeeklyPatterns(daily, 2).size(), 2u);
+}
+
+TEST(WeeklyPatterns, PatternStringFormat) {
+  EXPECT_EQ(PatternString(0), "- - - - - - -");
+  EXPECT_EQ(PatternString(0b1111111), "M T W T F S S");
+  EXPECT_EQ(PatternString(0b0011111), "M T W T F - -");
+  EXPECT_EQ(PatternString(0b1100000), "- - - - - S S");
+}
+
+TEST(WeeklyConsistency, PerfectlyRegularSectorScoresOne) {
+  // Same MTWTF pattern every week.
+  Matrix<float> daily(1, 28, 0.0f);
+  for (int week = 0; week < 4; ++week) {
+    for (int d = 0; d < 5; ++d) daily(0, week * 7 + d) = 1.0f;
+  }
+  ConsistencyStats stats = WeeklyConsistency(daily);
+  EXPECT_NEAR(stats.mean, 1.0, 1e-6);
+  EXPECT_NEAR(stats.p50, 1.0, 1e-6);
+  EXPECT_EQ(stats.count, 4);
+}
+
+TEST(WeeklyConsistency, AlternatingPatternsScoreLower) {
+  // Week 0: MTW; week 1: FSS; alternating -> average week is flat-ish and
+  // correlations are far below 1.
+  Matrix<float> daily(1, 28, 0.0f);
+  for (int week = 0; week < 4; ++week) {
+    if (week % 2 == 0) {
+      daily(0, week * 7 + 0) = daily(0, week * 7 + 1) =
+          daily(0, week * 7 + 2) = 1.0f;
+    } else {
+      daily(0, week * 7 + 4) = daily(0, week * 7 + 5) =
+          daily(0, week * 7 + 6) = 1.0f;
+    }
+  }
+  ConsistencyStats stats = WeeklyConsistency(daily);
+  EXPECT_LT(stats.mean, 0.5);
+}
+
+TEST(SpatialBuckets, EdgesAreLogSpacedWithZeroBucket) {
+  std::vector<double> edges = SpatialBucketEdges();
+  ASSERT_GE(edges.size(), 4u);
+  EXPECT_DOUBLE_EQ(edges[0], 0.0);
+  EXPECT_DOUBLE_EQ(edges[1], 0.05);
+  for (size_t b = 2; b + 2 < edges.size(); ++b) {
+    EXPECT_NEAR(edges[b + 1] / edges[b], 2.0, 1e-9);
+  }
+}
+
+/// Builds a 2-tower topology (3 sectors each) with known label series.
+struct SpatialFixture {
+  simnet::Topology topology;
+  Matrix<float> labels;
+
+  SpatialFixture() {
+    simnet::TopologyConfig config;
+    config.target_sectors = 6;
+    config.min_towers_per_patch = 2;
+    config.max_towers_per_patch = 2;
+    topology = simnet::Topology::Generate(config, 42);
+    // Sectors 0-2 share tower A, 3-5 share tower B. Give sectors of the
+    // same tower identical alternating series, and the other tower an
+    // uncorrelated series.
+    labels = Matrix<float>(6, 100);
+    for (int j = 0; j < 100; ++j) {
+      float a = j % 2 == 0 ? 1.0f : 0.0f;
+      float b = (j / 3) % 2 == 0 ? 1.0f : 0.0f;
+      for (int i = 0; i < 3; ++i) labels(i, j) = a;
+      for (int i = 3; i < 6; ++i) labels(i, j) = b;
+    }
+  }
+};
+
+TEST(SpatialCorrelation, SameTowerBucketIsPerfectlyCorrelated) {
+  SpatialFixture fixture;
+  std::vector<BucketSummary> summaries = SpatialCorrelationByDistance(
+      fixture.topology, fixture.labels, 5, SpatialAggregation::kAverage);
+  // Bucket 0 = distance 0 (same tower): correlation exactly 1.
+  EXPECT_GT(summaries[0].count, 0);
+  EXPECT_NEAR(summaries[0].median, 1.0, 1e-6);
+}
+
+TEST(SpatialCorrelation, MaxAggregationAtLeastAverage) {
+  SpatialFixture fixture;
+  std::vector<BucketSummary> average = SpatialCorrelationByDistance(
+      fixture.topology, fixture.labels, 5, SpatialAggregation::kAverage);
+  std::vector<BucketSummary> maximum = SpatialCorrelationByDistance(
+      fixture.topology, fixture.labels, 5, SpatialAggregation::kMaximum);
+  for (size_t b = 0; b < average.size(); ++b) {
+    if (average[b].count == 0) continue;
+    EXPECT_GE(maximum[b].median, average[b].median - 1e-9);
+  }
+}
+
+TEST(BestCorrelation, FindsPerfectTwinsRegardlessOfDistance) {
+  SpatialFixture fixture;
+  std::vector<BucketSummary> summaries =
+      BestCorrelationByDistance(fixture.topology, fixture.labels, 5);
+  // Every sector has two same-tower twins with correlation 1.
+  EXPECT_NEAR(summaries[0].median, 1.0, 1e-6);
+}
+
+TEST(DurationStatsConstruction, HistogramSizes) {
+  DurationStats stats(18);
+  EXPECT_EQ(stats.hours_per_day.max_value(), 24);
+  EXPECT_EQ(stats.days_per_week.max_value(), 7);
+  EXPECT_EQ(stats.weeks_as_hotspot.max_value(), 18);
+}
+
+}  // namespace
+}  // namespace hotspot

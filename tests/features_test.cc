@@ -1,0 +1,271 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "features/feature_tensor.h"
+#include "features/handcrafted_features.h"
+#include "features/percentile_features.h"
+#include "features/raw_features.h"
+#include "features/window.h"
+#include "stats/percentile.h"
+#include "tensor/temporal.h"
+#include "util/rng.h"
+
+namespace hotspot::features {
+namespace {
+
+/// Builds a tiny 2-sector, 2-week feature tensor with recognizable values.
+FeatureTensor TinyTensor() {
+  const int n = 2;
+  const int hours = 2 * kHoursPerWeek;
+  const int l = 3;
+  Tensor3<float> kpis(n, hours, l);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < hours; ++j) {
+      for (int k = 0; k < l; ++k) {
+        kpis(i, j, k) = static_cast<float>(1000 * i + j + 0.1 * k);
+      }
+    }
+  }
+  Matrix<float> calendar(hours, 5);
+  for (int j = 0; j < hours; ++j) {
+    calendar(j, 0) = static_cast<float>(j % 24);
+    calendar(j, 1) = static_cast<float>((j / 24) % 7);
+    calendar(j, 2) = static_cast<float>(1 + (j / 24) % 30);
+    calendar(j, 3) = (j / 24) % 7 >= 5 ? 1.0f : 0.0f;
+    calendar(j, 4) = 0.0f;
+  }
+  Matrix<float> hourly(n, hours);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < hours; ++j) {
+      hourly(i, j) = static_cast<float>(i + 0.001 * j);
+    }
+  }
+  Matrix<float> daily = IntegrateScores(hourly, Resolution::kDaily);
+  Matrix<float> weekly = IntegrateScores(hourly, Resolution::kWeekly);
+  Matrix<float> labels(n, hours / 24, 0.0f);
+  labels(1, 3) = 1.0f;
+  return FeatureTensor::Build(kpis, calendar, hourly, daily, weekly, labels,
+                              {"kpi_a", "kpi_b", "kpi_c"});
+}
+
+TEST(FeatureTensor, ChannelLayoutMatchesEq5) {
+  FeatureTensor x = TinyTensor();
+  // l + 5 + 3 + 1 channels.
+  EXPECT_EQ(x.num_channels(), 3 + 5 + 3 + 1);
+  EXPECT_EQ(x.ChannelName(0), "kpi_a");
+  EXPECT_EQ(x.ChannelGroup(0), FeatureGroup::kKpi);
+  EXPECT_EQ(x.ChannelName(3), "cal_hour_of_day");
+  EXPECT_EQ(x.ChannelGroup(3), FeatureGroup::kCalendar);
+  EXPECT_EQ(x.ChannelName(8), "score_hourly");
+  EXPECT_EQ(x.ChannelGroup(8), FeatureGroup::kHourlyScore);
+  EXPECT_EQ(x.ChannelGroup(9), FeatureGroup::kDailyScore);
+  EXPECT_EQ(x.ChannelGroup(10), FeatureGroup::kWeeklyScore);
+  EXPECT_EQ(x.ChannelGroup(11), FeatureGroup::kDailyLabel);
+}
+
+TEST(FeatureTensor, ValuesCopiedAndUpsampled) {
+  FeatureTensor x = TinyTensor();
+  // KPI channel 1 at (sector 1, hour 30): 1000 + 30 + 0.1.
+  EXPECT_FLOAT_EQ(x.tensor()(1, 30, 1), 1030.1f);
+  // Calendar hour-of-day at hour 30 = 6.
+  EXPECT_FLOAT_EQ(x.tensor()(0, 30, 3), 6.0f);
+  // Daily score upsampled: hour 30 belongs to day 1.
+  float day1_score = x.tensor()(1, 30, 9);
+  EXPECT_FLOAT_EQ(x.tensor()(1, 25, 9), day1_score);
+  // Daily label at (1, day 3) upsampled to hours 72..95.
+  EXPECT_FLOAT_EQ(x.tensor()(1, 72, 11), 1.0f);
+  EXPECT_FLOAT_EQ(x.tensor()(1, 95, 11), 1.0f);
+  EXPECT_FLOAT_EQ(x.tensor()(1, 96, 11), 0.0f);
+}
+
+TEST(FeatureGroupName, AllNamed) {
+  EXPECT_STREQ(FeatureGroupName(FeatureGroup::kKpi), "kpi");
+  EXPECT_STREQ(FeatureGroupName(FeatureGroup::kWeeklyScore),
+               "score_weekly");
+}
+
+TEST(Window, ExtractsCorrectHourRange) {
+  FeatureTensor x = TinyTensor();
+  // Window of 2 days ending at day 5: hours [72, 120).
+  Matrix<float> window = ExtractWindow(x, 1, 5, 2);
+  EXPECT_EQ(window.rows(), 48);
+  EXPECT_EQ(window.cols(), x.num_channels());
+  EXPECT_FLOAT_EQ(window(0, 0), 1072.0f);   // kpi_a at hour 72
+  EXPECT_FLOAT_EQ(window(47, 0), 1119.0f);  // kpi_a at hour 119
+}
+
+TEST(Window, BoundsChecked) {
+  FeatureTensor x = TinyTensor();
+  EXPECT_DEATH(ExtractWindow(x, 0, 1, 2), "Check failed");
+  EXPECT_DEATH(ExtractWindow(x, 0, 99, 1), "Check failed");
+}
+
+TEST(RawExtractor, FlattensTimeMajor) {
+  FeatureTensor x = TinyTensor();
+  RawExtractor extractor;
+  Matrix<float> window = ExtractWindow(x, 0, 3, 1);
+  std::vector<float> out;
+  extractor.Extract(window, &out);
+  const int channels = x.num_channels();
+  ASSERT_EQ(static_cast<int>(out.size()),
+            extractor.OutputDim(1, channels));
+  EXPECT_EQ(static_cast<int>(out.size()), 24 * channels);
+  // out[j*channels + k] == window(j, k).
+  EXPECT_FLOAT_EQ(out[static_cast<size_t>(5 * channels + 2)], window(5, 2));
+  EXPECT_EQ(extractor.SourceChannel(5 * channels + 2, 1, channels), 2);
+  EXPECT_EQ(RawExtractor::SourceHour(5 * channels + 2, channels), 5);
+}
+
+TEST(RawExtractor, FeatureNames) {
+  FeatureTensor x = TinyTensor();
+  RawExtractor extractor;
+  EXPECT_EQ(extractor.FeatureName(0, 1, x), "kpi_a@h0");
+  EXPECT_EQ(extractor.FeatureName(x.num_channels(), 1, x), "kpi_a@h1");
+}
+
+TEST(PercentileExtractor, MatchesDirectPercentiles) {
+  FeatureTensor x = TinyTensor();
+  DailyPercentileExtractor extractor;
+  Matrix<float> window = ExtractWindow(x, 0, 4, 2);
+  std::vector<float> out;
+  extractor.Extract(window, &out);
+  const int channels = x.num_channels();
+  ASSERT_EQ(static_cast<int>(out.size()),
+            extractor.OutputDim(2, channels));
+
+  // Check day 1, channel 0, median (percentile index 2).
+  std::vector<float> day_values;
+  for (int h = 24; h < 48; ++h) day_values.push_back(window(h, 0));
+  double expected = Percentile(day_values, 50.0);
+  size_t index = (static_cast<size_t>(1) * channels + 0) * 5 + 2;
+  EXPECT_NEAR(out[index], expected, 1e-4);
+  EXPECT_EQ(extractor.SourceChannel(static_cast<int>(index), 2, channels),
+            0);
+}
+
+TEST(PercentileExtractor, DimFormula) {
+  DailyPercentileExtractor extractor;
+  EXPECT_EQ(extractor.OutputDim(7, 30), 7 * 30 * 5);
+  EXPECT_EQ(extractor.OutputDim(1, 12), 60);
+}
+
+TEST(PercentileExtractor, FeatureNames) {
+  FeatureTensor x = TinyTensor();
+  DailyPercentileExtractor extractor;
+  EXPECT_EQ(extractor.FeatureName(0, 2, x), "kpi_a@d0_p5");
+  EXPECT_EQ(extractor.FeatureName(2, 2, x), "kpi_a@d0_p50");
+}
+
+TEST(HandcraftedExtractor, DimFormula) {
+  HandcraftedExtractor extractor;
+  EXPECT_EQ(extractor.OutputDim(7, 30), 30 * HandcraftedExtractor::kPerChannel);
+}
+
+TEST(HandcraftedExtractor, WholeWindowStats) {
+  // One channel, 1-day window with values 0..23.
+  Tensor3<float> kpis(1, kHoursPerWeek, 1);
+  for (int j = 0; j < kHoursPerWeek; ++j) {
+    kpis(0, j, 0) = static_cast<float>(j % 24);
+  }
+  Matrix<float> window = kpis.SectorSlab(0, 0, 24);
+  HandcraftedExtractor extractor;
+  std::vector<float> out;
+  extractor.Extract(window, &out);
+  // mean of 0..23 = 11.5, min 0, max 23.
+  EXPECT_NEAR(out[0], 11.5f, 1e-5);
+  EXPECT_FLOAT_EQ(out[2], 0.0f);
+  EXPECT_FLOAT_EQ(out[3], 23.0f);
+  // First half (hours 0..11) mean = 5.5, second half = 17.5, diff = 12.
+  EXPECT_NEAR(out[4], 5.5f, 1e-5);
+  EXPECT_NEAR(out[8], 17.5f, 1e-5);
+  EXPECT_NEAR(out[12], 12.0f, 1e-5);
+}
+
+TEST(HandcraftedExtractor, DayProfileAndLastDay) {
+  // Two-day window; value = hour-of-day + 10*day.
+  Matrix<float> window(48, 1);
+  for (int j = 0; j < 48; ++j) {
+    window(j, 0) = static_cast<float>(j % 24 + 10 * (j / 24));
+  }
+  HandcraftedExtractor extractor;
+  std::vector<float> out;
+  extractor.Extract(window, &out);
+  // Average day profile at hour 3: (3 + 13)/2 = 8.
+  EXPECT_NEAR(out[16 + 3], 8.0f, 1e-5);
+  // Extreme day min at hour 3 = 3, max = 13.
+  EXPECT_FLOAT_EQ(out[49 + 3], 3.0f);
+  EXPECT_FLOAT_EQ(out[73 + 3], 13.0f);
+  // Last-day raw hour 3 = 13; last-day mean = 11.5 + 10.
+  EXPECT_FLOAT_EQ(out[111 + 3], 13.0f);
+  EXPECT_NEAR(out[135], 21.5f, 1e-5);
+  // Day-profile range = 23.
+  EXPECT_NEAR(out[47], 23.0f, 1e-5);
+}
+
+TEST(HandcraftedExtractor, WeekProfileBuckets) {
+  // 7-day window; daily mean = day index.
+  Matrix<float> window(7 * 24, 1);
+  for (int j = 0; j < 7 * 24; ++j) {
+    window(j, 0) = static_cast<float>(j / 24);
+  }
+  HandcraftedExtractor extractor;
+  std::vector<float> out;
+  extractor.Extract(window, &out);
+  for (int b = 0; b < 7; ++b) {
+    EXPECT_NEAR(out[static_cast<size_t>(40 + b)], static_cast<float>(b),
+                1e-5);
+    EXPECT_NEAR(out[static_cast<size_t>(97 + b)], static_cast<float>(b),
+                1e-5);   // week min
+    EXPECT_NEAR(out[static_cast<size_t>(104 + b)], static_cast<float>(b),
+                1e-5);  // week max
+  }
+  // Week range = 6.
+  EXPECT_NEAR(out[48], 6.0f, 1e-5);
+}
+
+TEST(HandcraftedExtractor, ShortWindowLeavesAbsentBucketsMissing) {
+  // 2-day window: week buckets 2..6 have no data.
+  Matrix<float> window(48, 1, 1.0f);
+  HandcraftedExtractor extractor;
+  std::vector<float> out;
+  extractor.Extract(window, &out);
+  EXPECT_FALSE(IsMissing(out[40]));
+  EXPECT_FALSE(IsMissing(out[41]));
+  for (int b = 2; b < 7; ++b) {
+    EXPECT_TRUE(IsMissing(out[static_cast<size_t>(40 + b)]));
+  }
+}
+
+TEST(HandcraftedExtractor, SourceChannelBlocks) {
+  HandcraftedExtractor extractor;
+  EXPECT_EQ(extractor.SourceChannel(0, 7, 30), 0);
+  EXPECT_EQ(extractor.SourceChannel(HandcraftedExtractor::kPerChannel, 7,
+                                    30),
+            1);
+  EXPECT_EQ(extractor.SourceChannel(
+                2 * HandcraftedExtractor::kPerChannel + 5, 7, 30),
+            2);
+}
+
+TEST(HandcraftedExtractor, NaNInputsHandled) {
+  Matrix<float> window(24, 1, MissingValue());
+  window(0, 0) = 2.0f;
+  HandcraftedExtractor extractor;
+  std::vector<float> out;
+  extractor.Extract(window, &out);
+  EXPECT_FLOAT_EQ(out[0], 2.0f);  // mean over the single finite value
+  EXPECT_FLOAT_EQ(out[2], 2.0f);  // min
+}
+
+TEST(HandcraftedExtractor, FeatureNamesSpotChecks) {
+  FeatureTensor x = TinyTensor();
+  HandcraftedExtractor extractor;
+  EXPECT_EQ(extractor.FeatureName(0, 7, x), "kpi_a.whole_mean");
+  EXPECT_EQ(extractor.FeatureName(47, 7, x), "kpi_a.dayrange");
+  EXPECT_EQ(extractor.FeatureName(HandcraftedExtractor::kPerChannel, 7, x),
+            "kpi_b.whole_mean");
+  EXPECT_EQ(extractor.FeatureName(136, 7, x), "kpi_a.lastday_std");
+}
+
+}  // namespace
+}  // namespace hotspot::features

@@ -1,0 +1,131 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "core/importance.h"
+#include "features/percentile_features.h"
+#include "features/raw_features.h"
+#include "tensor/temporal.h"
+
+namespace hotspot {
+namespace {
+
+/// Minimal 2-channel feature tensor (1 sector, 1 week) for shape plumbing.
+features::FeatureTensor TinySource() {
+  const int hours = kHoursPerWeek;
+  Tensor3<float> kpis(1, hours, 2, 0.0f);
+  Matrix<float> calendar(hours, 5, 0.0f);
+  Matrix<float> hourly(1, hours, 0.0f);
+  Matrix<float> daily(1, hours / 24, 0.0f);
+  Matrix<float> weekly(1, 1, 0.0f);
+  Matrix<float> labels(1, hours / 24, 0.0f);
+  return features::FeatureTensor::Build(kpis, calendar, hourly, daily,
+                                        weekly, labels, {"alpha", "beta"});
+}
+
+TEST(ImportanceMap, RawExtractorResolvesHourAndChannel) {
+  features::FeatureTensor source = TinySource();
+  features::RawExtractor extractor;
+  const int channels = source.num_channels();
+  const int window_days = 2;
+  std::vector<double> importances(
+      static_cast<size_t>(extractor.OutputDim(window_days, channels)), 0.0);
+  // Put mass at (hour 5, channel 3) and (hour 40, channel 0).
+  importances[static_cast<size_t>(5 * channels + 3)] = 0.7;
+  importances[static_cast<size_t>(40 * channels + 0)] = 0.3;
+
+  ImportanceMap map = ImportanceMap::FromForecast(source, extractor,
+                                                  importances, window_days);
+  EXPECT_TRUE(map.has_hour_attribution());
+  EXPECT_DOUBLE_EQ(map.grid().At(5, 3), 0.7);
+  EXPECT_DOUBLE_EQ(map.grid().At(40, 0), 0.3);
+  EXPECT_DOUBLE_EQ(map.ChannelTotal(3), 0.7);
+  EXPECT_DOUBLE_EQ(map.ChannelTotal(0), 0.3);
+  EXPECT_DOUBLE_EQ(map.ChannelTotal(1), 0.0);
+}
+
+TEST(ImportanceMap, SummaryExtractorCollapsesHours) {
+  features::FeatureTensor source = TinySource();
+  features::DailyPercentileExtractor extractor;
+  const int channels = source.num_channels();
+  std::vector<double> importances(
+      static_cast<size_t>(extractor.OutputDim(3, channels)), 0.0);
+  importances[0] = 1.0;  // day 0, channel 0, p5
+  ImportanceMap map =
+      ImportanceMap::FromForecast(source, extractor, importances, 3);
+  EXPECT_FALSE(map.has_hour_attribution());
+  EXPECT_DOUBLE_EQ(map.ChannelTotal(0), 1.0);
+  EXPECT_DOUBLE_EQ(map.LateWindowShare(0, 1), 0.0);  // unavailable
+}
+
+TEST(ImportanceMap, LateWindowShare) {
+  features::FeatureTensor source = TinySource();
+  features::RawExtractor extractor;
+  const int channels = source.num_channels();
+  const int window_days = 3;
+  std::vector<double> importances(
+      static_cast<size_t>(extractor.OutputDim(window_days, channels)), 0.0);
+  // Channel 2: 0.25 on day 0, 0.75 on day 2 (the last day).
+  importances[static_cast<size_t>(3 * channels + 2)] = 0.25;
+  importances[static_cast<size_t>((2 * 24 + 5) * channels + 2)] = 0.75;
+  ImportanceMap map = ImportanceMap::FromForecast(source, extractor,
+                                                  importances, window_days);
+  EXPECT_NEAR(map.LateWindowShare(2, 1), 0.75, 1e-12);
+  EXPECT_NEAR(map.LateWindowShare(2, 3), 1.0, 1e-12);
+}
+
+TEST(ImportanceMap, GroupTotalsAndRanking) {
+  features::FeatureTensor source = TinySource();
+  features::RawExtractor extractor;
+  const int channels = source.num_channels();
+  std::vector<double> importances(
+      static_cast<size_t>(extractor.OutputDim(1, channels)), 0.0);
+  // Channel 0/1 are KPIs; channel 2 is calendar (cal_hour_of_day).
+  importances[0] = 0.5;                                   // kpi alpha
+  importances[2] = 0.2;                                   // calendar
+  importances[static_cast<size_t>(channels + 1)] = 0.3;   // kpi beta, hour 1
+  ImportanceMap map =
+      ImportanceMap::FromForecast(source, extractor, importances, 1);
+  EXPECT_DOUBLE_EQ(map.GroupTotal(source, features::FeatureGroup::kKpi),
+                   0.8);
+  EXPECT_DOUBLE_EQ(
+      map.GroupTotal(source, features::FeatureGroup::kCalendar), 0.2);
+  std::vector<int> ranked = map.RankedChannels();
+  EXPECT_EQ(ranked[0], 0);
+  EXPECT_EQ(ranked[1], 1);
+  EXPECT_EQ(ranked[2], 2);
+}
+
+TEST(ImportanceMap, AverageOfMaps) {
+  features::FeatureTensor source = TinySource();
+  features::RawExtractor extractor;
+  const int channels = source.num_channels();
+  std::vector<double> a(
+      static_cast<size_t>(extractor.OutputDim(1, channels)), 0.0);
+  std::vector<double> b = a;
+  a[0] = 1.0;
+  b[1] = 1.0;
+  ImportanceMap map_a =
+      ImportanceMap::FromForecast(source, extractor, a, 1);
+  ImportanceMap map_b =
+      ImportanceMap::FromForecast(source, extractor, b, 1);
+  ImportanceMap average = ImportanceMap::Average({map_a, map_b});
+  EXPECT_DOUBLE_EQ(average.ChannelTotal(0), 0.5);
+  EXPECT_DOUBLE_EQ(average.ChannelTotal(1), 0.5);
+}
+
+TEST(ImportanceMap, TableRendering) {
+  features::FeatureTensor source = TinySource();
+  features::RawExtractor extractor;
+  const int channels = source.num_channels();
+  std::vector<double> importances(
+      static_cast<size_t>(extractor.OutputDim(1, channels)), 0.0);
+  importances[0] = 1.0;
+  ImportanceMap map =
+      ImportanceMap::FromForecast(source, extractor, importances, 1);
+  std::string table = map.ToTable(source, 3);
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("kpi"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hotspot

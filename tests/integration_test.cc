@@ -1,0 +1,228 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "core/dynamics.h"
+#include "core/labels.h"
+#include "core/study.h"
+#include "core/task.h"
+#include "tensor/temporal.h"
+
+namespace hotspot {
+namespace {
+
+simnet::GeneratorConfig SmallConfig() {
+  simnet::GeneratorConfig config;
+  config.topology.target_sectors = 90;
+  config.weeks = 10;
+  config.seed = 321;
+  return config;
+}
+
+TEST(Integration, StudyPipelineProducesConsistentShapes) {
+  Study study = BuildStudy(SmallConfig(), {});
+  const int n = study.num_sectors();
+  EXPECT_GT(n, 60);
+  EXPECT_EQ(study.num_days(), 70);
+  EXPECT_EQ(study.num_weeks(), 10);
+  EXPECT_EQ(study.scores.hourly.rows(), n);
+  EXPECT_EQ(study.daily_labels.rows(), n);
+  EXPECT_EQ(study.features.num_sectors(), n);
+  EXPECT_EQ(study.features.num_channels(), 21 + 5 + 3 + 1);
+  EXPECT_EQ(study.network.topology.num_sectors(), n);
+  EXPECT_EQ(static_cast<int>(study.network.traits.size()), n);
+}
+
+TEST(Integration, ImputationRemovesAllMissingValues) {
+  Study study = BuildStudy(SmallConfig(), {});
+  for (float v : study.network.kpis.data()) {
+    ASSERT_FALSE(IsMissing(v));
+  }
+  // Scores are then NaN-free as well.
+  for (float v : study.scores.hourly.data()) ASSERT_FALSE(IsMissing(v));
+}
+
+TEST(Integration, PrevalencesInPlausibleBands) {
+  Study study = BuildStudy(SmallConfig(), {});
+  double daily = PositiveRate(study.daily_labels);
+  EXPECT_GT(daily, 0.005);
+  EXPECT_LT(daily, 0.25);
+  double hourly = PositiveRate(study.hourly_labels);
+  EXPECT_GT(hourly, 0.005);
+  EXPECT_LT(hourly, 0.3);
+  // Hot hours are concentrated in waking hours, so the hourly rate stays
+  // above a third of... rather: daily rate >= weekly is not guaranteed;
+  // instead check become-positives exist but are rare.
+  double become = PositiveRate(study.become_labels);
+  EXPECT_GT(become, 0.0);
+  EXPECT_LT(become, 0.05);
+}
+
+TEST(Integration, SectorFilterDropsDeadSectors) {
+  simnet::GeneratorConfig config = SmallConfig();
+  config.missing.dead_sector_fraction = 0.2;
+  Study study = BuildStudy(config, {});
+  EXPECT_GT(study.sectors_filtered_out, 0);
+}
+
+TEST(Integration, StudyDeterministicGivenSeed) {
+  Study a = BuildStudy(SmallConfig(), {});
+  Study b = BuildStudy(SmallConfig(), {});
+  ASSERT_EQ(a.num_sectors(), b.num_sectors());
+  EXPECT_EQ(a.scores.daily.data(), b.scores.daily.data());
+  EXPECT_EQ(a.daily_labels.data(), b.daily_labels.data());
+}
+
+TEST(Integration, DifferentSeedsDiffer) {
+  simnet::GeneratorConfig other = SmallConfig();
+  other.seed = 999;
+  Study a = BuildStudy(SmallConfig(), {});
+  Study b = BuildStudy(other, {});
+  EXPECT_NE(a.scores.daily.data(), b.scores.daily.data());
+}
+
+TEST(Integration, ChronicSectorsAreHotMostWeeks) {
+  Study study = BuildStudy(SmallConfig(), {});
+  int chronic_weeks = 0, chronic_count = 0;
+  for (int i = 0; i < study.num_sectors(); ++i) {
+    if (!study.network.traits[static_cast<size_t>(i)].chronic_hot) continue;
+    ++chronic_count;
+    for (int week = 0; week < study.num_weeks(); ++week) {
+      if (study.weekly_labels(i, week) != 0.0f) ++chronic_weeks;
+    }
+  }
+  ASSERT_GT(chronic_count, 0);
+  double weeks_per_chronic =
+      static_cast<double>(chronic_weeks) / chronic_count;
+  EXPECT_GT(weeks_per_chronic, 0.4 * study.num_weeks());
+}
+
+TEST(Integration, NonChronicHealthySectorsMostlyCold) {
+  Study study = BuildStudy(SmallConfig(), {});
+  // Sectors without chronic overload are hot on far fewer days.
+  double chronic_rate = 0.0, normal_rate = 0.0;
+  int chronic_count = 0, normal_count = 0;
+  for (int i = 0; i < study.num_sectors(); ++i) {
+    double rate = 0.0;
+    for (int j = 0; j < study.num_days(); ++j) {
+      if (study.daily_labels(i, j) != 0.0f) rate += 1.0;
+    }
+    rate /= study.num_days();
+    if (study.network.traits[static_cast<size_t>(i)].chronic_hot) {
+      chronic_rate += rate;
+      ++chronic_count;
+    } else {
+      normal_rate += rate;
+      ++normal_count;
+    }
+  }
+  ASSERT_GT(chronic_count, 0);
+  ASSERT_GT(normal_count, 0);
+  EXPECT_GT(chronic_rate / chronic_count, 5.0 * normal_rate / normal_count);
+}
+
+TEST(Integration, AllModelsRunOnBothTargets) {
+  Study study = BuildStudy(SmallConfig(), {});
+  for (TargetKind target :
+       {TargetKind::kBeHotSpot, TargetKind::kBecomeHotSpot}) {
+    Forecaster forecaster = study.MakeForecaster(target);
+    for (ModelKind model :
+         {ModelKind::kRandom, ModelKind::kPersist, ModelKind::kAverage,
+          ModelKind::kTrend, ModelKind::kTree, ModelKind::kRfRaw,
+          ModelKind::kRfF1, ModelKind::kRfF2, ModelKind::kGbdt}) {
+      ForecastConfig config;
+      config.model = model;
+      config.t = 40;
+      config.h = 2;
+      config.w = 3;
+      config.forest.num_trees = 5;
+      config.gbdt.num_iterations = 5;
+      ForecastResult result = forecaster.Run(config);
+      EXPECT_EQ(static_cast<int>(result.predictions.size()),
+                study.num_sectors())
+          << ModelName(model) << " on " << TargetName(target);
+    }
+  }
+}
+
+TEST(Integration, AverageBeatsRandomOnBeHotTask) {
+  Study study = BuildStudy(SmallConfig(), {});
+  Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
+  ForecastConfig base;
+  base.forest.num_trees = 5;
+  EvaluationRunner runner(&forecaster, base);
+  double average_lift = 0.0;
+  int count = 0;
+  for (int t : {40, 45, 50}) {
+    CellResult cell = runner.Evaluate(ModelKind::kAverage, t, 1, 7);
+    if (!std::isnan(cell.lift)) {
+      average_lift += cell.lift;
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_GT(average_lift / count, 3.0);
+}
+
+TEST(Integration, AutoencoderImputationPathRuns) {
+  simnet::GeneratorConfig config = SmallConfig();
+  config.topology.target_sectors = 30;
+  config.weeks = 4;
+  StudyOptions options;
+  options.imputation = ImputationKind::kAutoencoder;
+  options.imputer.epochs = 2;
+  options.imputer.encoder_layers = 2;
+  options.imputer.batch_size = 16;
+  Study study = BuildStudy(config, options);
+  EXPECT_GT(study.imputer_report.imputed_cells, 0);
+  for (float v : study.network.kpis.data()) ASSERT_FALSE(IsMissing(v));
+}
+
+TEST(Integration, DynamicsAnalysesRunOnStudyOutput) {
+  Study study = BuildStudy(SmallConfig(), {});
+  DurationStats stats = ComputeDurationStats(
+      study.hourly_labels, study.daily_labels, study.weekly_labels);
+  EXPECT_GT(stats.hours_per_day.total(), 0);
+  EXPECT_GT(stats.consecutive_days.total(), 0);
+  std::vector<WeeklyPattern> patterns =
+      TopWeeklyPatterns(study.daily_labels, 5);
+  EXPECT_FALSE(patterns.empty());
+  ConsistencyStats consistency = WeeklyConsistency(study.daily_labels);
+  EXPECT_GT(consistency.count, 0);
+  EXPECT_GE(consistency.mean, -1.0);
+  EXPECT_LE(consistency.mean, 1.0);
+}
+
+TEST(Integration, HotHoursConcentrateInWakingHours) {
+  Study study = BuildStudy(SmallConfig(), {});
+  long long waking = 0, night = 0;
+  for (int i = 0; i < study.num_sectors(); ++i) {
+    for (int j = 0; j < study.scores.hourly.cols(); ++j) {
+      if (study.hourly_labels(i, j) == 0.0f) continue;
+      int hour = j % 24;
+      if (hour >= 2 && hour <= 5) {
+        ++night;
+      } else if (hour >= 9 && hour <= 22) {
+        ++waking;
+      }
+    }
+  }
+  EXPECT_GT(waking, 5 * std::max(1LL, night));
+}
+
+TEST(Integration, BecomePositivesPrecededByColdWeek) {
+  Study study = BuildStudy(SmallConfig(), {});
+  double epsilon = study.score_config.hot_threshold;
+  int checked = 0;
+  for (int i = 0; i < study.num_sectors() && checked < 20; ++i) {
+    for (int j = 0; j + 7 < study.num_days(); ++j) {
+      if (study.become_labels(i, j) == 0.0f) continue;
+      ++checked;
+      std::vector<float> series = study.scores.daily.RowVector(i);
+      EXPECT_LT(TrailingMean(j, 7, series), epsilon);
+      EXPECT_GE(TrailingMean(j + 7, 7, series), epsilon);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hotspot

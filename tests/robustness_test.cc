@@ -1,0 +1,212 @@
+// Robustness and edge-case suite: degenerate inputs, NaN-heavy paths, and
+// semantics of the scale-adaptation knobs.
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "core/forecaster.h"
+#include "core/labels.h"
+#include "core/score.h"
+#include "core/sector_filter.h"
+#include "features/feature_tensor.h"
+#include "ml/gbdt.h"
+#include "simnet/calendar.h"
+#include "stats/average_precision.h"
+#include "stats/correlation.h"
+#include "tensor/temporal.h"
+#include "util/rng.h"
+
+namespace hotspot {
+namespace {
+
+TEST(Robustness, ScoreOnAllMissingTensor) {
+  ScoreConfig config;
+  config.indicators = {{1.0, 0.5, true}};
+  Tensor3<float> kpis(2, 48, 1, MissingValue());
+  Matrix<float> score = ComputeHourlyScore(kpis, config);
+  for (float v : score.data()) EXPECT_TRUE(IsMissing(v));
+  // Labels over an all-NaN score matrix are all cold.
+  Matrix<float> labels = HotSpotLabels(score, 0.5);
+  EXPECT_DOUBLE_EQ(PositiveRate(labels), 0.0);
+}
+
+TEST(Robustness, IntegrateScoresOnEmptyMatrix) {
+  Matrix<float> empty(0, 0);
+  Matrix<float> daily = IntegrateScores(empty, Resolution::kDaily);
+  EXPECT_EQ(daily.rows(), 0);
+  EXPECT_EQ(daily.cols(), 0);
+}
+
+TEST(Robustness, BecomeLabelsOnShortSeries) {
+  // Fewer than 8 days: no day has a full look-ahead week.
+  Matrix<float> daily(3, 7, 0.9f);
+  Matrix<float> become = BecomeHotSpotLabels(daily, 0.5);
+  EXPECT_DOUBLE_EQ(PositiveRate(become), 0.0);
+}
+
+TEST(Robustness, SectorFilterAllMissingDiscardsEverything) {
+  Tensor3<float> kpis(3, 2 * kHoursPerWeek, 2, MissingValue());
+  std::vector<bool> keep = SectorFilterMask(kpis);
+  for (bool k : keep) EXPECT_FALSE(k);
+  Tensor3<float> filtered = FilterSectors(kpis, keep);
+  EXPECT_EQ(filtered.dim0(), 0);
+}
+
+TEST(Robustness, AveragePrecisionAllPositives) {
+  std::vector<float> labels(5, 1.0f);
+  std::vector<float> scores = {0.1f, 0.5f, 0.2f, 0.9f, 0.3f};
+  EXPECT_DOUBLE_EQ(AveragePrecision(labels, scores), 1.0);
+}
+
+TEST(Robustness, AveragePrecisionSingleElement) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({1.0f}, {0.3f}), 1.0);
+  EXPECT_TRUE(std::isnan(AveragePrecision({0.0f}, {0.3f})));
+}
+
+TEST(Robustness, BaselinesOnSingleDayHistory) {
+  Matrix<float> scores(2, 3, 0.4f);
+  // Window longer than history: trailing mean clips, no crash.
+  std::vector<float> average = AverageBaseline(scores, 1, 14);
+  EXPECT_FLOAT_EQ(average[0], 0.4f);
+  std::vector<float> trend = TrendBaseline(scores, 1, 14);
+  EXPECT_FLOAT_EQ(trend[0], 0.4f);
+}
+
+TEST(Robustness, GbdtOnConstantFeatures) {
+  // No informative splits: the model must fall back to the prior and
+  // still emit valid probabilities.
+  ml::Dataset data;
+  data.features = Matrix<float>(20, 3, 1.0f);
+  data.labels.assign(20, 0.0f);
+  for (int i = 0; i < 5; ++i) data.labels[static_cast<size_t>(i)] = 1.0f;
+  data.weights.assign(20, 1.0);
+  ml::GbdtConfig config;
+  config.num_iterations = 5;
+  ml::Gbdt model(config);
+  model.Fit(data);
+  float row[3] = {1.0f, 1.0f, 1.0f};
+  double p = model.PredictProba(row);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+  EXPECT_NEAR(p, 0.25, 0.15);  // near the prior
+}
+
+TEST(Robustness, GbdtBaggingStaysDeterministic) {
+  Rng rng(3);
+  ml::Dataset data;
+  data.features = Matrix<float>(60, 4);
+  data.labels.resize(60);
+  for (int i = 0; i < 60; ++i) {
+    for (int k = 0; k < 4; ++k) {
+      data.features(i, k) = static_cast<float>(rng.Gaussian());
+    }
+    data.labels[static_cast<size_t>(i)] =
+        data.features(i, 0) > 0 ? 1.0f : 0.0f;
+  }
+  data.weights.assign(60, 1.0);
+  ml::GbdtConfig config;
+  config.num_iterations = 8;
+  config.bagging_fraction = 0.6;
+  config.seed = 5;
+  ml::Gbdt a(config);
+  ml::Gbdt b(config);
+  a.Fit(data);
+  b.Fit(data);
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictRaw(data.features.Row(i)),
+                     b.PredictRaw(data.features.Row(i)));
+  }
+}
+
+/// Forecaster fixture with deterministic labels for stride semantics.
+class StrideFixture {
+ public:
+  StrideFixture() {
+    const int n = 10;
+    const int weeks = 10;
+    const int hours = weeks * kHoursPerWeek;
+    Tensor3<float> kpis(n, hours, 1, 0.5f);
+    Matrix<float> calendar(hours, 5, 0.0f);
+    Matrix<float> hourly(n, hours, 0.1f);
+    daily_scores_ = IntegrateScores(hourly, Resolution::kDaily);
+    Matrix<float> weekly = IntegrateScores(hourly, Resolution::kWeekly);
+    daily_labels_ = Matrix<float>(n, weeks * 7, 0.0f);
+    features_ = features::FeatureTensor::Build(
+        kpis, calendar, hourly, daily_scores_, weekly, daily_labels_);
+  }
+  Forecaster Make() const {
+    return Forecaster(&features_, &daily_scores_, &daily_labels_);
+  }
+
+ private:
+  features::FeatureTensor features_;
+  Matrix<float> daily_scores_;
+  Matrix<float> daily_labels_;
+};
+
+TEST(Robustness, TrainingPoolClampsAtHistoryStart) {
+  // t=10, h=2, w=7: only the day-10 window fits; asking to pool 5 weekly
+  // strides must silently clamp, not crash.
+  StrideFixture fixture;
+  Forecaster forecaster = fixture.Make();
+  ForecastConfig config;
+  config.model = ModelKind::kTree;
+  config.t = 10;
+  config.h = 2;
+  config.w = 7;
+  config.training_days = 5;
+  config.training_day_stride = 7;
+  ForecastResult result = forecaster.Run(config);
+  EXPECT_EQ(result.predictions.size(), 10u);
+}
+
+TEST(Robustness, TreeTrainingDaysOverrideRuns) {
+  StrideFixture fixture;
+  Forecaster forecaster = fixture.Make();
+  ForecastConfig config;
+  config.model = ModelKind::kTree;
+  config.t = 40;
+  config.h = 1;
+  config.w = 3;
+  config.training_days = 6;
+  config.tree_training_days = 1;
+  ForecastResult result = forecaster.Run(config);
+  EXPECT_EQ(result.predictions.size(), 10u);
+}
+
+TEST(Robustness, EvaluationWithNoPositivesYieldsNaNNotCrash) {
+  StrideFixture fixture;  // all labels are 0
+  Forecaster forecaster = fixture.Make();
+  EvaluationRunner runner(&forecaster, ForecastConfig{});
+  CellResult cell = runner.Evaluate(ModelKind::kAverage, 40, 1, 7);
+  EXPECT_TRUE(std::isnan(cell.average_precision));
+  EXPECT_TRUE(std::isnan(cell.lift));
+  // Aggregations over all-NaN cells return empty CIs.
+  MeanCi ci = AggregateLiftOverT({cell}, ModelKind::kAverage, 1, 7);
+  EXPECT_EQ(ci.count, 0);
+}
+
+TEST(Robustness, CalendarSingleWeek) {
+  simnet::StudyCalendar calendar = simnet::StudyCalendar::Paper(1);
+  EXPECT_EQ(calendar.days(), 7);
+  Matrix<float> c = calendar.BuildCalendarMatrix();
+  EXPECT_EQ(c.rows(), 168);
+  // No holiday falls in the first week (Nov 30 - Dec 6, 2015).
+  for (int day = 0; day < 7; ++day) EXPECT_FALSE(calendar.IsHoliday(day));
+}
+
+TEST(Robustness, CalendarYearBoundaryDayOfMonth) {
+  simnet::StudyCalendar calendar = simnet::StudyCalendar::Paper(6);
+  // Dec 31, 2015 is day 31; Jan 1, 2016 is day 32.
+  EXPECT_EQ(calendar.DateOfDay(31), (simnet::Date{2015, 12, 31}));
+  EXPECT_EQ(calendar.DateOfDay(32), (simnet::Date{2016, 1, 1}));
+}
+
+TEST(Robustness, PearsonOfSelfIsOneEvenWithBinaryData) {
+  std::vector<float> binary = {0, 1, 0, 0, 1, 1, 0, 1};
+  EXPECT_NEAR(PearsonCorrelation(binary, binary), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hotspot
