@@ -18,6 +18,11 @@ EvaluationRunner::EvaluationRunner(const Forecaster* forecaster,
 
 double EvaluationRunner::RandomAp(int t, int h) {
   int day = t + h;
+  // Computed under the lock: the value depends only on (day, seed), so a
+  // concurrent caller would produce the identical number anyway; the lock
+  // just keeps the map well-formed. RunSweep precomputes all days serially
+  // before fanning out, so contention here is cold-path only.
+  std::lock_guard<std::mutex> lock(random_ap_mutex_);
   auto it = random_ap_by_day_.find(day);
   if (it != random_ap_by_day_.end()) return it->second;
 

@@ -2,6 +2,7 @@
 #define HOTSPOT_CORE_EVALUATION_H_
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "core/forecaster.h"
@@ -32,10 +33,12 @@ class EvaluationRunner {
 
   /// Runs one (model, t, h, w) cell. The random reference ψ(F₀) is the
   /// mean AP of `random_repeats` independent random rankings of the same
-  /// labels (cached per (t, h)).
+  /// labels (cached per (t, h)). Thread-safe: concurrent Evaluate calls on
+  /// the same runner are deterministic, because ψ(F₀) depends only on the
+  /// day and the base seed.
   CellResult Evaluate(ModelKind model, int t, int h, int w);
 
-  /// The cached ψ(F₀) for the labels at day t+h.
+  /// The cached ψ(F₀) for the labels at day t+h. Thread-safe.
   double RandomAp(int t, int h);
 
   /// Number of random rankings averaged for ψ(F₀).
@@ -45,6 +48,7 @@ class EvaluationRunner {
   const Forecaster* forecaster_;
   ForecastConfig base_;
   int random_repeats_ = 11;
+  std::mutex random_ap_mutex_;              ///< guards the cache below
   std::map<int, double> random_ap_by_day_;  ///< keyed by t+h
 };
 

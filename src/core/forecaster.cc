@@ -4,6 +4,7 @@
 #include "features/window.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace hotspot {
 
@@ -111,24 +112,27 @@ ml::Dataset Forecaster::BuildTrainingSet(
   data.features = Matrix<float>(rows, dim);
   data.labels.resize(static_cast<size_t>(rows));
 
-  std::vector<float> row;
-  int out_row = 0;
   for (int label_day : label_days) {
-    int window_end = label_day - config.h;
     HOTSPOT_CHECK_LT(label_day, target_labels_->cols());
-    for (int i = 0; i < n; ++i) {
-      Matrix<float> window =
-          features::ExtractWindow(*features_, i, window_end, config.w);
-      extractor.Extract(window, &row);
-      HOTSPOT_CHECK_EQ(static_cast<int>(row.size()), dim);
-      float* dst = data.features.Row(out_row);
-      for (int c = 0; c < dim; ++c) dst[c] = row[static_cast<size_t>(c)];
-      float label = target_labels_->At(i, label_day);
-      data.labels[static_cast<size_t>(out_row)] =
-          (!IsMissing(label) && label != 0.0f) ? 1.0f : 0.0f;
-      ++out_row;
-    }
   }
+  // Parallel over (pooled day, sector) pairs; each pair fills exactly one
+  // output row, with per-invocation scratch (the extractors are stateless).
+  util::ParallelFor(0, rows, [&](int64_t out_row) {
+    const int day_index = static_cast<int>(out_row / n);
+    const int i = static_cast<int>(out_row % n);
+    const int label_day = label_days[static_cast<size_t>(day_index)];
+    const int window_end = label_day - config.h;
+    Matrix<float> window =
+        features::ExtractWindow(*features_, i, window_end, config.w);
+    std::vector<float> row;
+    extractor.Extract(window, &row);
+    HOTSPOT_CHECK_EQ(static_cast<int>(row.size()), dim);
+    float* dst = data.features.Row(static_cast<int>(out_row));
+    for (int c = 0; c < dim; ++c) dst[c] = row[static_cast<size_t>(c)];
+    float label = target_labels_->At(i, label_day);
+    data.labels[static_cast<size_t>(out_row)] =
+        (!IsMissing(label) && label != 0.0f) ? 1.0f : 0.0f;
+  });
   data.weights = ml::BalancedWeights(data.labels);
   return data;
 }
@@ -140,14 +144,16 @@ Matrix<float> Forecaster::BuildPredictionRows(
   const int channels = features_->num_channels();
   const int dim = extractor.OutputDim(config.w, channels);
   Matrix<float> rows(n, dim);
-  std::vector<float> row;
-  for (int i = 0; i < n; ++i) {
+  // Parallel over sectors; sector i only fills row i.
+  util::ParallelFor(0, n, [&](int64_t i64) {
+    const int i = static_cast<int>(i64);
     Matrix<float> window =
         features::ExtractWindow(*features_, i, config.t, config.w);
+    std::vector<float> row;
     extractor.Extract(window, &row);
     float* dst = rows.Row(i);
     for (int c = 0; c < dim; ++c) dst[c] = row[static_cast<size_t>(c)];
-  }
+  });
   return rows;
 }
 
@@ -227,10 +233,11 @@ ForecastResult Forecaster::Run(const ForecastConfig& config) const {
 
   Matrix<float> prediction_rows = BuildPredictionRows(config, extractor);
   result.predictions.resize(static_cast<size_t>(num_sectors()));
-  for (int i = 0; i < num_sectors(); ++i) {
-    result.predictions[static_cast<size_t>(i)] =
-        static_cast<float>(classifier->PredictProba(prediction_rows.Row(i)));
-  }
+  // Batch inference parallel over sectors (PredictProba is const).
+  util::ParallelFor(0, num_sectors(), [&](int64_t i) {
+    result.predictions[static_cast<size_t>(i)] = static_cast<float>(
+        classifier->PredictProba(prediction_rows.Row(static_cast<int>(i))));
+  });
   result.importances = classifier->FeatureImportances();
   result.feature_dim = prediction_rows.cols();
   return result;

@@ -2,18 +2,20 @@
 
 #include "tensor/temporal.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace hotspot {
 
 Matrix<float> HotSpotLabels(const Matrix<float>& scores, double epsilon) {
   Matrix<float> labels(scores.rows(), scores.cols(), 0.0f);
-  for (int i = 0; i < scores.rows(); ++i) {
-    const float* src = scores.Row(i);
-    float* dst = labels.Row(i);
+  // Parallel over sectors; sector i only writes label row i.
+  util::ParallelFor(0, scores.rows(), [&](int64_t i) {
+    const float* src = scores.Row(static_cast<int>(i));
+    float* dst = labels.Row(static_cast<int>(i));
     for (int j = 0; j < scores.cols(); ++j) {
       if (!IsMissing(src[j]) && src[j] >= epsilon) dst[j] = 1.0f;
     }
-  }
+  });
   return labels;
 }
 
@@ -22,7 +24,9 @@ Matrix<float> BecomeHotSpotLabels(const Matrix<float>& daily_scores,
   const int n = daily_scores.rows();
   const int days = daily_scores.cols();
   Matrix<float> labels(n, days, 0.0f);
-  for (int i = 0; i < n; ++i) {
+  // Parallel over sectors; sector i only writes label row i.
+  util::ParallelFor(0, n, [&](int64_t i64) {
+    const int i = static_cast<int>(i64);
     std::vector<float> series = daily_scores.RowVector(i);
     for (int j = 0; j + kDaysPerWeek < days; ++j) {
       double week_before = TrailingMean(j, kDaysPerWeek, series);
@@ -37,7 +41,7 @@ Matrix<float> BecomeHotSpotLabels(const Matrix<float>& daily_scores,
           !IsMissing(tomorrow) && tomorrow >= epsilon;
       if (positive) labels.At(i, j) = 1.0f;
     }
-  }
+  });
   return labels;
 }
 

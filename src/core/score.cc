@@ -2,6 +2,7 @@
 
 #include "tensor/temporal.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace hotspot {
 
@@ -12,7 +13,9 @@ Matrix<float> ComputeHourlyScore(const Tensor3<float>& kpis,
   const int hours = kpis.dim1();
   const int l = kpis.dim2();
   Matrix<float> score(n, hours);
-  for (int i = 0; i < n; ++i) {
+  // Parallel over sectors; sector i only writes score row i.
+  util::ParallelFor(0, n, [&](int64_t i64) {
+    const int i = static_cast<int>(i64);
     for (int j = 0; j < hours; ++j) {
       const float* slice = kpis.Slice(i, j);
       double tripped = 0.0;
@@ -32,7 +35,7 @@ Matrix<float> ComputeHourlyScore(const Tensor3<float>& kpis,
                            ? static_cast<float>(tripped / available)
                            : MissingValue();
     }
-  }
+  });
   return score;
 }
 

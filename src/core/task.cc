@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace hotspot {
 
@@ -34,18 +35,35 @@ std::vector<CellResult> RunSweep(EvaluationRunner* runner,
                                  const ParameterGrid& grid,
                                  const SweepOptions& options) {
   HOTSPOT_CHECK(runner != nullptr);
+  // Warm the random-reference cache serially so the parallel cells below
+  // only read it (ψ(F₀) is deterministic per day, so order is irrelevant).
+  for (int h : grid.h_values) {
+    for (int t : grid.t_values) runner->RandomAp(t, h);
+  }
+
+  const int64_t num_h = static_cast<int64_t>(grid.h_values.size());
+  const int64_t num_w = static_cast<int64_t>(grid.w_values.size());
+  const int64_t num_t = static_cast<int64_t>(grid.t_values.size());
+  const int64_t cells_per_model = num_h * num_w * num_t;
+
   std::vector<CellResult> cells;
   cells.reserve(static_cast<size_t>(grid.NumCells()));
   long long done = 0;
   for (ModelKind model : grid.models) {
-    for (int h : grid.h_values) {
-      for (int w : grid.w_values) {
-        for (int t : grid.t_values) {
-          cells.push_back(runner->Evaluate(model, t, h, w));
-          ++done;
-        }
-      }
-    }
+    // Parallel over the model's (h, w, t) cells; results come back in the
+    // serial sweep order (h-major, then w, then t) regardless of thread
+    // count, and each Evaluate is an independent train-and-score.
+    std::vector<CellResult> model_cells = util::ParallelMap<CellResult>(
+        0, cells_per_model, [&](int64_t index) {
+          const int h = grid.h_values[static_cast<size_t>(
+              index / (num_w * num_t))];
+          const int w = grid.w_values[static_cast<size_t>(
+              (index / num_t) % num_w)];
+          const int t = grid.t_values[static_cast<size_t>(index % num_t)];
+          return runner->Evaluate(model, t, h, w);
+        });
+    cells.insert(cells.end(), model_cells.begin(), model_cells.end());
+    done += cells_per_model;
     if (options.progress_to_stderr) {
       std::fprintf(stderr, "  sweep: %s done (%lld/%lld cells)\n",
                    ModelName(model), done, grid.NumCells());

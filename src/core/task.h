@@ -39,7 +39,10 @@ struct SweepOptions {
 
 /// Runs every (model, t, h, w) cell of `grid` through `runner` and returns
 /// the per-cell results. This is the engine behind the figure benches and
-/// the temporal-stability analysis.
+/// the temporal-stability analysis. Cells are evaluated in parallel over
+/// HOTSPOT_NUM_THREADS threads; the returned vector is in the serial sweep
+/// order (model-major, then h, w, t) and bitwise-identical at any thread
+/// count.
 std::vector<CellResult> RunSweep(EvaluationRunner* runner,
                                  const ParameterGrid& grid,
                                  const SweepOptions& options = {});

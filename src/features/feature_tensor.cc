@@ -2,6 +2,7 @@
 
 #include "tensor/temporal.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace hotspot::features {
 
@@ -72,7 +73,9 @@ FeatureTensor FeatureTensor::Build(
   built.names_.push_back("label_daily");
   built.groups_.push_back(FeatureGroup::kDailyLabel);
 
-  for (int i = 0; i < n; ++i) {
+  // Parallel over sectors; sector i only writes its own (i, :, :) slab.
+  util::ParallelFor(0, n, [&](int64_t i64) {
+    const int i = static_cast<int>(i64);
     for (int j = 0; j < hours; ++j) {
       float* dst = built.tensor_.Slice(i, j);
       const float* kpi = kpis.Slice(i, j);
@@ -85,7 +88,7 @@ FeatureTensor FeatureTensor::Build(
       dst[c++] = weekly_scores.At(i, j / kHoursPerWeek);
       dst[c++] = daily_labels.At(i, j / kHoursPerDay);
     }
-  }
+  });
   return built;
 }
 

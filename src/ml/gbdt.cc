@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace hotspot::ml {
 
@@ -23,9 +24,11 @@ void FeatureBinner::Fit(const Matrix<float>& features, int max_bins) {
   const int n = features.rows();
   const int d = features.cols();
   thresholds_.assign(static_cast<size_t>(d), {});
-  std::vector<float> column;
-  for (int f = 0; f < d; ++f) {
-    column.clear();
+  // Parallel over features: each iteration only touches thresholds_[f], so
+  // any thread count produces the same cuts as the serial loop.
+  util::ParallelFor(0, d, [&](int64_t fi) {
+    const int f = static_cast<int>(fi);
+    std::vector<float> column;
     for (int i = 0; i < n; ++i) {
       float value = features.At(i, f);
       if (!IsMissing(value)) column.push_back(value);
@@ -34,7 +37,7 @@ void FeatureBinner::Fit(const Matrix<float>& features, int max_bins) {
     column.erase(std::unique(column.begin(), column.end()), column.end());
     std::vector<float>& cuts = thresholds_[static_cast<size_t>(f)];
     int distinct = static_cast<int>(column.size());
-    if (distinct <= 1) continue;  // constant feature: one finite bin
+    if (distinct <= 1) return;  // constant feature: one finite bin
     // max_bins-1 finite bins (bin 0 is the missing bin) need at most
     // max_bins-2 cut points.
     int num_cuts = std::min(distinct - 1, max_bins - 2);
@@ -49,7 +52,7 @@ void FeatureBinner::Fit(const Matrix<float>& features, int max_bins) {
       float cut = 0.5f * (column[pos - 1] + column[pos]);
       if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
     }
-  }
+  });
 }
 
 int FeatureBinner::Bin(int feature, float value) const {
@@ -108,6 +111,13 @@ double LeafObjective(double grad_sum, double hess_sum, double lambda) {
   return grad_sum * grad_sum / (hess_sum + lambda);
 }
 
+/// Best split of one feature during the parallel histogram scan.
+struct FeatureSplit {
+  double gain = 0.0;
+  int feature = -1;
+  int bin = -1;
+};
+
 }  // namespace
 
 Gbdt::Tree Gbdt::BuildTree(const Matrix<uint8_t>& binned,
@@ -144,37 +154,58 @@ Gbdt::Tree Gbdt::BuildTree(const Matrix<uint8_t>& binned,
     if (leaf.rows.size() < 2) return;
     double parent_obj =
         LeafObjective(leaf.grad_sum, leaf.hess_sum, config_.lambda_l2);
-    std::vector<double> hist_grad;
-    std::vector<double> hist_hess;
-    for (int f : features) {
-      int bins = binner_.NumBins(f);
-      hist_grad.assign(static_cast<size_t>(bins), 0.0);
-      hist_hess.assign(static_cast<size_t>(bins), 0.0);
-      for (int r : leaf.rows) {
-        int b = binned.At(r, f);
-        hist_grad[static_cast<size_t>(b)] += grads[static_cast<size_t>(r)];
-        hist_hess[static_cast<size_t>(b)] += hessians[static_cast<size_t>(r)];
-      }
-      double left_grad = 0.0;
-      double left_hess = 0.0;
-      for (int b = 0; b + 1 < bins; ++b) {
-        left_grad += hist_grad[static_cast<size_t>(b)];
-        left_hess += hist_hess[static_cast<size_t>(b)];
-        double right_grad = leaf.grad_sum - left_grad;
-        double right_hess = leaf.hess_sum - left_hess;
-        if (left_hess < config_.min_child_hessian ||
-            right_hess < config_.min_child_hessian) {
-          continue;
-        }
-        double gain =
-            LeafObjective(left_grad, left_hess, config_.lambda_l2) +
-            LeafObjective(right_grad, right_hess, config_.lambda_l2) -
-            parent_obj;
-        if (gain > leaf.best_gain) {
-          leaf.best_gain = gain;
-          leaf.best_feature = f;
-          leaf.best_bin = b;
-        }
+    // Parallel over features: every feature builds its own histogram (the
+    // within-feature accumulation order is the row order, same as serial)
+    // and reports its best split; the merge below walks the candidates in
+    // feature order with the same strict `>` the serial scan used, so the
+    // chosen split is bitwise-identical at any thread count. Tiny leaves
+    // stay serial — same result, less scheduling overhead.
+    int split_threads =
+        leaf.rows.size() * features.size() < 4096 ? 1 : 0 /* NumThreads() */;
+    std::vector<FeatureSplit> candidates = util::ParallelMap<FeatureSplit>(
+        0, static_cast<int64_t>(features.size()),
+        [&](int64_t fi) {
+          const int f = features[static_cast<size_t>(fi)];
+          const int bins = binner_.NumBins(f);
+          std::vector<double> hist_grad(static_cast<size_t>(bins), 0.0);
+          std::vector<double> hist_hess(static_cast<size_t>(bins), 0.0);
+          for (int r : leaf.rows) {
+            int b = binned.At(r, f);
+            hist_grad[static_cast<size_t>(b)] += grads[static_cast<size_t>(r)];
+            hist_hess[static_cast<size_t>(b)] +=
+                hessians[static_cast<size_t>(r)];
+          }
+          FeatureSplit split;
+          split.feature = f;
+          double left_grad = 0.0;
+          double left_hess = 0.0;
+          for (int b = 0; b + 1 < bins; ++b) {
+            left_grad += hist_grad[static_cast<size_t>(b)];
+            left_hess += hist_hess[static_cast<size_t>(b)];
+            double right_grad = leaf.grad_sum - left_grad;
+            double right_hess = leaf.hess_sum - left_hess;
+            if (left_hess < config_.min_child_hessian ||
+                right_hess < config_.min_child_hessian) {
+              continue;
+            }
+            double gain =
+                LeafObjective(left_grad, left_hess, config_.lambda_l2) +
+                LeafObjective(right_grad, right_hess, config_.lambda_l2) -
+                parent_obj;
+            if (gain > split.gain) {
+              split.gain = gain;
+              split.bin = b;
+            }
+          }
+          return split;
+        },
+        split_threads);
+    // Ordered merge: first feature wins ties, exactly like the serial scan.
+    for (const FeatureSplit& candidate : candidates) {
+      if (candidate.bin >= 0 && candidate.gain > leaf.best_gain) {
+        leaf.best_gain = candidate.gain;
+        leaf.best_feature = candidate.feature;
+        leaf.best_bin = candidate.bin;
       }
     }
   };
@@ -243,12 +274,13 @@ void Gbdt::Fit(const Dataset& data) {
 
   binner_.Fit(data.features, config_.max_bins);
   Matrix<uint8_t> binned(n, num_features_);
-  for (int i = 0; i < n; ++i) {
-    const float* row = data.features.Row(i);
+  util::ParallelFor(0, n, [&](int64_t i) {
+    const float* row = data.features.Row(static_cast<int>(i));
+    uint8_t* dst = binned.Row(static_cast<int>(i));
     for (int f = 0; f < num_features_; ++f) {
-      binned.At(i, f) = static_cast<uint8_t>(binner_.Bin(f, row[f]));
+      dst[f] = static_cast<uint8_t>(binner_.Bin(f, row[f]));
     }
-  }
+  });
 
   // Weighted prior.
   double weight_sum = 0.0;
@@ -272,17 +304,23 @@ void Gbdt::Fit(const Dataset& data) {
     all_features[static_cast<size_t>(f)] = f;
   }
 
+  std::vector<double> loss_terms(static_cast<size_t>(n));
+
   for (int iter = 0; iter < config_.num_iterations; ++iter) {
-    double loss = 0.0;
-    for (int i = 0; i < n; ++i) {
+    // Per-row terms in parallel; the loss reduction stays an ordered serial
+    // sum over the precomputed terms so it is identical at any thread count.
+    util::ParallelFor(0, n, [&](int64_t i) {
       double p = Sigmoid(scores[static_cast<size_t>(i)]);
       double y = data.labels[static_cast<size_t>(i)] != 0.0f ? 1.0 : 0.0;
       double w = data.weights[static_cast<size_t>(i)];
       grads[static_cast<size_t>(i)] = w * (p - y);
       hessians[static_cast<size_t>(i)] = w * std::max(p * (1.0 - p), 1e-9);
       double clipped = std::clamp(p, 1e-12, 1.0 - 1e-12);
-      loss -= w * (y * std::log(clipped) + (1.0 - y) * std::log(1.0 - clipped));
-    }
+      loss_terms[static_cast<size_t>(i)] =
+          w * (y * std::log(clipped) + (1.0 - y) * std::log(1.0 - clipped));
+    });
+    double loss = 0.0;
+    for (int i = 0; i < n; ++i) loss -= loss_terms[static_cast<size_t>(i)];
     training_loss_.push_back(loss / weight_sum);
 
     // Row / feature subsampling.
@@ -305,18 +343,19 @@ void Gbdt::Fit(const Dataset& data) {
 
     Tree tree = BuildTree(binned, grads, hessians, rows, features, &rng);
 
-    // Update scores for all rows.
-    for (int i = 0; i < n; ++i) {
+    // Update scores for all rows (row i only touches scores[i]).
+    util::ParallelFor(0, n, [&](int64_t i) {
       int node = 0;
       while (tree.nodes[static_cast<size_t>(node)].feature >= 0) {
         const Node& current = tree.nodes[static_cast<size_t>(node)];
-        node = binned.At(i, current.feature) <= current.bin_threshold
+        node = binned.At(static_cast<int>(i), current.feature) <=
+                       current.bin_threshold
                    ? current.left
                    : current.right;
       }
       scores[static_cast<size_t>(i)] +=
           tree.nodes[static_cast<size_t>(node)].value;
-    }
+    });
     trees_.push_back(std::move(tree));
   }
 }

@@ -2,6 +2,7 @@
 
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace hotspot::ml {
 
@@ -14,9 +15,17 @@ void RandomForest::Fit(const Dataset& data) {
   HOTSPOT_CHECK(trees_.empty());  // Fit once.
   num_features_ = data.num_features();
 
-  Rng rng(config_.seed);
+  // Every tree derives its own Rng stream from the config seed up front, so
+  // trees never share mutable generator state and the fit is bit-identical
+  // at any thread count.
+  Rng root(config_.seed);
+  std::vector<uint64_t> tree_seeds(static_cast<size_t>(config_.num_trees));
+  for (uint64_t& seed : tree_seeds) seed = root.NextUint64();
+
   const int n = data.num_instances();
-  for (int t = 0; t < config_.num_trees; ++t) {
+  trees_.resize(static_cast<size_t>(config_.num_trees));
+  util::ParallelFor(0, config_.num_trees, [&](int64_t t) {
+    Rng rng(tree_seeds[static_cast<size_t>(t)]);
     TreeConfig tree_config;
     tree_config.max_features_sqrt = true;
     tree_config.min_weight_fraction = config_.min_weight_fraction;
@@ -46,8 +55,8 @@ void RandomForest::Fit(const Dataset& data) {
     } else {
       tree->Fit(data);
     }
-    trees_.push_back(std::move(tree));
-  }
+    trees_[static_cast<size_t>(t)] = std::move(tree);
+  });
 }
 
 double RandomForest::PredictProba(const float* row) const {

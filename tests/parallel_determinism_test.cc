@@ -1,0 +1,243 @@
+// Determinism regression tests for the parallel execution layer: every
+// parallel site must produce bitwise-identical output at any thread count
+// (the serial path at HOTSPOT_NUM_THREADS=1 is the reference). These tests
+// run the GBDT, the random forest, feature extraction, a small end-to-end
+// study and an evaluation sweep at 1, 2 and 8 threads and compare exactly.
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.h"
+#include "core/study.h"
+#include "core/task.h"
+#include "gtest/gtest.h"
+#include "ml/dataset.h"
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+#include "scoped_num_threads.h"
+#include "util/rng.h"
+
+namespace hotspot {
+namespace {
+
+const char* const kThreadCounts[] = {"1", "2", "8"};
+
+/// Exact comparison that treats NaN == NaN as equal (empty-label days can
+/// legitimately yield NaN average precision).
+void ExpectSameDouble(double a, double b, const std::string& what) {
+  if (std::isnan(a) && std::isnan(b)) return;
+  EXPECT_EQ(a, b) << what;
+}
+
+ml::Dataset MakeDataset(int n, int d, uint64_t seed) {
+  Rng rng(seed);
+  ml::Dataset data;
+  data.features = Matrix<float>(n, d);
+  data.labels.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    float* row = data.features.Row(i);
+    double signal = 0.0;
+    for (int f = 0; f < d; ++f) {
+      if (rng.Bernoulli(0.05)) {
+        row[f] = MissingValue();
+        continue;
+      }
+      row[f] = static_cast<float>(rng.Gaussian());
+      if (f < 3) signal += row[f];
+    }
+    data.labels[static_cast<size_t>(i)] =
+        signal + rng.Gaussian() > 0.5 ? 1.0f : 0.0f;
+  }
+  data.weights = ml::BalancedWeights(data.labels);
+  return data;
+}
+
+struct GbdtOutputs {
+  std::vector<double> losses;
+  std::vector<double> importances;
+  std::vector<double> predictions;
+};
+
+GbdtOutputs FitGbdt(const ml::Dataset& data) {
+  ml::GbdtConfig config;
+  config.num_iterations = 25;
+  config.num_leaves = 15;
+  config.max_bins = 16;
+  config.feature_fraction = 0.7;  // exercises the Rng paths
+  config.bagging_fraction = 0.7;
+  config.seed = 7;
+  ml::Gbdt model(config);
+  model.Fit(data);
+  GbdtOutputs outputs;
+  outputs.losses = model.training_loss();
+  outputs.importances = model.FeatureImportances();
+  for (int i = 0; i < data.num_instances(); ++i) {
+    outputs.predictions.push_back(model.PredictRaw(data.features.Row(i)));
+  }
+  return outputs;
+}
+
+TEST(ParallelDeterminism, GbdtBitwiseIdenticalAcrossThreadCounts) {
+  ml::Dataset data = MakeDataset(400, 12, 2024);
+  ScopedNumThreads serial("1");
+  GbdtOutputs reference = FitGbdt(data);
+  for (const char* threads : kThreadCounts) {
+    ScopedNumThreads env(threads);
+    GbdtOutputs outputs = FitGbdt(data);
+    // Exact (==) comparisons throughout: the contract is bitwise identity.
+    EXPECT_EQ(outputs.losses, reference.losses) << threads << " threads";
+    EXPECT_EQ(outputs.importances, reference.importances)
+        << threads << " threads";
+    EXPECT_EQ(outputs.predictions, reference.predictions)
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminism, FeatureBinnerIdenticalAcrossThreadCounts) {
+  ml::Dataset data = MakeDataset(300, 9, 77);
+  std::vector<std::vector<float>> reference;
+  {
+    ScopedNumThreads serial("1");
+    ml::FeatureBinner binner;
+    binner.Fit(data.features, 32);
+    for (int f = 0; f < data.num_features(); ++f) {
+      reference.push_back(binner.Thresholds(f));
+    }
+  }
+  for (const char* threads : kThreadCounts) {
+    ScopedNumThreads env(threads);
+    ml::FeatureBinner binner;
+    binner.Fit(data.features, 32);
+    for (int f = 0; f < data.num_features(); ++f) {
+      EXPECT_EQ(binner.Thresholds(f), reference[static_cast<size_t>(f)])
+          << "feature " << f << " at " << threads << " threads";
+    }
+  }
+}
+
+std::vector<double> FitForest(const ml::Dataset& data) {
+  ml::ForestConfig config;
+  config.num_trees = 12;
+  config.seed = 5;
+  ml::RandomForest forest(config);
+  forest.Fit(data);
+  std::vector<double> outputs;
+  for (int i = 0; i < data.num_instances(); ++i) {
+    outputs.push_back(forest.PredictProba(data.features.Row(i)));
+  }
+  std::vector<double> importances = forest.FeatureImportances();
+  outputs.insert(outputs.end(), importances.begin(), importances.end());
+  return outputs;
+}
+
+TEST(ParallelDeterminism, RandomForestBitwiseIdenticalAcrossThreadCounts) {
+  ml::Dataset data = MakeDataset(250, 10, 11);
+  ScopedNumThreads serial("1");
+  std::vector<double> reference = FitForest(data);
+  for (const char* threads : kThreadCounts) {
+    ScopedNumThreads env(threads);
+    EXPECT_EQ(FitForest(data), reference) << threads << " threads";
+  }
+}
+
+// Per-unit RNG audit: refitting with the same seed must be bit-identical,
+// which fails if any parallel unit shared a mutable Rng with another.
+TEST(ParallelDeterminism, RefitSameSeedIsBitIdentical) {
+  ml::Dataset data = MakeDataset(250, 10, 13);
+  ScopedNumThreads env("8");
+  EXPECT_EQ(FitForest(data), FitForest(data));
+  GbdtOutputs first = FitGbdt(data);
+  GbdtOutputs second = FitGbdt(data);
+  EXPECT_EQ(first.losses, second.losses);
+  EXPECT_EQ(first.predictions, second.predictions);
+}
+
+simnet::GeneratorConfig SmallNetworkConfig() {
+  simnet::GeneratorConfig config;
+  config.topology.target_sectors = 36;
+  config.topology.num_cities = 2;
+  config.weeks = 10;
+  config.seed = 4242;
+  return config;
+}
+
+struct StudyOutputs {
+  std::vector<float> hourly_scores;
+  std::vector<float> daily_labels;
+  std::vector<float> become_labels;
+  std::vector<float> features;
+};
+
+StudyOutputs BuildSmallStudy(const simnet::SyntheticNetwork& network) {
+  Study study = BuildStudyFromNetwork(network, StudyOptions{});
+  StudyOutputs outputs;
+  outputs.hourly_scores = study.scores.hourly.data();
+  outputs.daily_labels = study.daily_labels.data();
+  outputs.become_labels = study.become_labels.data();
+  outputs.features = study.features.tensor().data();
+  return outputs;
+}
+
+TEST(ParallelDeterminism, StudyPipelineIdenticalAcrossThreadCounts) {
+  simnet::SyntheticNetwork network =
+      simnet::GenerateNetwork(SmallNetworkConfig());
+  ScopedNumThreads serial("1");
+  StudyOutputs reference = BuildSmallStudy(network);
+  for (const char* threads : kThreadCounts) {
+    ScopedNumThreads env(threads);
+    StudyOutputs outputs = BuildSmallStudy(network);
+    EXPECT_EQ(outputs.hourly_scores, reference.hourly_scores)
+        << threads << " threads";
+    EXPECT_EQ(outputs.daily_labels, reference.daily_labels)
+        << threads << " threads";
+    EXPECT_EQ(outputs.become_labels, reference.become_labels)
+        << threads << " threads";
+    EXPECT_EQ(outputs.features, reference.features) << threads << " threads";
+  }
+}
+
+std::vector<CellResult> RunSmallSweep(const Study& study) {
+  Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
+  ForecastConfig base;
+  base.seed = 31;
+  base.forest.num_trees = 6;
+  EvaluationRunner runner(&forecaster, base);
+  runner.set_random_repeats(3);
+  ParameterGrid grid;
+  grid.models = {ModelKind::kPersist, ModelKind::kAverage,
+                 ModelKind::kRfRaw};
+  grid.t_values = {50, 52};
+  grid.h_values = {1, 2};
+  grid.w_values = {3};
+  return RunSweep(&runner, grid);
+}
+
+TEST(ParallelDeterminism, EvaluationSweepIdenticalAcrossThreadCounts) {
+  simnet::SyntheticNetwork network =
+      simnet::GenerateNetwork(SmallNetworkConfig());
+  Study study = BuildStudyFromNetwork(std::move(network), StudyOptions{});
+  ScopedNumThreads serial("1");
+  std::vector<CellResult> reference = RunSmallSweep(study);
+  for (const char* threads : kThreadCounts) {
+    ScopedNumThreads env(threads);
+    std::vector<CellResult> cells = RunSmallSweep(study);
+    ASSERT_EQ(cells.size(), reference.size()) << threads << " threads";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      const std::string what =
+          "cell " + std::to_string(c) + " at " + threads + " threads";
+      EXPECT_EQ(static_cast<int>(cells[c].model),
+                static_cast<int>(reference[c].model))
+          << what;
+      EXPECT_EQ(cells[c].t, reference[c].t) << what;
+      EXPECT_EQ(cells[c].h, reference[c].h) << what;
+      EXPECT_EQ(cells[c].w, reference[c].w) << what;
+      ExpectSameDouble(cells[c].average_precision,
+                       reference[c].average_precision, what);
+      ExpectSameDouble(cells[c].lift, reference[c].lift, what);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hotspot

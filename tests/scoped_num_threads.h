@@ -1,0 +1,42 @@
+#ifndef HOTSPOT_TESTS_SCOPED_NUM_THREADS_H_
+#define HOTSPOT_TESTS_SCOPED_NUM_THREADS_H_
+
+#include <cstdlib>
+#include <string>
+
+namespace hotspot {
+
+/// Test helper: overrides HOTSPOT_NUM_THREADS for one scope and restores
+/// the previous value on destruction. Empty `value` unsets the variable.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(const std::string& value) {
+    if (const char* old_value = std::getenv("HOTSPOT_NUM_THREADS")) {
+      had_previous_ = true;
+      previous_ = old_value;
+    }
+    if (value.empty()) {
+      unsetenv("HOTSPOT_NUM_THREADS");
+    } else {
+      setenv("HOTSPOT_NUM_THREADS", value.c_str(), 1);
+    }
+  }
+  ~ScopedNumThreads() {
+    if (had_previous_) {
+      setenv("HOTSPOT_NUM_THREADS", previous_.c_str(), 1);
+    } else {
+      unsetenv("HOTSPOT_NUM_THREADS");
+    }
+  }
+
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  bool had_previous_ = false;
+  std::string previous_;
+};
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_TESTS_SCOPED_NUM_THREADS_H_
