@@ -63,7 +63,7 @@ int Main() {
     study_options.imputer.epochs = 4;
     study_options.imputer.encoder_layers = 3;
     Stopwatch watch;
-    Study study = BuildStudy(config, study_options);
+    Study study = BuildStudy(StudyInput(config), study_options);
     double build_seconds = watch.ElapsedSeconds();
     double average = MeanLift(study, ModelKind::kAverage);
     double rf = MeanLift(study, ModelKind::kRfF1);

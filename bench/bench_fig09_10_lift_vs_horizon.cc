@@ -18,7 +18,9 @@ int Main() {
   // The classifier-vs-Average contrast needs evaluation days with enough
   // positives; run this bench at the largest deployment of the suite.
   BenchOptions options = ParseOptions({.sectors = 900});
-  Study study = MakeStudy(options);
+  ObsSession obs_session;
+  Study study = MakeStudy(options, /*emerging_fraction=*/-1.0,
+                          obs_session.context());
   PrintHeader("bench_fig09_10_lift_vs_horizon",
               "Figs. 9-10 (hot-spot forecast: lift vs h at w=7; ∆ vs "
               "Average)",
@@ -34,7 +36,8 @@ int Main() {
               "minutes on one core)...\n", grid.NumCells());
   Stopwatch watch;
   SweepOptions sweep_options;
-  sweep_options.progress_to_stderr = true;
+  sweep_options.progress = StderrSweepProgress();
+  sweep_options.context = obs_session.context();
   std::vector<CellResult> cells = RunSweep(&runner, grid, sweep_options);
   std::printf("sweep took %.0fs\n", watch.ElapsedSeconds());
 

@@ -17,10 +17,12 @@ namespace {
 
 int Main() {
   BenchOptions options = ParseOptions({.sectors = 700});
+  ObsSession obs_session;
   // Emerging ramps are rare events; raise the ramp rate so evaluation days
   // carry positives at bench scale (the paper's 10^4 sectors provide this
   // for free).
-  Study study = MakeStudy(options, /*emerging_fraction=*/0.14);
+  Study study =
+      MakeStudy(options, /*emerging_fraction=*/0.14, obs_session.context());
   PrintHeader("bench_fig11_12_become_lift_vs_horizon",
               "Figs. 11-12 (become-a-hot-spot forecast: lift vs h; ∆ vs "
               "Average)",
@@ -39,7 +41,8 @@ int Main() {
   std::printf("\nrunning %lld cells...\n", grid.NumCells());
   Stopwatch watch;
   SweepOptions sweep_options;
-  sweep_options.progress_to_stderr = true;
+  sweep_options.progress = StderrSweepProgress();
+  sweep_options.context = obs_session.context();
   std::vector<CellResult> cells = RunSweep(&runner, grid, sweep_options);
   std::printf("sweep took %.0fs\n", watch.ElapsedSeconds());
 

@@ -4,6 +4,11 @@
 // every thread count produced the same output — the determinism contract
 // the parallel_determinism_test pins down at unit scale. Record the table
 // in EXPERIMENTS.md when the numbers change materially.
+//
+// HOTSPOT_MICRO_SMOKE=1 shrinks every workload to seconds and runs the
+// whole bench under a live obs::PipelineContext — this is the ctest
+// registration (bench_micro_parallel_smoke), which exercises the
+// instrumented hot paths end to end and fails on any bitwise divergence.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -16,6 +21,8 @@
 #include "ml/dataset.h"
 #include "ml/gbdt.h"
 #include "ml/random_forest.h"
+#include "obs/pipeline_context.h"
+#include "obs/snapshot.h"
 #include "tensor/temporal.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -49,10 +56,10 @@ struct Sample {
   double checksum = 0.0;
 };
 
-Sample TimeGbdtFit(const ml::Dataset& data) {
+Sample TimeGbdtFit(const ml::Dataset& data, bool smoke) {
   ml::GbdtConfig config;
-  config.num_iterations = 40;
-  config.num_leaves = 31;
+  config.num_iterations = smoke ? 8 : 40;
+  config.num_leaves = smoke ? 15 : 31;
   config.max_bins = 32;
   config.seed = 3;
   Stopwatch watch;
@@ -67,9 +74,9 @@ Sample TimeGbdtFit(const ml::Dataset& data) {
   return sample;
 }
 
-Sample TimeForestFit(const ml::Dataset& data) {
+Sample TimeForestFit(const ml::Dataset& data, bool smoke) {
   ml::ForestConfig config;
-  config.num_trees = 24;
+  config.num_trees = smoke ? 6 : 24;
   config.seed = 3;
   Stopwatch watch;
   ml::RandomForest forest(config);
@@ -124,11 +131,12 @@ std::vector<int> ThreadCounts() {
 }
 
 template <typename Workload>
-void Report(const char* name, const Workload& workload) {
+bool Report(const char* name, const Workload& workload) {
   std::printf("\n%-22s %8s %12s %10s %10s\n", name, "threads", "wall [s]",
               "speedup", "bitwise");
   double serial_seconds = 0.0;
   double reference_checksum = 0.0;
+  bool bitwise_ok = true;
   for (int threads : ThreadCounts()) {
     setenv("HOTSPOT_NUM_THREADS", std::to_string(threads).c_str(), 1);
     // Best of 3 runs to damp scheduler noise.
@@ -141,29 +149,67 @@ void Report(const char* name, const Workload& workload) {
       serial_seconds = best.seconds;
       reference_checksum = best.checksum;
     }
+    bool same = best.checksum == reference_checksum;
+    bitwise_ok = bitwise_ok && same;
     std::printf("%-22s %8d %12.3f %9.2fx %10s\n", "", threads, best.seconds,
-                serial_seconds / best.seconds,
-                best.checksum == reference_checksum ? "ok" : "DIFFERS");
+                serial_seconds / best.seconds, same ? "ok" : "DIFFERS");
   }
   unsetenv("HOTSPOT_NUM_THREADS");
+  return bitwise_ok;
 }
 
 int Main() {
+  const bool smoke = std::getenv("HOTSPOT_MICRO_SMOKE") != nullptr;
   std::printf("bench_micro_parallel: hot-path scaling vs HOTSPOT_NUM_THREADS "
-              "(hardware_concurrency = %u)\n",
-              std::thread::hardware_concurrency());
+              "(hardware_concurrency = %u%s)\n",
+              std::thread::hardware_concurrency(),
+              smoke ? ", smoke mode with live obs context" : "");
 
-  ml::Dataset gbdt_data = MakeDataset(4000, 60, 2025);
-  Report("gbdt_fit[4000x60]", [&] { return TimeGbdtFit(gbdt_data); });
+  // Smoke mode runs everything under a live context so the instrumented
+  // paths (spans, counters, histograms) are exercised; the bitwise checks
+  // then double as "observability does not perturb results" coverage.
+  obs::PipelineContext context;
+  std::unique_ptr<obs::PipelineContext::ScopedInstall> install;
+  if (smoke) {
+    install =
+        std::make_unique<obs::PipelineContext::ScopedInstall>(&context);
+  }
 
-  ml::Dataset forest_data = MakeDataset(1500, 40, 2026);
-  Report("forest_fit[1500x40]", [&] { return TimeForestFit(forest_data); });
+  bool ok = true;
+  ml::Dataset gbdt_data =
+      smoke ? MakeDataset(300, 12, 2025) : MakeDataset(4000, 60, 2025);
+  ok = Report("gbdt_fit", [&] { return TimeGbdtFit(gbdt_data, smoke); }) &&
+       ok;
 
-  Report("feature_tensor[500]", [] { return TimeFeatureExtraction(500, 10, 12); });
+  ml::Dataset forest_data =
+      smoke ? MakeDataset(200, 10, 2026) : MakeDataset(1500, 40, 2026);
+  ok = Report("forest_fit",
+              [&] { return TimeForestFit(forest_data, smoke); }) &&
+       ok;
+
+  ok = Report("feature_tensor",
+              [&] {
+                return smoke ? TimeFeatureExtraction(60, 4, 6)
+                             : TimeFeatureExtraction(500, 10, 12);
+              }) &&
+       ok;
+
+  if (smoke) {
+    install.reset();
+    obs::Snapshot snapshot = obs::TakeSnapshot(context);
+    std::printf("\nobs: %zu counters, %zu span paths recorded\n",
+                snapshot.counters.size(), snapshot.spans.size());
+    bool observed =
+        !snapshot.spans.empty() &&
+        context.metrics().counter("gbdt/trees_built").Total() > 0;
+    std::printf("obs recorded the runs: %s\n", observed ? "ok" : "EMPTY");
+    ok = ok && observed;
+  }
 
   std::printf("\nnote: speedups require physical cores; on a 1-core host "
               "every row stays ~1.0x while `bitwise` must stay ok.\n");
-  return 0;
+  std::printf("result: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
 }
 
 }  // namespace

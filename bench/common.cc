@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/snapshot.h"
 #include "util/csv.h"
 
 namespace hotspot::bench {
@@ -20,7 +21,8 @@ BenchOptions ParseOptions(BenchOptions defaults) {
   return defaults;
 }
 
-Study MakeStudy(const BenchOptions& options, double emerging_fraction) {
+Study MakeStudy(const BenchOptions& options, double emerging_fraction,
+                obs::PipelineContext* context) {
   simnet::GeneratorConfig config;
   config.topology.target_sectors = options.sectors;
   config.weeks = options.weeks;
@@ -28,7 +30,28 @@ Study MakeStudy(const BenchOptions& options, double emerging_fraction) {
   if (emerging_fraction >= 0.0) {
     config.events.emerging_fraction = emerging_fraction;
   }
-  return BuildStudy(config, {});
+  StudyOptions study_options;
+  study_options.context = context;
+  return BuildStudy(StudyInput(config), study_options);
+}
+
+ObsSession::ObsSession() {
+  if (const char* path = std::getenv("HOTSPOT_OBS_JSON")) {
+    json_path_ = path;
+    context_ = std::make_unique<obs::PipelineContext>();
+  }
+}
+
+ObsSession::~ObsSession() {
+  if (context_ == nullptr) return;
+  obs::Snapshot snapshot = obs::TakeSnapshot(*context_);
+  if (obs::WriteSnapshotJson(snapshot, json_path_)) {
+    std::fprintf(stderr, "  obs: metrics snapshot written to %s\n",
+                 json_path_.c_str());
+  } else {
+    std::fprintf(stderr, "  obs: failed to write snapshot to %s\n",
+                 json_path_.c_str());
+  }
 }
 
 void PrintHeader(const std::string& title, const std::string& paper_ref,

@@ -1,10 +1,12 @@
 #ifndef HOTSPOT_BENCH_COMMON_H_
 #define HOTSPOT_BENCH_COMMON_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/study.h"
+#include "obs/pipeline_context.h"
 
 namespace hotspot::bench {
 
@@ -23,9 +25,30 @@ BenchOptions ParseOptions(BenchOptions defaults = {});
 
 /// Builds the standard bench study (forward-fill imputation; see
 /// bench_fig05/bench_abl_imputation for the autoencoder path, which is the
-/// paper's method but too slow to run inside every bench).
-Study MakeStudy(const BenchOptions& options,
-                double emerging_fraction = -1.0);
+/// paper's method but too slow to run inside every bench). Pass a context
+/// to capture the study stages' spans and metrics.
+Study MakeStudy(const BenchOptions& options, double emerging_fraction = -1.0,
+                obs::PipelineContext* context = nullptr);
+
+/// Bench-wide observability session, keyed off the HOTSPOT_OBS_JSON env
+/// var: when it is set, context() returns a live PipelineContext (pass it
+/// into MakeStudy / SweepOptions / StudyOptions) and the destructor writes
+/// the JSON metrics snapshot to that path. When the var is unset,
+/// context() is null and the benches run with observability off.
+class ObsSession {
+ public:
+  ObsSession();
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  obs::PipelineContext* context() { return context_.get(); }
+
+ private:
+  std::unique_ptr<obs::PipelineContext> context_;
+  std::string json_path_;
+};
 
 /// Prints the bench banner: what paper artifact this reproduces and at
 /// which scale.

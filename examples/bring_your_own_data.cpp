@@ -8,15 +8,7 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "core/config.h"
-#include "core/evaluation.h"
-#include "core/forecaster.h"
-#include "core/labels.h"
-#include "core/score.h"
-#include "io/csv_io.h"
-#include "nn/imputer.h"
-#include "simnet/generator.h"
-#include "tensor/temporal.h"
+#include "hotspot.h"
 
 int main() {
   using namespace hotspot;

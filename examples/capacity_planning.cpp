@@ -9,9 +9,7 @@
 #include <cstdio>
 #include <numeric>
 
-#include "core/study.h"
-#include "stats/average_precision.h"
-#include "util/csv.h"
+#include "hotspot.h"
 
 int main() {
   using namespace hotspot;
@@ -20,7 +18,7 @@ int main() {
   generator.topology.target_sectors = 300;
   generator.weeks = 16;
   generator.seed = 11;
-  Study study = BuildStudy(generator, StudyOptions{});
+  Study study = BuildStudy(StudyInput(generator), StudyOptions{});
 
   Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
   ForecastConfig config;

@@ -3,10 +3,7 @@
 // consistency, and spatial structure of hot spots.
 #include <cstdio>
 
-#include "core/dynamics.h"
-#include "core/labels.h"
-#include "core/study.h"
-#include "util/csv.h"
+#include "hotspot.h"
 
 int main() {
   using namespace hotspot;
@@ -15,7 +12,7 @@ int main() {
   generator.topology.target_sectors = 250;
   generator.weeks = 14;
   generator.seed = 17;
-  Study study = BuildStudy(generator, StudyOptions{});
+  Study study = BuildStudy(StudyInput(generator), StudyOptions{});
 
   std::printf("=== Hot-spot dynamics report ===\n");
   std::printf("%d sectors, %d weeks starting %s\n\n", study.num_sectors(),

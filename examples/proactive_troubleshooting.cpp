@@ -10,8 +10,7 @@
 #include <cstdio>
 #include <numeric>
 
-#include "core/study.h"
-#include "util/csv.h"
+#include "hotspot.h"
 
 namespace {
 
@@ -52,7 +51,7 @@ int main() {
   generator.seed = 13;
   // More emerging degradations so the example has events to catch.
   generator.events.emerging_fraction = 0.15;
-  Study study = BuildStudy(generator, StudyOptions{});
+  Study study = BuildStudy(StudyInput(generator), StudyOptions{});
 
   Forecaster forecaster = study.MakeForecaster(TargetKind::kBecomeHotSpot);
   ForecastConfig config;

@@ -11,9 +11,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/evaluation.h"
-#include "core/labels.h"
-#include "core/study.h"
+#include "hotspot.h"
 
 int main() {
   using namespace hotspot;
@@ -25,7 +23,7 @@ int main() {
   generator.seed = 7;
 
   // 2. Preprocess into a Study (scores, labels, feature tensor).
-  Study study = BuildStudy(generator, StudyOptions{});
+  Study study = BuildStudy(StudyInput(generator), StudyOptions{});
   std::printf("network: %d sectors, %d days, %d KPIs (%d sectors dropped "
               "by the missing-data filter)\n",
               study.num_sectors(), study.num_days(),

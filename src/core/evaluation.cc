@@ -1,9 +1,12 @@
 #include "core/evaluation.h"
 
+#include <chrono>
 #include <cmath>
 #include <tuple>
 
 #include "core/baselines.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_context.h"
 #include "stats/average_precision.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -45,6 +48,10 @@ double EvaluationRunner::RandomAp(int t, int h) {
 }
 
 CellResult EvaluationRunner::Evaluate(ModelKind model, int t, int h, int w) {
+  obs::PipelineContext* ctx = obs::PipelineContext::Current();
+  HOTSPOT_SPAN("eval/cell");
+  const auto cell_start = std::chrono::steady_clock::now();
+
   ForecastConfig config = base_;
   config.model = model;
   config.t = t;
@@ -60,6 +67,17 @@ CellResult EvaluationRunner::Evaluate(ModelKind model, int t, int h, int w) {
   std::vector<float> labels = forecaster_->LabelsAtDay(t + h);
   cell.average_precision = AveragePrecision(labels, forecast.predictions);
   cell.lift = Lift(cell.average_precision, RandomAp(t, h));
+
+  if (ctx != nullptr) {
+    ctx->metrics().counter("eval/cells").Increment();
+    if (std::isnan(cell.average_precision)) {
+      ctx->metrics().counter("eval/cells_nan_ap").Increment();
+    }
+    ctx->metrics().histogram("eval/cell_seconds")
+        .Observe(std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - cell_start)
+                     .count());
+  }
   return cell;
 }
 

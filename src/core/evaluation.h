@@ -41,8 +41,16 @@ class EvaluationRunner {
   /// The cached ψ(F₀) for the labels at day t+h. Thread-safe.
   double RandomAp(int t, int h);
 
-  /// Number of random rankings averaged for ψ(F₀).
-  void set_random_repeats(int repeats) { random_repeats_ = repeats; }
+  /// Number of random rankings averaged for ψ(F₀). Drops any cached
+  /// ψ(F₀) values, which were computed with the previous repeat count —
+  /// otherwise a call after a cache-warming Evaluate/RandomAp would keep
+  /// serving stale references. Thread-safe, but do not change the repeat
+  /// count while a sweep is in flight.
+  void set_random_repeats(int repeats) {
+    std::lock_guard<std::mutex> lock(random_ap_mutex_);
+    random_repeats_ = repeats;
+    random_ap_by_day_.clear();
+  }
 
  private:
   const Forecaster* forecaster_;

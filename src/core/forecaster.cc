@@ -2,6 +2,7 @@
 
 #include "core/baselines.h"
 #include "features/window.h"
+#include "obs/pipeline_context.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -108,6 +109,7 @@ ml::Dataset Forecaster::BuildTrainingSet(
   HOTSPOT_CHECK(!label_days.empty());
   const int rows = n * static_cast<int>(label_days.size());
 
+  HOTSPOT_SPAN("forecast/build_training_set");
   ml::Dataset data;
   data.features = Matrix<float>(rows, dim);
   data.labels.resize(static_cast<size_t>(rows));
@@ -143,6 +145,7 @@ Matrix<float> Forecaster::BuildPredictionRows(
   const int n = num_sectors();
   const int channels = features_->num_channels();
   const int dim = extractor.OutputDim(config.w, channels);
+  HOTSPOT_SPAN("forecast/build_prediction_rows");
   Matrix<float> rows(n, dim);
   // Parallel over sectors; sector i only fills row i.
   util::ParallelFor(0, n, [&](int64_t i64) {
@@ -229,15 +232,22 @@ ForecastResult Forecaster::Run(const ForecastConfig& config) const {
       HOTSPOT_CHECK(false) << "not a classifier model";
   }
 
-  classifier->Fit(train);
+  {
+    HOTSPOT_SPAN("forecast/train");
+    classifier->Fit(train);
+  }
 
   Matrix<float> prediction_rows = BuildPredictionRows(config, extractor);
-  result.predictions.resize(static_cast<size_t>(num_sectors()));
-  // Batch inference parallel over sectors (PredictProba is const).
-  util::ParallelFor(0, num_sectors(), [&](int64_t i) {
-    result.predictions[static_cast<size_t>(i)] = static_cast<float>(
-        classifier->PredictProba(prediction_rows.Row(static_cast<int>(i))));
-  });
+  {
+    HOTSPOT_SPAN("forecast/predict");
+    result.predictions.resize(static_cast<size_t>(num_sectors()));
+    // Batch inference parallel over sectors (PredictProba is const).
+    util::ParallelFor(0, num_sectors(), [&](int64_t i) {
+      result.predictions[static_cast<size_t>(i)] =
+          static_cast<float>(classifier->PredictProba(
+              prediction_rows.Row(static_cast<int>(i))));
+    });
+  }
   result.importances = classifier->FeatureImportances();
   result.feature_dim = prediction_rows.cols();
   return result;

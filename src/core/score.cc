@@ -1,5 +1,6 @@
 #include "core/score.h"
 
+#include "obs/pipeline_context.h"
 #include "tensor/temporal.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -41,6 +42,7 @@ Matrix<float> ComputeHourlyScore(const Tensor3<float>& kpis,
 
 ScoreSet ComputeScores(const Tensor3<float>& kpis,
                        const ScoreConfig& config) {
+  HOTSPOT_SPAN("score/compute");
   ScoreSet scores;
   scores.hourly = ComputeHourlyScore(kpis, config);
   scores.daily = IntegrateScores(scores.hourly, Resolution::kDaily);

@@ -15,6 +15,10 @@
 
 namespace hotspot {
 
+namespace obs {
+class PipelineContext;
+}  // namespace obs
+
 /// How missing values are handled before scoring (Sec. II-C; the
 /// autoencoder is the paper's method, the others are ablation baselines).
 enum class ImputationKind { kAutoencoder, kForwardFill, kFeatureMean, kNone };
@@ -27,6 +31,11 @@ struct StudyOptions {
   nn::ImputerConfig imputer;
   /// Overrides the hot threshold ε (NaN = use the score config default).
   double hot_threshold_override = std::nan("");
+  /// Optional observability context: BuildStudy installs it for the
+  /// duration of the call, so stage spans and pipeline metrics land in it
+  /// (see src/obs). Null = observability off (near-zero overhead); the
+  /// result is bitwise-identical either way. Must outlive the call.
+  obs::PipelineContext* context = nullptr;
 };
 
 /// Everything the paper's analyses and forecasts consume, derived from a
@@ -59,11 +68,41 @@ struct Study {
   }
 };
 
-/// Runs the full pipeline on a freshly generated network.
+/// The input side of the study pipeline: either a generator config (a
+/// network is generated first) or an already built network (consumed).
+/// Implicitly constructible from both, so call sites read
+/// `BuildStudy(config)` / `BuildStudy(std::move(network))`.
+class StudyInput {
+ public:
+  StudyInput(simnet::GeneratorConfig config)  // NOLINT(runtime/explicit)
+      : config_(std::move(config)) {}
+  StudyInput(simnet::SyntheticNetwork network)  // NOLINT(runtime/explicit)
+      : network_(std::move(network)), has_network_(true) {}
+
+  bool has_network() const { return has_network_; }
+  const simnet::GeneratorConfig& config() const { return config_; }
+
+  /// Moves the network out (generating from the config when none was
+  /// supplied). One-shot: a StudyInput is consumed by BuildStudy.
+  simnet::SyntheticNetwork TakeNetwork() &&;
+
+ private:
+  simnet::GeneratorConfig config_;
+  simnet::SyntheticNetwork network_;
+  bool has_network_ = false;
+};
+
+/// Runs the full pipeline — sector filter, imputation, scores, labels,
+/// feature tensor — on the given input. The single entry point; the
+/// legacy BuildStudy(config)/BuildStudyFromNetwork(network) pair below
+/// forwards here.
+Study BuildStudy(StudyInput input, const StudyOptions& options = {});
+
+[[deprecated("use BuildStudy(StudyInput(generator_config), options)")]]
 Study BuildStudy(const simnet::GeneratorConfig& generator_config,
                  const StudyOptions& options = {});
 
-/// Runs the full pipeline on an already generated network (consumed).
+[[deprecated("use BuildStudy(StudyInput(std::move(network)), options)")]]
 Study BuildStudyFromNetwork(simnet::SyntheticNetwork network,
                             const StudyOptions& options = {});
 

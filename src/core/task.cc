@@ -1,7 +1,9 @@
 #include "core/task.h"
 
+#include <chrono>
 #include <cstdio>
 
+#include "obs/pipeline_context.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -31,14 +33,30 @@ ParameterGrid ParameterGrid::Subsampled(int t_stride,
   return grid;
 }
 
+SweepProgressFn StderrSweepProgress() {
+  return [](const SweepProgress& progress) {
+    std::fprintf(stderr, "  sweep: %s done (%lld/%lld cells)\n",
+                 progress.model_name, progress.cells_done,
+                 progress.cells_total);
+  };
+}
+
 std::vector<CellResult> RunSweep(EvaluationRunner* runner,
                                  const ParameterGrid& grid,
                                  const SweepOptions& options) {
   HOTSPOT_CHECK(runner != nullptr);
+  obs::PipelineContext::ScopedInstall install(options.context);
+  obs::PipelineContext* ctx = obs::PipelineContext::Current();
+  HOTSPOT_SPAN("sweep/run");
+  const auto start = std::chrono::steady_clock::now();
+
   // Warm the random-reference cache serially so the parallel cells below
   // only read it (ψ(F₀) is deterministic per day, so order is irrelevant).
-  for (int h : grid.h_values) {
-    for (int t : grid.t_values) runner->RandomAp(t, h);
+  {
+    HOTSPOT_SPAN("sweep/warm_random_ap");
+    for (int h : grid.h_values) {
+      for (int t : grid.t_values) runner->RandomAp(t, h);
+    }
   }
 
   const int64_t num_h = static_cast<int64_t>(grid.h_values.size());
@@ -46,9 +64,16 @@ std::vector<CellResult> RunSweep(EvaluationRunner* runner,
   const int64_t num_t = static_cast<int64_t>(grid.t_values.size());
   const int64_t cells_per_model = num_h * num_w * num_t;
 
+  if (ctx != nullptr) {
+    ctx->metrics().gauge("sweep/cells_total")
+        .Set(static_cast<double>(grid.NumCells()));
+    ctx->metrics().gauge("sweep/cells_done").Set(0.0);
+  }
+
   std::vector<CellResult> cells;
   cells.reserve(static_cast<size_t>(grid.NumCells()));
   long long done = 0;
+  int models_done = 0;
   for (ModelKind model : grid.models) {
     // Parallel over the model's (h, w, t) cells; results come back in the
     // serial sweep order (h-major, then w, then t) regardless of thread
@@ -64,9 +89,34 @@ std::vector<CellResult> RunSweep(EvaluationRunner* runner,
         });
     cells.insert(cells.end(), model_cells.begin(), model_cells.end());
     done += cells_per_model;
-    if (options.progress_to_stderr) {
-      std::fprintf(stderr, "  sweep: %s done (%lld/%lld cells)\n",
-                   ModelName(model), done, grid.NumCells());
+    ++models_done;
+
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const double eta =
+        done > 0 && done < grid.NumCells()
+            ? elapsed / static_cast<double>(done) *
+                  static_cast<double>(grid.NumCells() - done)
+            : 0.0;
+    if (ctx != nullptr) {
+      ctx->metrics().counter("sweep/cells_evaluated")
+          .Add(static_cast<uint64_t>(cells_per_model));
+      ctx->metrics().gauge("sweep/cells_done")
+          .Set(static_cast<double>(done));
+      ctx->metrics().gauge("sweep/eta_seconds").Set(eta);
+    }
+    if (options.progress) {
+      SweepProgress progress;
+      progress.cells_done = done;
+      progress.cells_total = grid.NumCells();
+      progress.models_done = models_done;
+      progress.models_total = static_cast<int>(grid.models.size());
+      progress.model_name = ModelName(model);
+      progress.elapsed_seconds = elapsed;
+      progress.eta_seconds = eta;
+      options.progress(progress);
     }
   }
   return cells;

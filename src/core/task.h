@@ -1,12 +1,17 @@
 #ifndef HOTSPOT_CORE_TASK_H_
 #define HOTSPOT_CORE_TASK_H_
 
+#include <functional>
 #include <vector>
 
 #include "core/evaluation.h"
 #include "core/forecaster.h"
 
 namespace hotspot {
+
+namespace obs {
+class PipelineContext;
+}  // namespace obs
 
 /// The paper's evaluation grid (Table III).
 struct ParameterGrid {
@@ -30,11 +35,36 @@ struct ParameterGrid {
   }
 };
 
-/// Sweep options: which slices of the grid to run.
+/// Progress of a running sweep, reported after each completed model
+/// (the granularity the parallel fan-out naturally yields).
+struct SweepProgress {
+  long long cells_done = 0;
+  long long cells_total = 0;
+  int models_done = 0;
+  int models_total = 0;
+  const char* model_name = "";   ///< model that just finished
+  double elapsed_seconds = 0.0;
+  double eta_seconds = 0.0;      ///< linear extrapolation; 0 when done
+};
+
+/// Sweep progress callback. Invoked on the calling thread, between model
+/// fan-outs — it may print, update a UI, or abort via exception.
+using SweepProgressFn = std::function<void(const SweepProgress&)>;
+
+/// The stderr reporter that `SweepOptions::progress_to_stderr` used to
+/// hard-wire: "  sweep: <model> done (<done>/<total> cells)".
+SweepProgressFn StderrSweepProgress();
+
+/// Sweep options.
 struct SweepOptions {
-  /// Fixed w while sweeping h (Figs. 9-12), or fixed h while sweeping w
-  /// (Figs. 13-14); the full grid runs both axes.
-  bool progress_to_stderr = false;
+  /// Progress callback; null = silent. Use StderrSweepProgress() for the
+  /// classic stderr lines.
+  SweepProgressFn progress;
+  /// Optional observability context, installed for the duration of the
+  /// sweep: cells/ETA gauges, per-cell latency histograms and trace spans
+  /// land in it (see src/obs). Null = observability off; results are
+  /// bitwise-identical either way. Must outlive the call.
+  obs::PipelineContext* context = nullptr;
 };
 
 /// Runs every (model, t, h, w) cell of `grid` through `runner` and returns

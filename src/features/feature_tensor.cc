@@ -1,5 +1,6 @@
 #include "features/feature_tensor.h"
 
+#include "obs/pipeline_context.h"
 #include "tensor/temporal.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -29,6 +30,7 @@ FeatureTensor FeatureTensor::Build(
     const Matrix<float>& hourly_scores, const Matrix<float>& daily_scores,
     const Matrix<float>& weekly_scores, const Matrix<float>& daily_labels,
     const std::vector<std::string>& kpi_names) {
+  HOTSPOT_SPAN("features/build");
   const int n = kpis.dim0();
   const int hours = kpis.dim1();
   const int l = kpis.dim2();

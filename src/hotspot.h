@@ -1,0 +1,35 @@
+#ifndef HOTSPOT_HOTSPOT_H_
+#define HOTSPOT_HOTSPOT_H_
+
+/// Umbrella header: the public facade of the hot-spot forecasting library.
+/// Applications (see examples/) include only this; the individual headers
+/// below stay available for targeted includes inside the library itself.
+///
+///   simnet   — synthetic network generation (simnet::GenerateNetwork)
+///   study    — the end-to-end preprocessing pipeline (BuildStudy)
+///   forecast — models and the per-cell protocol (Forecaster, ModelKind)
+///   eval     — ψ/lift scoring and sweeps (EvaluationRunner, RunSweep)
+///   obs      — metrics, trace spans, snapshots (obs::PipelineContext)
+
+#include "core/config.h"
+#include "core/dynamics.h"
+#include "core/evaluation.h"
+#include "core/forecaster.h"
+#include "core/importance.h"
+#include "core/labels.h"
+#include "core/score.h"
+#include "core/study.h"
+#include "core/task.h"
+#include "io/csv_io.h"
+#include "nn/imputer.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_context.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
+#include "simnet/generator.h"
+#include "stats/average_precision.h"
+#include "stats/confidence.h"
+#include "tensor/temporal.h"
+#include "util/csv.h"
+
+#endif  // HOTSPOT_HOTSPOT_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/pipeline_context.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -126,6 +128,12 @@ Gbdt::Tree Gbdt::BuildTree(const Matrix<uint8_t>& binned,
                            const std::vector<int>& rows,
                            const std::vector<int>& features, Rng* rng) {
   (void)rng;
+  // Hoisted out of the leaf loop: one registry lookup per tree, relaxed
+  // sharded increments inside. Null context costs one pointer test here.
+  obs::PipelineContext* ctx = obs::PipelineContext::Current();
+  obs::Counter* split_searches =
+      ctx != nullptr ? &ctx->metrics().counter("gbdt/split_searches")
+                     : nullptr;
   Tree tree;
   std::vector<PendingLeaf> leaves;
 
@@ -152,6 +160,9 @@ Gbdt::Tree Gbdt::BuildTree(const Matrix<uint8_t>& binned,
     leaf.best_feature = -1;
     if (config_.max_depth > 0 && leaf.depth >= config_.max_depth) return;
     if (leaf.rows.size() < 2) return;
+    if (split_searches != nullptr) {
+      split_searches->Add(static_cast<uint64_t>(features.size()));
+    }
     double parent_obj =
         LeafObjective(leaf.grad_sum, leaf.hess_sum, config_.lambda_l2);
     // Parallel over features: every feature builds its own histogram (the
@@ -265,6 +276,8 @@ Gbdt::Tree Gbdt::BuildTree(const Matrix<uint8_t>& binned,
 }
 
 void Gbdt::Fit(const Dataset& data) {
+  obs::PipelineContext* ctx = obs::PipelineContext::Current();
+  HOTSPOT_SPAN("gbdt/fit");
   data.CheckConsistent();
   HOTSPOT_CHECK(trees_.empty());  // Fit once.
   const int n = data.num_instances();
@@ -272,15 +285,21 @@ void Gbdt::Fit(const Dataset& data) {
   num_features_ = data.num_features();
   gain_importances_.assign(static_cast<size_t>(num_features_), 0.0);
 
-  binner_.Fit(data.features, config_.max_bins);
   Matrix<uint8_t> binned(n, num_features_);
-  util::ParallelFor(0, n, [&](int64_t i) {
-    const float* row = data.features.Row(static_cast<int>(i));
-    uint8_t* dst = binned.Row(static_cast<int>(i));
-    for (int f = 0; f < num_features_; ++f) {
-      dst[f] = static_cast<uint8_t>(binner_.Bin(f, row[f]));
+  {
+    HOTSPOT_SPAN("gbdt/bin_build");
+    binner_.Fit(data.features, config_.max_bins);
+    util::ParallelFor(0, n, [&](int64_t i) {
+      const float* row = data.features.Row(static_cast<int>(i));
+      uint8_t* dst = binned.Row(static_cast<int>(i));
+      for (int f = 0; f < num_features_; ++f) {
+        dst[f] = static_cast<uint8_t>(binner_.Bin(f, row[f]));
+      }
+    });
+    if (ctx != nullptr) {
+      ctx->metrics().counter("gbdt/bin_builds").Increment();
     }
-  });
+  }
 
   // Weighted prior.
   double weight_sum = 0.0;
@@ -341,7 +360,14 @@ void Gbdt::Fit(const Dataset& data) {
       features = all_features;
     }
 
-    Tree tree = BuildTree(binned, grads, hessians, rows, features, &rng);
+    Tree tree;
+    {
+      HOTSPOT_SPAN("gbdt/build_tree");
+      tree = BuildTree(binned, grads, hessians, rows, features, &rng);
+    }
+    if (ctx != nullptr) {
+      ctx->metrics().counter("gbdt/trees_built").Increment();
+    }
 
     // Update scores for all rows (row i only touches scores[i]).
     util::ParallelFor(0, n, [&](int64_t i) {

@@ -1,5 +1,7 @@
 #include "ml/random_forest.h"
 
+#include "obs/metrics.h"
+#include "obs/pipeline_context.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -11,6 +13,11 @@ RandomForest::RandomForest(const ForestConfig& config) : config_(config) {
 }
 
 void RandomForest::Fit(const Dataset& data) {
+  obs::PipelineContext* ctx = obs::PipelineContext::Current();
+  HOTSPOT_SPAN("forest/fit");
+  obs::Counter* trees_built =
+      ctx != nullptr ? &ctx->metrics().counter("forest/trees_built")
+                     : nullptr;
   data.CheckConsistent();
   HOTSPOT_CHECK(trees_.empty());  // Fit once.
   num_features_ = data.num_features();
@@ -56,6 +63,7 @@ void RandomForest::Fit(const Dataset& data) {
       tree->Fit(data);
     }
     trees_[static_cast<size_t>(t)] = std::move(tree);
+    if (trees_built != nullptr) trees_built->Increment();
   });
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/pipeline_context.h"
 #include "tensor/temporal.h"
 #include "util/logging.h"
 
@@ -119,6 +121,8 @@ void KpiImputer::BuildSliceRows(const Tensor3<float>& kpis, int sector,
 }
 
 ImputerReport KpiImputer::Fit(const Tensor3<float>& kpis) {
+  obs::PipelineContext* ctx = obs::PipelineContext::Current();
+  HOTSPOT_SPAN("imputer/fit");
   const int n = kpis.dim0();
   const int l = kpis.dim2();
   const int slices = kpis.dim1() / config_.slice_hours;
@@ -173,11 +177,20 @@ ImputerReport KpiImputer::Fit(const Tensor3<float>& kpis) {
     report.epoch_losses.push_back(epoch_loss);
     if (epoch == 0) report.first_epoch_loss = epoch_loss;
     report.final_epoch_loss = epoch_loss;
+    if (ctx != nullptr) {
+      ctx->metrics().counter("imputer/epochs").Increment();
+      ctx->metrics().gauge("imputer/last_epoch_loss").Set(epoch_loss);
+    }
+  }
+  if (ctx != nullptr) {
+    ctx->metrics().gauge("imputer/initial_missing_fraction")
+        .Set(report.initial_missing_fraction);
   }
   return report;
 }
 
 long long KpiImputer::Impute(Tensor3<float>* kpis) const {
+  HOTSPOT_SPAN("imputer/impute");
   HOTSPOT_CHECK(kpis != nullptr);
   HOTSPOT_CHECK(network_ != nullptr);
   const int n = kpis->dim0();
@@ -255,6 +268,10 @@ ImputerReport KpiImputer::FitAndImpute(Tensor3<float>* kpis) {
   HOTSPOT_CHECK(kpis != nullptr);
   ImputerReport report = Fit(*kpis);
   report.imputed_cells = Impute(kpis);
+  if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
+    ctx->metrics().counter("imputer/imputed_cells")
+        .Add(static_cast<uint64_t>(report.imputed_cells));
+  }
   return report;
 }
 

@@ -1,0 +1,125 @@
+#ifndef HOTSPOT_OBS_METRICS_H_
+#define HOTSPOT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hotspot::obs {
+
+/// Number of per-metric shards. Each thread hashes to a stable shard, so
+/// hot-path increments from different pool workers land on different cache
+/// lines and never contend; Total()/snapshots merge the shards.
+inline constexpr int kNumShards = 64;
+
+/// Stable shard index of the calling thread in [0, kNumShards).
+int ThisThreadShard();
+
+/// Monotonic event counter, sharded per thread. Add() is lock-free and
+/// uncontended between pool workers; Total() merges. Observability is
+/// strictly read-only with respect to the pipeline: counters never feed
+/// back into any computation, so the determinism contract is unaffected.
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    shards_[static_cast<size_t>(ThisThreadShard())].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Merged value across all shards.
+  uint64_t Total() const;
+
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kNumShards];
+};
+
+/// Last-write-wins scalar (progress fractions, convergence losses, ETAs).
+/// Set/Value are atomic; gauges are cold-path by design.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram (cumulative-free layout: buckets_[b] counts
+/// observations v with v <= bounds_[b]; the last bucket is the overflow).
+/// Bucket counts and the running sum are sharded like Counter.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; an implicit +inf bucket
+  /// is appended.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  /// Merged per-bucket counts (size = bounds().size() + 1).
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t Count() const;
+  double Sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<uint64_t>> buckets;
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  std::vector<double> bounds_;
+  std::vector<Shard> shards_;
+};
+
+/// Log-spaced wall-time buckets (seconds) used by the latency histograms
+/// of the pipeline (100 µs .. 30 s).
+std::vector<double> DefaultLatencySeconds();
+
+/// Name-addressed registry of counters, gauges and histograms. Lookup by
+/// name takes a mutex; the returned references are stable for the life of
+/// the registry, so hot paths resolve once and increment lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// First caller fixes the bucket bounds; later callers get the same
+  /// histogram regardless of their `upper_bounds` argument.
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds = {});
+
+  /// Deterministically ordered (by name) views for snapshotting.
+  std::vector<std::pair<std::string, const Counter*>> Counters() const;
+  std::vector<std::pair<std::string, const Gauge*>> Gauges() const;
+  std::vector<std::pair<std::string, const Histogram*>> Histograms() const;
+
+  /// Zeroes every metric (the set of registered names is kept).
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace hotspot::obs
+
+#endif  // HOTSPOT_OBS_METRICS_H_

@@ -1,0 +1,31 @@
+#include "obs/pipeline_context.h"
+
+#include <atomic>
+
+namespace hotspot::obs {
+
+namespace {
+
+std::atomic<PipelineContext*>& CurrentSlot() {
+  static std::atomic<PipelineContext*> current{nullptr};
+  return current;
+}
+
+}  // namespace
+
+PipelineContext* PipelineContext::Current() {
+  return CurrentSlot().load(std::memory_order_acquire);
+}
+
+PipelineContext::ScopedInstall::ScopedInstall(PipelineContext* context) {
+  if (context == nullptr) return;
+  previous_ = CurrentSlot().exchange(context, std::memory_order_acq_rel);
+  installed_ = true;
+}
+
+PipelineContext::ScopedInstall::~ScopedInstall() {
+  if (!installed_) return;
+  CurrentSlot().store(previous_, std::memory_order_release);
+}
+
+}  // namespace hotspot::obs

@@ -1,0 +1,70 @@
+#ifndef HOTSPOT_OBS_PIPELINE_CONTEXT_H_
+#define HOTSPOT_OBS_PIPELINE_CONTEXT_H_
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hotspot::obs {
+
+/// Process-wide observability context: one metrics registry plus one trace
+/// collector, threaded through the pipeline entry points (StudyOptions,
+/// SweepOptions) instead of ad-hoc per-feature flags.
+///
+/// Entry points install the context they were handed as the process
+/// current (ScopedInstall); every instrumentation site below them —
+/// including work running on pool workers — reads
+/// PipelineContext::Current() and no-ops when it is null. The null path is
+/// one relaxed atomic load plus a branch, which is what keeps disabled
+/// observability out of the hot loops.
+///
+/// Observability never feeds back into computation: attaching or detaching
+/// a context changes no result bit (pinned by parallel_determinism_test).
+/// The context must outlive any scope it is installed for. Concurrent
+/// installs of *different* contexts from unrelated threads are not
+/// supported (last install wins); one pipeline at a time is the intended
+/// regime.
+class PipelineContext {
+ public:
+  PipelineContext() = default;
+  PipelineContext(const PipelineContext&) = delete;
+  PipelineContext& operator=(const PipelineContext&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceCollector& trace() { return trace_; }
+  const TraceCollector& trace() const { return trace_; }
+
+  /// Zeroes metrics and drops spans; the registry's names survive.
+  void Reset() {
+    metrics_.Reset();
+    trace_.Reset();
+  }
+
+  /// The currently installed context, or null when observability is off.
+  static PipelineContext* Current();
+
+  /// RAII install: makes `context` Current() for the scope and restores
+  /// the previous context on destruction. Installing null is a no-op (the
+  /// enclosing context, if any, stays live) — entry points can therefore
+  /// pass their optional context through unconditionally.
+  class ScopedInstall {
+   public:
+    explicit ScopedInstall(PipelineContext* context);
+    ~ScopedInstall();
+
+    ScopedInstall(const ScopedInstall&) = delete;
+    ScopedInstall& operator=(const ScopedInstall&) = delete;
+
+   private:
+    PipelineContext* previous_ = nullptr;
+    bool installed_ = false;
+  };
+
+ private:
+  MetricsRegistry metrics_;
+  TraceCollector trace_;
+};
+
+}  // namespace hotspot::obs
+
+#endif  // HOTSPOT_OBS_PIPELINE_CONTEXT_H_

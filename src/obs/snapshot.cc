@@ -1,0 +1,376 @@
+#include "obs/snapshot.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace hotspot::obs {
+
+namespace {
+
+void AppendEscaped(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          *out += buffer;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string FormatDouble(double value) {
+  char buffer[40];
+  // %.17g survives a text round trip bit-exactly for finite doubles.
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Minimal JSON DOM covering exactly what SnapshotToJson emits: objects,
+/// arrays, strings and numbers.
+struct JsonValue {
+  enum class Type { kNull, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [name, value] : object) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool Parse(JsonValue* out) {
+    if (!ParseValue(out)) return false;
+    SkipWhitespace();
+    return p_ == end_;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) {
+      ++p_;
+    }
+  }
+
+  bool Consume(char expected) {
+    SkipWhitespace();
+    if (p_ == end_ || *p_ != expected) return false;
+    ++p_;
+    return true;
+  }
+
+  bool Peek(char expected) {
+    SkipWhitespace();
+    return p_ != end_ && *p_ == expected;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p_ == end_) return false;
+      char escape = *p_++;
+      switch (escape) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (end_ - p_ < 4) return false;
+          char hex[5] = {p_[0], p_[1], p_[2], p_[3], '\0'};
+          p_ += 4;
+          out->push_back(static_cast<char>(
+              std::strtol(hex, nullptr, 16) & 0xff));
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return Consume('"');
+  }
+
+  bool ParseNumber(double* out) {
+    SkipWhitespace();
+    char* parse_end = nullptr;
+    *out = std::strtod(p_, &parse_end);
+    if (parse_end == p_) return false;
+    p_ = parse_end;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (p_ == end_) return false;
+    if (*p_ == '{') {
+      ++p_;
+      out->type = JsonValue::Type::kObject;
+      if (Consume('}')) return true;
+      for (;;) {
+        std::string key;
+        if (!ParseString(&key) || !Consume(':')) return false;
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->object.emplace_back(std::move(key), std::move(value));
+        if (Consume(',')) continue;
+        return Consume('}');
+      }
+    }
+    if (*p_ == '[') {
+      ++p_;
+      out->type = JsonValue::Type::kArray;
+      if (Consume(']')) return true;
+      for (;;) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        if (Consume(',')) continue;
+        return Consume(']');
+      }
+    }
+    if (*p_ == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->string);
+    }
+    out->type = JsonValue::Type::kNumber;
+    return ParseNumber(&out->number);
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+double NumberOrZero(const JsonValue* value) {
+  return value != nullptr && value->type == JsonValue::Type::kNumber
+             ? value->number
+             : 0.0;
+}
+
+bool StringField(const JsonValue& object, const char* key,
+                 std::string* out) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || value->type != JsonValue::Type::kString) {
+    return false;
+  }
+  *out = value->string;
+  return true;
+}
+
+}  // namespace
+
+double Snapshot::TopLevelSpanSeconds() const {
+  double total = 0.0;
+  for (const SpanSample& span : spans) {
+    if (span.depth == 0) total += span.total_seconds;
+  }
+  return total;
+}
+
+Snapshot TakeSnapshot(const PipelineContext& context) {
+  Snapshot snapshot;
+  for (const auto& [name, counter] : context.metrics().Counters()) {
+    snapshot.counters.push_back({name, counter->Total()});
+  }
+  for (const auto& [name, gauge] : context.metrics().Gauges()) {
+    snapshot.gauges.push_back({name, gauge->Value()});
+  }
+  for (const auto& [name, histogram] : context.metrics().Histograms()) {
+    Snapshot::HistogramSample sample;
+    sample.name = name;
+    sample.bounds = histogram->bounds();
+    sample.buckets = histogram->BucketCounts();
+    sample.count = histogram->Count();
+    sample.sum = histogram->Sum();
+    snapshot.histograms.push_back(std::move(sample));
+  }
+  for (const TraceCollector::SpanStats& span : context.trace().Aggregate()) {
+    snapshot.spans.push_back(
+        {span.path, span.depth, span.count, span.total_seconds});
+  }
+  return snapshot;
+}
+
+std::string SnapshotToJson(const Snapshot& snapshot) {
+  std::string out = "{\n  \"counters\": [";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    AppendEscaped(snapshot.counters[i].name, &out);
+    out += ", \"value\": " + std::to_string(snapshot.counters[i].value) +
+           "}";
+  }
+  out += "\n  ],\n  \"gauges\": [";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    AppendEscaped(snapshot.gauges[i].name, &out);
+    out += ", \"value\": " + FormatDouble(snapshot.gauges[i].value) + "}";
+  }
+  out += "\n  ],\n  \"histograms\": [";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const Snapshot::HistogramSample& h = snapshot.histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    AppendEscaped(h.name, &out);
+    out += ", \"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + FormatDouble(h.sum);
+    out += ", \"bounds\": [";
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += FormatDouble(h.bounds[b]);
+    }
+    out += "], \"buckets\": [";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(h.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += "\n  ],\n  \"spans\": [";
+  for (size_t i = 0; i < snapshot.spans.size(); ++i) {
+    const Snapshot::SpanSample& span = snapshot.spans[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"path\": ";
+    AppendEscaped(span.path, &out);
+    out += ", \"depth\": " + std::to_string(span.depth);
+    out += ", \"count\": " + std::to_string(span.count);
+    out += ", \"seconds\": " + FormatDouble(span.total_seconds) + "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool SnapshotFromJson(const std::string& json, Snapshot* out) {
+  *out = Snapshot{};
+  JsonValue root;
+  if (!JsonParser(json).Parse(&root) ||
+      root.type != JsonValue::Type::kObject) {
+    return false;
+  }
+
+  const JsonValue* counters = root.Find("counters");
+  const JsonValue* gauges = root.Find("gauges");
+  const JsonValue* histograms = root.Find("histograms");
+  const JsonValue* spans = root.Find("spans");
+  if (counters == nullptr || gauges == nullptr || histograms == nullptr ||
+      spans == nullptr) {
+    return false;
+  }
+
+  for (const JsonValue& entry : counters->array) {
+    Snapshot::CounterSample sample;
+    if (!StringField(entry, "name", &sample.name)) return false;
+    sample.value =
+        static_cast<uint64_t>(NumberOrZero(entry.Find("value")));
+    out->counters.push_back(std::move(sample));
+  }
+  for (const JsonValue& entry : gauges->array) {
+    Snapshot::GaugeSample sample;
+    if (!StringField(entry, "name", &sample.name)) return false;
+    sample.value = NumberOrZero(entry.Find("value"));
+    out->gauges.push_back(std::move(sample));
+  }
+  for (const JsonValue& entry : histograms->array) {
+    Snapshot::HistogramSample sample;
+    if (!StringField(entry, "name", &sample.name)) return false;
+    sample.count =
+        static_cast<uint64_t>(NumberOrZero(entry.Find("count")));
+    sample.sum = NumberOrZero(entry.Find("sum"));
+    if (const JsonValue* bounds = entry.Find("bounds")) {
+      for (const JsonValue& bound : bounds->array) {
+        sample.bounds.push_back(bound.number);
+      }
+    }
+    if (const JsonValue* buckets = entry.Find("buckets")) {
+      for (const JsonValue& bucket : buckets->array) {
+        sample.buckets.push_back(static_cast<uint64_t>(bucket.number));
+      }
+    }
+    out->histograms.push_back(std::move(sample));
+  }
+  for (const JsonValue& entry : spans->array) {
+    Snapshot::SpanSample sample;
+    if (!StringField(entry, "path", &sample.path)) return false;
+    sample.depth = static_cast<int>(NumberOrZero(entry.Find("depth")));
+    sample.count =
+        static_cast<uint64_t>(NumberOrZero(entry.Find("count")));
+    sample.total_seconds = NumberOrZero(entry.Find("seconds"));
+    out->spans.push_back(std::move(sample));
+  }
+  return true;
+}
+
+std::string SnapshotToCsv(const Snapshot& snapshot) {
+  std::ostringstream out;
+  out << "kind,name,value,count,seconds\n";
+  for (const Snapshot::CounterSample& counter : snapshot.counters) {
+    out << "counter," << counter.name << "," << counter.value << ",,\n";
+  }
+  for (const Snapshot::GaugeSample& gauge : snapshot.gauges) {
+    out << "gauge," << gauge.name << "," << FormatDouble(gauge.value)
+        << ",,\n";
+  }
+  for (const Snapshot::HistogramSample& histogram : snapshot.histograms) {
+    out << "histogram," << histogram.name << ","
+        << FormatDouble(histogram.sum) << "," << histogram.count << ",\n";
+  }
+  for (const Snapshot::SpanSample& span : snapshot.spans) {
+    out << "span," << span.path << ",," << span.count << ","
+        << FormatDouble(span.total_seconds) << "\n";
+  }
+  return out.str();
+}
+
+bool WriteSnapshotJson(const Snapshot& snapshot, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::string json = SnapshotToJson(snapshot);
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  bool ok = written == json.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+}  // namespace hotspot::obs

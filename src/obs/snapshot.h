@@ -1,0 +1,70 @@
+#ifndef HOTSPOT_OBS_SNAPSHOT_H_
+#define HOTSPOT_OBS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/pipeline_context.h"
+
+namespace hotspot::obs {
+
+/// Point-in-time copy of everything a PipelineContext observed, merged
+/// across the per-thread shards. Plain data: serializable, comparable,
+/// detached from the live registry.
+struct Snapshot {
+  struct CounterSample {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::vector<double> bounds;    ///< upper bucket bounds
+    std::vector<uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  struct SpanSample {
+    std::string path;
+    int depth = 0;
+    uint64_t count = 0;
+    double total_seconds = 0.0;
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+  std::vector<SpanSample> spans;
+
+  /// Sum of wall time over the depth-0 spans: the share of a run that the
+  /// trace layer accounts for (the coverage check of bench_tab03).
+  double TopLevelSpanSeconds() const;
+};
+
+/// Merges all shards of `context` into a Snapshot (deterministic order:
+/// metrics by name, spans pre-order with sorted children).
+Snapshot TakeSnapshot(const PipelineContext& context);
+
+/// JSON object with "counters"/"gauges"/"histograms"/"spans" arrays; the
+/// shape the BENCH_* trajectory tooling ingests (one self-contained file
+/// per run, no trailing commas, UTF-8).
+std::string SnapshotToJson(const Snapshot& snapshot);
+
+/// Parses what SnapshotToJson emits (exact round trip). Returns false on
+/// malformed input; `out` is then unspecified.
+bool SnapshotFromJson(const std::string& json, Snapshot* out);
+
+/// Flat CSV: kind,name,value,count,seconds — one line per counter, gauge
+/// and span (histograms are summarized as count + sum).
+std::string SnapshotToCsv(const Snapshot& snapshot);
+
+/// Writes SnapshotToJson(snapshot) to `path`. Returns false on I/O error.
+bool WriteSnapshotJson(const Snapshot& snapshot, const std::string& path);
+
+}  // namespace hotspot::obs
+
+#endif  // HOTSPOT_OBS_SNAPSHOT_H_

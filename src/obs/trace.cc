@@ -1,0 +1,103 @@
+#include "obs/trace.h"
+
+#include <functional>
+
+#include "obs/pipeline_context.h"
+
+namespace hotspot::obs {
+
+TraceCollector::TraceCollector()
+    : trees_(static_cast<size_t>(kNumShards)) {}
+
+TraceCollector::~TraceCollector() = default;
+
+std::vector<TraceCollector::SpanStats> TraceCollector::Aggregate() const {
+  // Merge the per-thread trees into one path-keyed tree.
+  struct Merged {
+    uint64_t count = 0;
+    double total_seconds = 0.0;
+    std::map<std::string, Merged> children;
+  };
+  Merged root;
+  std::function<void(const Node&, Merged*)> merge =
+      [&](const Node& node, Merged* into) {
+        into->count += node.count;
+        into->total_seconds += node.total_seconds;
+        for (const auto& [name, child] : node.children) {
+          merge(*child, &into->children[name]);
+        }
+      };
+  for (const ThreadTree& tree : trees_) {
+    std::lock_guard<std::mutex> lock(tree.mutex);
+    for (const auto& [name, child] : tree.root.children) {
+      merge(*child, &root.children[name]);
+    }
+  }
+
+  std::vector<SpanStats> stats;
+  std::function<void(const Merged&, const std::string&, int)> emit =
+      [&](const Merged& node, const std::string& path, int depth) {
+        for (const auto& [name, child] : node.children) {
+          std::string child_path =
+              path.empty() ? name : path + "/" + name;
+          SpanStats entry;
+          entry.path = child_path;
+          entry.depth = depth;
+          entry.count = child.count;
+          entry.total_seconds = child.total_seconds;
+          stats.push_back(std::move(entry));
+          emit(child, child_path, depth + 1);
+        }
+      };
+  emit(root, "", 0);
+  return stats;
+}
+
+void TraceCollector::Reset() {
+  for (ThreadTree& tree : trees_) {
+    std::lock_guard<std::mutex> lock(tree.mutex);
+    tree.root.children.clear();
+    tree.root.count = 0;
+    tree.root.total_seconds = 0.0;
+    tree.current = nullptr;
+  }
+}
+
+ScopedSpan::ScopedSpan(PipelineContext* context, const char* name)
+    : collector_(context != nullptr ? &context->trace() : nullptr) {
+  if (collector_ != nullptr) Enter(name);
+}
+
+ScopedSpan::ScopedSpan(TraceCollector* collector, const char* name)
+    : collector_(collector) {
+  if (collector_ != nullptr) Enter(name);
+}
+
+void ScopedSpan::Enter(const char* name) {
+  tree_ = &collector_->trees_[static_cast<size_t>(ThisThreadShard())];
+  std::lock_guard<std::mutex> lock(tree_->mutex);
+  TraceCollector::Node* parent =
+      tree_->current != nullptr ? tree_->current : &tree_->root;
+  auto it = parent->children.find(name);
+  if (it == parent->children.end()) {
+    auto node = std::make_unique<TraceCollector::Node>();
+    node->parent = parent;
+    it = parent->children.emplace(std::string(name), std::move(node)).first;
+  }
+  node_ = it->second.get();
+  tree_->current = node_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (collector_ == nullptr || node_ == nullptr) return;
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+  std::lock_guard<std::mutex> lock(tree_->mutex);
+  node_->count += 1;
+  node_->total_seconds += elapsed;
+  tree_->current = node_->parent == &tree_->root ? nullptr : node_->parent;
+}
+
+}  // namespace hotspot::obs

@@ -1,0 +1,103 @@
+#ifndef HOTSPOT_OBS_TRACE_H_
+#define HOTSPOT_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"  // kNumShards / ThisThreadShard
+
+namespace hotspot::obs {
+
+class PipelineContext;
+
+/// Wall-time trace spans aggregated by call path. Each thread owns its own
+/// span tree (sharded like the metrics), so entering/leaving a span never
+/// contends with other pool workers; Aggregate() merges the per-thread
+/// trees by path. A span opened on a pool worker that has no enclosing
+/// span roots at that worker's tree — after the merge it shows up as its
+/// own top-level path, which is the honest accounting for work that ran
+/// off the orchestration thread.
+class TraceCollector {
+ public:
+  TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+  ~TraceCollector();
+
+  /// One aggregated span path (pre-order over the merged tree, children
+  /// sorted by name — deterministic regardless of execution order).
+  struct SpanStats {
+    std::string path;      ///< "sweep/run" or "study/build/study/impute"
+    int depth = 0;         ///< 0 = top level
+    uint64_t count = 0;    ///< completed span instances
+    double total_seconds = 0.0;
+  };
+
+  /// Merged view across all threads. Only completed spans are counted.
+  std::vector<SpanStats> Aggregate() const;
+
+  /// Drops all recorded spans. Must not race with open spans.
+  void Reset();
+
+ private:
+  friend class ScopedSpan;
+
+  struct Node {
+    Node* parent = nullptr;
+    uint64_t count = 0;
+    double total_seconds = 0.0;
+    std::map<std::string, std::unique_ptr<Node>, std::less<>> children;
+  };
+
+  /// One thread's tree. The mutex serializes the (rare) case of two
+  /// threads hashing to the same shard; in the common case it is
+  /// uncontended and the lock is a handful of nanoseconds.
+  struct ThreadTree {
+    mutable std::mutex mutex;
+    Node root;
+    Node* current = nullptr;  ///< innermost open span; null = at root
+  };
+
+  std::vector<ThreadTree> trees_;
+};
+
+/// RAII span: records wall time and call count under the collector's
+/// current path for this thread. A null collector (no PipelineContext
+/// installed) makes construction and destruction a pointer test — the
+/// disabled path stays out of the way of the hot loops.
+class ScopedSpan {
+ public:
+  ScopedSpan(PipelineContext* context, const char* name);
+  ScopedSpan(TraceCollector* collector, const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void Enter(const char* name);
+
+  TraceCollector* collector_ = nullptr;
+  TraceCollector::ThreadTree* tree_ = nullptr;
+  TraceCollector::Node* node_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hotspot::obs
+
+#define HOTSPOT_OBS_CONCAT_INNER(a, b) a##b
+#define HOTSPOT_OBS_CONCAT(a, b) HOTSPOT_OBS_CONCAT_INNER(a, b)
+
+/// Opens a trace span on the process-wide PipelineContext (no-op when none
+/// is installed). Usage: HOTSPOT_SPAN("gbdt/fit");
+#define HOTSPOT_SPAN(name)                                          \
+  ::hotspot::obs::ScopedSpan HOTSPOT_OBS_CONCAT(hotspot_span_,      \
+                                                __LINE__)(          \
+      ::hotspot::obs::PipelineContext::Current(), name)
+
+#endif  // HOTSPOT_OBS_TRACE_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/pipeline_context.h"
 #include "util/logging.h"
 
 namespace hotspot::simnet {
@@ -17,6 +19,8 @@ double KpiValue(const KpiSpec& spec, double load, double failure,
 }
 
 SyntheticNetwork GenerateNetwork(const GeneratorConfig& config) {
+  obs::PipelineContext* ctx = obs::PipelineContext::Current();
+  HOTSPOT_SPAN("simnet/generate");
   HOTSPOT_CHECK_GT(config.weeks, 0);
   SyntheticNetwork network;
   network.catalog = KpiCatalog::Default();
@@ -29,16 +33,26 @@ SyntheticNetwork GenerateNetwork(const GeneratorConfig& config) {
   uint64_t kpi_seed = root.NextUint64();
   uint64_t missing_seed = root.NextUint64();
 
-  network.topology = Topology::Generate(config.topology, topology_seed);
-  network.true_load = GenerateLoad(network.topology, network.calendar,
-                                   config.load, load_seed, &network.traits);
-  EventTimelines events = GenerateEvents(network.topology, network.calendar,
-                                         config.events, event_seed);
-  network.true_failure = std::move(events.failure);
-  network.true_degradation = std::move(events.degradation);
-  network.true_precursor = std::move(events.precursor);
-  network.failures = std::move(events.failures);
-  network.ramps = std::move(events.ramps);
+  {
+    HOTSPOT_SPAN("simnet/topology");
+    network.topology = Topology::Generate(config.topology, topology_seed);
+  }
+  {
+    HOTSPOT_SPAN("simnet/load");
+    network.true_load = GenerateLoad(network.topology, network.calendar,
+                                     config.load, load_seed,
+                                     &network.traits);
+  }
+  {
+    HOTSPOT_SPAN("simnet/events");
+    EventTimelines events = GenerateEvents(
+        network.topology, network.calendar, config.events, event_seed);
+    network.true_failure = std::move(events.failure);
+    network.true_degradation = std::move(events.degradation);
+    network.true_precursor = std::move(events.precursor);
+    network.failures = std::move(events.failures);
+    network.ramps = std::move(events.ramps);
+  }
 
   const int n = network.topology.num_sectors();
   const int hours = network.calendar.hours();
@@ -56,18 +70,21 @@ SyntheticNetwork GenerateNetwork(const GeneratorConfig& config) {
     }
   }
 
-  Rng kpi_rng(kpi_seed);
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < hours; ++j) {
-      double load = network.true_load.At(i, j);
-      double failure = network.true_failure.At(i, j);
-      double degradation = network.true_degradation.At(i, j);
-      double precursor = network.true_precursor.At(i, j);
-      float* slice = network.kpis.Slice(i, j);
-      for (int k = 0; k < l; ++k) {
-        slice[k] = static_cast<float>(KpiValue(
-            network.catalog.spec(k), load, failure, degradation, precursor,
-            kpi_rng.Gaussian()));
+  {
+    HOTSPOT_SPAN("simnet/kpi_synthesis");
+    Rng kpi_rng(kpi_seed);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < hours; ++j) {
+        double load = network.true_load.At(i, j);
+        double failure = network.true_failure.At(i, j);
+        double degradation = network.true_degradation.At(i, j);
+        double precursor = network.true_precursor.At(i, j);
+        float* slice = network.kpis.Slice(i, j);
+        for (int k = 0; k < l; ++k) {
+          slice[k] = static_cast<float>(KpiValue(
+              network.catalog.spec(k), load, failure, degradation, precursor,
+              kpi_rng.Gaussian()));
+        }
       }
     }
   }
@@ -75,8 +92,19 @@ SyntheticNetwork GenerateNetwork(const GeneratorConfig& config) {
   network.calendar_matrix = network.calendar.BuildCalendarMatrix();
 
   if (config.inject_missing) {
+    HOTSPOT_SPAN("simnet/inject_missing");
     network.missing_stats =
         InjectMissing(config.missing, missing_seed, &network.kpis);
+  }
+
+  if (ctx != nullptr) {
+    ctx->metrics().counter("simnet/networks_generated").Increment();
+    ctx->metrics().counter("simnet/kpi_cells").Add(
+        static_cast<uint64_t>(network.kpis.size()));
+    if (config.inject_missing) {
+      ctx->metrics().counter("simnet/missing_cells").Add(
+          static_cast<uint64_t>(network.missing_stats.missing_cells));
+    }
   }
   return network;
 }

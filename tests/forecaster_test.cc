@@ -218,6 +218,25 @@ TEST(Evaluation, RandomApCachedPerDay) {
   EXPECT_LT(first, 0.8);
 }
 
+TEST(Evaluation, SetRandomRepeatsDropsStaleCache) {
+  TinyStudy study;
+  Forecaster forecaster = study.MakeForecaster();
+  EvaluationRunner runner(&forecaster, ForecastConfig{});
+  // Warm the ψ(F₀) cache with the default repeat count...
+  double warm = runner.RandomAp(30, 2);
+  // ...then change the repeat count. The cached value was computed with
+  // the old count and must be recomputed, not served stale.
+  runner.set_random_repeats(1);
+  double after = runner.RandomAp(30, 2);
+  EXPECT_NE(after, warm);
+
+  // A fresh runner configured with 1 repeat up front agrees exactly with
+  // the post-setter value — proof the cache was actually cleared.
+  EvaluationRunner fresh(&forecaster, ForecastConfig{});
+  fresh.set_random_repeats(1);
+  EXPECT_DOUBLE_EQ(fresh.RandomAp(30, 2), after);
+}
+
 TEST(Evaluation, AggregateLiftOverT) {
   std::vector<CellResult> cells;
   for (int t : {10, 11, 12}) {

@@ -19,7 +19,7 @@ simnet::GeneratorConfig SmallConfig() {
 }
 
 TEST(Integration, StudyPipelineProducesConsistentShapes) {
-  Study study = BuildStudy(SmallConfig(), {});
+  Study study = BuildStudy(StudyInput(SmallConfig()), {});
   const int n = study.num_sectors();
   EXPECT_GT(n, 60);
   EXPECT_EQ(study.num_days(), 70);
@@ -33,7 +33,7 @@ TEST(Integration, StudyPipelineProducesConsistentShapes) {
 }
 
 TEST(Integration, ImputationRemovesAllMissingValues) {
-  Study study = BuildStudy(SmallConfig(), {});
+  Study study = BuildStudy(StudyInput(SmallConfig()), {});
   for (float v : study.network.kpis.data()) {
     ASSERT_FALSE(IsMissing(v));
   }
@@ -42,7 +42,7 @@ TEST(Integration, ImputationRemovesAllMissingValues) {
 }
 
 TEST(Integration, PrevalencesInPlausibleBands) {
-  Study study = BuildStudy(SmallConfig(), {});
+  Study study = BuildStudy(StudyInput(SmallConfig()), {});
   double daily = PositiveRate(study.daily_labels);
   EXPECT_GT(daily, 0.005);
   EXPECT_LT(daily, 0.25);
@@ -60,13 +60,31 @@ TEST(Integration, PrevalencesInPlausibleBands) {
 TEST(Integration, SectorFilterDropsDeadSectors) {
   simnet::GeneratorConfig config = SmallConfig();
   config.missing.dead_sector_fraction = 0.2;
-  Study study = BuildStudy(config, {});
+  Study study = BuildStudy(StudyInput(config), {});
   EXPECT_GT(study.sectors_filtered_out, 0);
 }
 
+TEST(Integration, DeprecatedEntryPointsForwardToUnifiedOverload) {
+  // The legacy signatures are thin wrappers over BuildStudy(StudyInput);
+  // they must keep producing bit-identical studies until removal.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  Study legacy = BuildStudy(SmallConfig(), {});
+  Study legacy_network =
+      BuildStudyFromNetwork(simnet::GenerateNetwork(SmallConfig()), {});
+#pragma GCC diagnostic pop
+  Study unified = BuildStudy(StudyInput(SmallConfig()), {});
+  ASSERT_EQ(legacy.num_sectors(), unified.num_sectors());
+  EXPECT_EQ(legacy.scores.daily.data(), unified.scores.daily.data());
+  EXPECT_EQ(legacy.daily_labels.data(), unified.daily_labels.data());
+  ASSERT_EQ(legacy_network.num_sectors(), unified.num_sectors());
+  EXPECT_EQ(legacy_network.scores.daily.data(),
+            unified.scores.daily.data());
+}
+
 TEST(Integration, StudyDeterministicGivenSeed) {
-  Study a = BuildStudy(SmallConfig(), {});
-  Study b = BuildStudy(SmallConfig(), {});
+  Study a = BuildStudy(StudyInput(SmallConfig()), {});
+  Study b = BuildStudy(StudyInput(SmallConfig()), {});
   ASSERT_EQ(a.num_sectors(), b.num_sectors());
   EXPECT_EQ(a.scores.daily.data(), b.scores.daily.data());
   EXPECT_EQ(a.daily_labels.data(), b.daily_labels.data());
@@ -75,13 +93,13 @@ TEST(Integration, StudyDeterministicGivenSeed) {
 TEST(Integration, DifferentSeedsDiffer) {
   simnet::GeneratorConfig other = SmallConfig();
   other.seed = 999;
-  Study a = BuildStudy(SmallConfig(), {});
-  Study b = BuildStudy(other, {});
+  Study a = BuildStudy(StudyInput(SmallConfig()), {});
+  Study b = BuildStudy(StudyInput(other), {});
   EXPECT_NE(a.scores.daily.data(), b.scores.daily.data());
 }
 
 TEST(Integration, ChronicSectorsAreHotMostWeeks) {
-  Study study = BuildStudy(SmallConfig(), {});
+  Study study = BuildStudy(StudyInput(SmallConfig()), {});
   int chronic_weeks = 0, chronic_count = 0;
   for (int i = 0; i < study.num_sectors(); ++i) {
     if (!study.network.traits[static_cast<size_t>(i)].chronic_hot) continue;
@@ -97,7 +115,7 @@ TEST(Integration, ChronicSectorsAreHotMostWeeks) {
 }
 
 TEST(Integration, NonChronicHealthySectorsMostlyCold) {
-  Study study = BuildStudy(SmallConfig(), {});
+  Study study = BuildStudy(StudyInput(SmallConfig()), {});
   // Sectors without chronic overload are hot on far fewer days.
   double chronic_rate = 0.0, normal_rate = 0.0;
   int chronic_count = 0, normal_count = 0;
@@ -121,7 +139,7 @@ TEST(Integration, NonChronicHealthySectorsMostlyCold) {
 }
 
 TEST(Integration, AllModelsRunOnBothTargets) {
-  Study study = BuildStudy(SmallConfig(), {});
+  Study study = BuildStudy(StudyInput(SmallConfig()), {});
   for (TargetKind target :
        {TargetKind::kBeHotSpot, TargetKind::kBecomeHotSpot}) {
     Forecaster forecaster = study.MakeForecaster(target);
@@ -145,7 +163,7 @@ TEST(Integration, AllModelsRunOnBothTargets) {
 }
 
 TEST(Integration, AverageBeatsRandomOnBeHotTask) {
-  Study study = BuildStudy(SmallConfig(), {});
+  Study study = BuildStudy(StudyInput(SmallConfig()), {});
   Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
   ForecastConfig base;
   base.forest.num_trees = 5;
@@ -172,13 +190,13 @@ TEST(Integration, AutoencoderImputationPathRuns) {
   options.imputer.epochs = 2;
   options.imputer.encoder_layers = 2;
   options.imputer.batch_size = 16;
-  Study study = BuildStudy(config, options);
+  Study study = BuildStudy(StudyInput(config), options);
   EXPECT_GT(study.imputer_report.imputed_cells, 0);
   for (float v : study.network.kpis.data()) ASSERT_FALSE(IsMissing(v));
 }
 
 TEST(Integration, DynamicsAnalysesRunOnStudyOutput) {
-  Study study = BuildStudy(SmallConfig(), {});
+  Study study = BuildStudy(StudyInput(SmallConfig()), {});
   DurationStats stats = ComputeDurationStats(
       study.hourly_labels, study.daily_labels, study.weekly_labels);
   EXPECT_GT(stats.hours_per_day.total(), 0);
@@ -193,7 +211,7 @@ TEST(Integration, DynamicsAnalysesRunOnStudyOutput) {
 }
 
 TEST(Integration, HotHoursConcentrateInWakingHours) {
-  Study study = BuildStudy(SmallConfig(), {});
+  Study study = BuildStudy(StudyInput(SmallConfig()), {});
   long long waking = 0, night = 0;
   for (int i = 0; i < study.num_sectors(); ++i) {
     for (int j = 0; j < study.scores.hourly.cols(); ++j) {
@@ -210,7 +228,7 @@ TEST(Integration, HotHoursConcentrateInWakingHours) {
 }
 
 TEST(Integration, BecomePositivesPrecededByColdWeek) {
-  Study study = BuildStudy(SmallConfig(), {});
+  Study study = BuildStudy(StudyInput(SmallConfig()), {});
   double epsilon = study.score_config.hot_threshold;
   int checked = 0;
   for (int i = 0; i < study.num_sectors() && checked < 20; ++i) {

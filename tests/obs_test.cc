@@ -1,0 +1,260 @@
+// Unit tests for the observability layer (src/obs): sharded metrics and
+// their merge-on-snapshot semantics, trace span nesting and aggregation,
+// the process-wide PipelineContext install protocol, and the JSON/CSV
+// snapshot exporters.
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_context.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace hotspot::obs {
+namespace {
+
+TEST(Metrics, CounterMergesShardsOnTotal) {
+  Counter counter;
+  counter.Add(3);
+  counter.Increment();
+  EXPECT_EQ(counter.Total(), 4u);
+  counter.Reset();
+  EXPECT_EQ(counter.Total(), 0u);
+}
+
+TEST(Metrics, CounterMergesAcrossThreads) {
+  // Hammer one counter from many raw threads (each thread gets its own
+  // shard id); the merged total must be exact. Run under TSan in CI.
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&counter] {
+      for (int k = 0; k < kIncrements; ++k) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Total(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Metrics, CounterMergesAcrossPoolWorkers) {
+  Counter counter;
+  util::ParallelFor(0, 5000, [&](int64_t) { counter.Add(2); });
+  EXPECT_EQ(counter.Total(), 10000u);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  Gauge gauge;
+  gauge.Set(1.5);
+  gauge.Set(-2.25);
+  EXPECT_DOUBLE_EQ(gauge.Value(), -2.25);
+}
+
+TEST(Metrics, HistogramBucketsObservationsByUpperBound) {
+  Histogram histogram({0.1, 1.0, 10.0});
+  histogram.Observe(0.05);   // <= 0.1
+  histogram.Observe(0.1);    // <= 0.1 (bounds are inclusive)
+  histogram.Observe(0.5);    // <= 1.0
+  histogram.Observe(100.0);  // overflow bucket
+  std::vector<uint64_t> buckets = histogram.BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(histogram.Count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.05 + 0.1 + 0.5 + 100.0);
+}
+
+TEST(Metrics, HistogramMergesAcrossPoolWorkers) {
+  Histogram histogram({0.5});
+  util::ParallelFor(0, 4000, [&](int64_t i) {
+    histogram.Observe(i % 2 == 0 ? 0.25 : 0.75);
+  });
+  std::vector<uint64_t> buckets = histogram.BucketCounts();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0], 2000u);
+  EXPECT_EQ(buckets[1], 2000u);
+  EXPECT_EQ(histogram.Count(), 4000u);
+}
+
+TEST(Metrics, RegistryReturnsSameInstrumentByName) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x/count");
+  Counter& b = registry.counter("x/count");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.Total(), 1u);
+  EXPECT_NE(&registry.counter("y/count"), &a);
+  // Name-sorted listing.
+  registry.gauge("g");
+  std::vector<std::pair<std::string, const Counter*>> counters =
+      registry.Counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "x/count");
+  EXPECT_EQ(counters[1].first, "y/count");
+}
+
+TEST(Trace, SpansNestAndAggregateByPath) {
+  TraceCollector collector;
+  {
+    ScopedSpan outer(&collector, "outer");
+    {
+      ScopedSpan inner(&collector, "inner");
+    }
+    {
+      ScopedSpan inner(&collector, "inner");
+    }
+  }
+  {
+    ScopedSpan outer(&collector, "outer");
+  }
+  std::vector<TraceCollector::SpanStats> spans = collector.Aggregate();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].path, "outer");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[0].count, 2u);
+  EXPECT_EQ(spans[1].path, "outer/inner");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[1].count, 2u);
+  EXPECT_GE(spans[0].total_seconds, spans[1].total_seconds);
+}
+
+TEST(Trace, NullCollectorIsNoOp) {
+  ScopedSpan span(static_cast<TraceCollector*>(nullptr), "ignored");
+  // Nothing to assert beyond "does not crash"; the null path is the
+  // disabled-observability fast path.
+}
+
+TEST(Trace, ResetDropsSpans) {
+  TraceCollector collector;
+  {
+    ScopedSpan span(&collector, "s");
+  }
+  EXPECT_FALSE(collector.Aggregate().empty());
+  collector.Reset();
+  EXPECT_TRUE(collector.Aggregate().empty());
+}
+
+TEST(PipelineContext, ScopedInstallSetsAndRestoresCurrent) {
+  EXPECT_EQ(PipelineContext::Current(), nullptr);
+  PipelineContext outer_context;
+  {
+    PipelineContext::ScopedInstall outer(&outer_context);
+    EXPECT_EQ(PipelineContext::Current(), &outer_context);
+    PipelineContext inner_context;
+    {
+      PipelineContext::ScopedInstall inner(&inner_context);
+      EXPECT_EQ(PipelineContext::Current(), &inner_context);
+    }
+    EXPECT_EQ(PipelineContext::Current(), &outer_context);
+    {
+      // Installing null is a no-op: the outer context stays current, so
+      // entry points can pass an optional context unconditionally.
+      PipelineContext::ScopedInstall noop(nullptr);
+      EXPECT_EQ(PipelineContext::Current(), &outer_context);
+    }
+    EXPECT_EQ(PipelineContext::Current(), &outer_context);
+  }
+  EXPECT_EQ(PipelineContext::Current(), nullptr);
+}
+
+TEST(PipelineContext, SpanMacroRecordsIntoInstalledContext) {
+  PipelineContext context;
+  {
+    PipelineContext::ScopedInstall install(&context);
+    HOTSPOT_SPAN("macro/test");
+  }
+  std::vector<TraceCollector::SpanStats> spans =
+      context.trace().Aggregate();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].path, "macro/test");
+  EXPECT_EQ(spans[0].count, 1u);
+}
+
+TEST(PipelineContext, SpanMacroWithoutContextIsNoOp) {
+  ASSERT_EQ(PipelineContext::Current(), nullptr);
+  HOTSPOT_SPAN("nobody/listens");  // must not crash
+}
+
+Snapshot MakeSampleSnapshot() {
+  PipelineContext context;
+  context.metrics().counter("a/count").Add(42);
+  context.metrics().gauge("b/gauge").Set(0.1 + 0.2);  // non-representable
+  Histogram& histogram =
+      context.metrics().histogram("c/hist", {0.001, 1.0});
+  histogram.Observe(0.0005);
+  histogram.Observe(2.5);
+  {
+    PipelineContext::ScopedInstall install(&context);
+    HOTSPOT_SPAN("root");
+    HOTSPOT_SPAN("child");
+  }
+  return TakeSnapshot(context);
+}
+
+TEST(Snapshot, JsonRoundTripIsExact) {
+  Snapshot snapshot = MakeSampleSnapshot();
+  std::string json = SnapshotToJson(snapshot);
+  Snapshot parsed;
+  ASSERT_TRUE(SnapshotFromJson(json, &parsed));
+
+  ASSERT_EQ(parsed.counters.size(), snapshot.counters.size());
+  EXPECT_EQ(parsed.counters[0].name, "a/count");
+  EXPECT_EQ(parsed.counters[0].value, 42u);
+
+  ASSERT_EQ(parsed.gauges.size(), 1u);
+  EXPECT_EQ(parsed.gauges[0].name, "b/gauge");
+  // %.17g makes the double survive the text round trip bit-exactly.
+  EXPECT_EQ(parsed.gauges[0].value, snapshot.gauges[0].value);
+
+  ASSERT_EQ(parsed.histograms.size(), 1u);
+  EXPECT_EQ(parsed.histograms[0].name, "c/hist");
+  EXPECT_EQ(parsed.histograms[0].bounds, snapshot.histograms[0].bounds);
+  EXPECT_EQ(parsed.histograms[0].buckets, snapshot.histograms[0].buckets);
+  EXPECT_EQ(parsed.histograms[0].count, 2u);
+  EXPECT_EQ(parsed.histograms[0].sum, snapshot.histograms[0].sum);
+
+  ASSERT_EQ(parsed.spans.size(), 2u);
+  EXPECT_EQ(parsed.spans[0].path, "root");
+  EXPECT_EQ(parsed.spans[1].path, "root/child");
+  EXPECT_EQ(parsed.spans[1].depth, 1);
+  EXPECT_EQ(parsed.spans[0].total_seconds,
+            snapshot.spans[0].total_seconds);
+}
+
+TEST(Snapshot, FromJsonRejectsMalformedInput) {
+  Snapshot parsed;
+  EXPECT_FALSE(SnapshotFromJson("", &parsed));
+  EXPECT_FALSE(SnapshotFromJson("[]", &parsed));
+  EXPECT_FALSE(SnapshotFromJson("{\"counters\": []}", &parsed));
+  EXPECT_FALSE(SnapshotFromJson("{\"counters\": [ {\"value\": 1} ], "
+                                "\"gauges\": [], \"histograms\": [], "
+                                "\"spans\": []}",
+                                &parsed));
+}
+
+TEST(Snapshot, TopLevelSpanSecondsSumsDepthZeroOnly) {
+  Snapshot snapshot;
+  snapshot.spans.push_back({"a", 0, 1, 2.0});
+  snapshot.spans.push_back({"a/b", 1, 1, 1.5});
+  snapshot.spans.push_back({"c", 0, 1, 3.0});
+  EXPECT_DOUBLE_EQ(snapshot.TopLevelSpanSeconds(), 5.0);
+}
+
+TEST(Snapshot, CsvHasOneRowPerInstrument) {
+  Snapshot snapshot = MakeSampleSnapshot();
+  std::string csv = SnapshotToCsv(snapshot);
+  EXPECT_NE(csv.find("counter,a/count,42"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,b/gauge,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,c/hist,"), std::string::npos);
+  EXPECT_NE(csv.find("span,root,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hotspot::obs

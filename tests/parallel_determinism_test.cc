@@ -12,6 +12,7 @@
 #include "core/study.h"
 #include "core/task.h"
 #include "gtest/gtest.h"
+#include "obs/pipeline_context.h"
 #include "ml/dataset.h"
 #include "ml/gbdt.h"
 #include "ml/random_forest.h"
@@ -170,7 +171,7 @@ struct StudyOutputs {
 };
 
 StudyOutputs BuildSmallStudy(const simnet::SyntheticNetwork& network) {
-  Study study = BuildStudyFromNetwork(network, StudyOptions{});
+  Study study = BuildStudy(StudyInput(network), StudyOptions{});
   StudyOutputs outputs;
   outputs.hourly_scores = study.scores.hourly.data();
   outputs.daily_labels = study.daily_labels.data();
@@ -197,7 +198,9 @@ TEST(ParallelDeterminism, StudyPipelineIdenticalAcrossThreadCounts) {
   }
 }
 
-std::vector<CellResult> RunSmallSweep(const Study& study) {
+std::vector<CellResult> RunSmallSweep(const Study& study,
+                                      obs::PipelineContext* context =
+                                          nullptr) {
   Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
   ForecastConfig base;
   base.seed = 31;
@@ -210,32 +213,63 @@ std::vector<CellResult> RunSmallSweep(const Study& study) {
   grid.t_values = {50, 52};
   grid.h_values = {1, 2};
   grid.w_values = {3};
-  return RunSweep(&runner, grid);
+  SweepOptions options;
+  options.context = context;
+  return RunSweep(&runner, grid, options);
+}
+
+void ExpectSameCells(const std::vector<CellResult>& cells,
+                     const std::vector<CellResult>& reference,
+                     const std::string& label) {
+  ASSERT_EQ(cells.size(), reference.size()) << label;
+  for (size_t c = 0; c < cells.size(); ++c) {
+    const std::string what = "cell " + std::to_string(c) + " " + label;
+    EXPECT_EQ(static_cast<int>(cells[c].model),
+              static_cast<int>(reference[c].model))
+        << what;
+    EXPECT_EQ(cells[c].t, reference[c].t) << what;
+    EXPECT_EQ(cells[c].h, reference[c].h) << what;
+    EXPECT_EQ(cells[c].w, reference[c].w) << what;
+    ExpectSameDouble(cells[c].average_precision,
+                     reference[c].average_precision, what);
+    ExpectSameDouble(cells[c].lift, reference[c].lift, what);
+  }
 }
 
 TEST(ParallelDeterminism, EvaluationSweepIdenticalAcrossThreadCounts) {
   simnet::SyntheticNetwork network =
       simnet::GenerateNetwork(SmallNetworkConfig());
-  Study study = BuildStudyFromNetwork(std::move(network), StudyOptions{});
+  Study study = BuildStudy(StudyInput(std::move(network)), StudyOptions{});
   ScopedNumThreads serial("1");
   std::vector<CellResult> reference = RunSmallSweep(study);
   for (const char* threads : kThreadCounts) {
     ScopedNumThreads env(threads);
     std::vector<CellResult> cells = RunSmallSweep(study);
-    ASSERT_EQ(cells.size(), reference.size()) << threads << " threads";
-    for (size_t c = 0; c < cells.size(); ++c) {
-      const std::string what =
-          "cell " + std::to_string(c) + " at " + threads + " threads";
-      EXPECT_EQ(static_cast<int>(cells[c].model),
-                static_cast<int>(reference[c].model))
-          << what;
-      EXPECT_EQ(cells[c].t, reference[c].t) << what;
-      EXPECT_EQ(cells[c].h, reference[c].h) << what;
-      EXPECT_EQ(cells[c].w, reference[c].w) << what;
-      ExpectSameDouble(cells[c].average_precision,
-                       reference[c].average_precision, what);
-      ExpectSameDouble(cells[c].lift, reference[c].lift, what);
-    }
+    ExpectSameCells(cells, reference,
+                    std::string("at ") + threads + " threads");
+  }
+}
+
+// Observability is read-only with respect to the computation: attaching a
+// live PipelineContext (spans, counters, histograms all firing) must not
+// change a single result bit, at any thread count.
+TEST(ParallelDeterminism, SweepIdenticalWithLivePipelineContext) {
+  simnet::SyntheticNetwork network =
+      simnet::GenerateNetwork(SmallNetworkConfig());
+  Study study = BuildStudy(StudyInput(std::move(network)), StudyOptions{});
+  ScopedNumThreads serial("1");
+  std::vector<CellResult> reference = RunSmallSweep(study);
+  for (const char* threads : kThreadCounts) {
+    ScopedNumThreads env(threads);
+    obs::PipelineContext context;
+    std::vector<CellResult> cells = RunSmallSweep(study, &context);
+    ExpectSameCells(cells, reference,
+                    std::string("with context at ") + threads + " threads");
+    // The context actually observed the sweep (it was not a no-op).
+    EXPECT_GT(context.metrics().counter("eval/cells").Total(), 0u)
+        << threads << " threads";
+    EXPECT_FALSE(context.trace().Aggregate().empty())
+        << threads << " threads";
   }
 }
 
