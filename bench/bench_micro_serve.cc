@@ -1,0 +1,113 @@
+// google-benchmark microbenchmarks of the serialization + serving layer:
+// bundle save/load latency (the warm-start cost a serving process pays
+// once) and batched prediction throughput through ForecastService.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "core/forecast_service.h"
+#include "core/study.h"
+#include "serialize/bundle.h"
+#include "simnet/generator.h"
+
+namespace hotspot {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// One shared study + trained bundle per process; benches measure the
+/// serialize/serve layer, not training.
+struct ServeFixture {
+  Study study;
+  ForecastConfig config;
+  std::string bundle_path = TempPath("hotspot_bench_serve.hsb");
+
+  ServeFixture() {
+    simnet::GeneratorConfig generator;
+    generator.topology.target_sectors = 120;
+    generator.topology.num_cities = 2;
+    generator.weeks = 9;
+    generator.seed = 404;
+    study = BuildStudy(StudyInput(generator), StudyOptions{});
+    config.model = ModelKind::kGbdt;
+    config.t = 55;
+    config.h = 1;
+    config.w = 3;
+    config.gbdt.num_iterations = 20;
+    config.gbdt.num_leaves = 15;
+    config.gbdt.max_bins = 32;
+
+    Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
+    std::unique_ptr<serialize::ForecastBundle> bundle =
+        forecaster.TrainBundle(config);
+    bundle->score = study.score_config;
+    serialize::Status status = serialize::SaveBundle(bundle_path, *bundle);
+    if (!status.ok) {
+      std::fprintf(stderr, "bundle save failed: %s\n",
+                   status.error.c_str());
+      std::abort();
+    }
+  }
+};
+
+ServeFixture& Fixture() {
+  static ServeFixture* fixture = new ServeFixture();
+  return *fixture;
+}
+
+void BM_BundleSave(benchmark::State& state) {
+  ServeFixture& fixture = Fixture();
+  Forecaster forecaster =
+      fixture.study.MakeForecaster(TargetKind::kBeHotSpot);
+  std::unique_ptr<serialize::ForecastBundle> bundle =
+      forecaster.TrainBundle(fixture.config);
+  bundle->score = fixture.study.score_config;
+  const std::string path = TempPath("hotspot_bench_save.hsb");
+  for (auto _ : state) {
+    serialize::Status status = serialize::SaveBundle(path, *bundle);
+    benchmark::DoNotOptimize(status.ok);
+  }
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_BundleSave);
+
+void BM_BundleLoad(benchmark::State& state) {
+  ServeFixture& fixture = Fixture();
+  for (auto _ : state) {
+    std::unique_ptr<ForecastService> service;
+    serialize::Status status =
+        ForecastService::Load(fixture.bundle_path, &service);
+    benchmark::DoNotOptimize(service);
+    if (!status.ok) state.SkipWithError(status.error.c_str());
+  }
+}
+BENCHMARK(BM_BundleLoad);
+
+void BM_ServePredictBatch(benchmark::State& state) {
+  ServeFixture& fixture = Fixture();
+  std::unique_ptr<ForecastService> service;
+  serialize::Status status =
+      ForecastService::Load(fixture.bundle_path, &service);
+  if (!status.ok) {
+    state.SkipWithError(status.error.c_str());
+    return;
+  }
+  for (auto _ : state) {
+    std::vector<float> scores =
+        service->PredictAtDay(fixture.study.features, fixture.config.t);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          fixture.study.num_sectors());
+}
+BENCHMARK(BM_ServePredictBatch);
+
+}  // namespace
+}  // namespace hotspot
+
+BENCHMARK_MAIN();

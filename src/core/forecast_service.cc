@@ -1,0 +1,101 @@
+#include "core/forecast_service.h"
+
+#include <utility>
+
+#include "features/window.h"
+#include "obs/pipeline_context.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace hotspot {
+
+ForecastService::ForecastService(
+    std::unique_ptr<serialize::ForecastBundle> bundle)
+    : bundle_(std::move(bundle)) {
+  HOTSPOT_CHECK(bundle_ != nullptr);
+  HOTSPOT_CHECK(bundle_->classifier != nullptr);
+  HOTSPOT_CHECK_GE(bundle_->window_days, 1);
+  HOTSPOT_CHECK_GE(bundle_->num_channels, 1);
+  switch (bundle_->model) {
+    case ModelKind::kTree:
+    case ModelKind::kRfRaw:
+    case ModelKind::kGbdt:
+      extractor_ = &raw_extractor_;
+      break;
+    case ModelKind::kRfF1:
+      extractor_ = &percentile_extractor_;
+      break;
+    case ModelKind::kRfF2:
+      extractor_ = &handcrafted_extractor_;
+      break;
+    default:
+      HOTSPOT_CHECK(false) << "bundle model is not a servable classifier";
+  }
+  HOTSPOT_CHECK_EQ(
+      extractor_->OutputDim(bundle_->window_days, bundle_->num_channels),
+      bundle_->feature_dim);
+}
+
+serialize::Status ForecastService::Load(
+    const std::string& path, std::unique_ptr<ForecastService>* service) {
+  HOTSPOT_CHECK(service != nullptr);
+  HOTSPOT_SPAN("serve/load");
+  std::unique_ptr<serialize::ForecastBundle> bundle;
+  serialize::Status status = serialize::LoadBundle(path, &bundle);
+  if (!status.ok) return status;
+  *service = std::make_unique<ForecastService>(std::move(bundle));
+  if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
+    ctx->metrics().counter("serve/loads").Increment();
+  }
+  return serialize::Status::Ok();
+}
+
+std::vector<float> ForecastService::Predict(
+    const Tensor3<float>& windows) const {
+  HOTSPOT_CHECK_EQ(windows.dim1(), window_hours());
+  HOTSPOT_CHECK_EQ(windows.dim2(), bundle_->num_channels);
+  HOTSPOT_SPAN("serve/predict");
+  const int n = windows.dim0();
+  if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
+    ctx->metrics().counter("serve/requests").Increment();
+    ctx->metrics().counter("serve/windows").Add(static_cast<uint64_t>(n));
+  }
+  std::vector<float> scores(static_cast<size_t>(n));
+  // Parallel over sectors; sector i only writes scores[i], so the batch is
+  // deterministic under any thread count.
+  util::ParallelFor(0, n, [&](int64_t i64) {
+    const int i = static_cast<int>(i64);
+    Matrix<float> window = windows.SectorSlab(i, 0, windows.dim1());
+    std::vector<float> row;
+    extractor_->Extract(window, &row);
+    HOTSPOT_CHECK_EQ(static_cast<int>(row.size()), bundle_->feature_dim);
+    scores[static_cast<size_t>(i)] =
+        static_cast<float>(bundle_->classifier->PredictProba(row.data()));
+  });
+  return scores;
+}
+
+std::vector<float> ForecastService::PredictAtDay(
+    const features::FeatureTensor& features, int end_day) const {
+  HOTSPOT_CHECK_EQ(features.num_channels(), bundle_->num_channels);
+  HOTSPOT_SPAN("serve/predict");
+  const int n = features.num_sectors();
+  if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
+    ctx->metrics().counter("serve/requests").Increment();
+    ctx->metrics().counter("serve/windows").Add(static_cast<uint64_t>(n));
+  }
+  std::vector<float> scores(static_cast<size_t>(n));
+  util::ParallelFor(0, n, [&](int64_t i64) {
+    const int i = static_cast<int>(i64);
+    Matrix<float> window = features::ExtractWindow(
+        features, i, end_day, bundle_->window_days);
+    std::vector<float> row;
+    extractor_->Extract(window, &row);
+    HOTSPOT_CHECK_EQ(static_cast<int>(row.size()), bundle_->feature_dim);
+    scores[static_cast<size_t>(i)] =
+        static_cast<float>(bundle_->classifier->PredictProba(row.data()));
+  });
+  return scores;
+}
+
+}  // namespace hotspot

@@ -1,0 +1,66 @@
+#ifndef HOTSPOT_CORE_FORECAST_SERVICE_H_
+#define HOTSPOT_CORE_FORECAST_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serialize/bundle.h"
+#include "tensor/tensor3.h"
+
+namespace hotspot {
+
+/// Warm-start forecast serving: loads a ForecastBundle once and answers
+/// batched predictions over incoming KPI windows for the rest of its
+/// lifetime — the deployment half of the train-offline / serve-online
+/// split the bundle format exists for.
+///
+/// Serving reuses the training-time feature path (the extractor the
+/// bundle's model kind pins) on caller-provided windows, runs the batch
+/// through the thread pool (one sector per task, index-owned writes, so
+/// results are bitwise-independent of HOTSPOT_NUM_THREADS), and reports
+/// under the `serve/` observability namespace: counters serve/requests
+/// and serve/windows, spans serve/load and serve/predict.
+class ForecastService {
+ public:
+  /// Takes ownership of a loaded (servable) bundle.
+  explicit ForecastService(std::unique_ptr<serialize::ForecastBundle> bundle);
+
+  ForecastService(const ForecastService&) = delete;
+  ForecastService& operator=(const ForecastService&) = delete;
+
+  /// Loads the bundle at `path` and wraps it in a service. On error the
+  /// status carries the reason and `service` is untouched.
+  static serialize::Status Load(const std::string& path,
+                                std::unique_ptr<ForecastService>* service);
+
+  /// Scores one batch of sector windows. `windows` is a
+  /// sectors x (24·window_days) x channels tensor — each sector's slab is
+  /// the X_{i, t−w : t, :} slice of Eq. 6 — and the result is one hot-spot
+  /// score per sector for day t+h.
+  std::vector<float> Predict(const Tensor3<float>& windows) const;
+
+  /// Convenience for callers that hold a full feature tensor: scores the
+  /// windows ending at `end_day` for every sector.
+  std::vector<float> PredictAtDay(const features::FeatureTensor& features,
+                                  int end_day) const;
+
+  /// True when `score` crosses the bundle's operator hot-spot threshold.
+  bool IsHot(float score) const {
+    return score >= bundle_->score.hot_threshold;
+  }
+
+  const serialize::ForecastBundle& bundle() const { return *bundle_; }
+  int window_hours() const { return 24 * bundle_->window_days; }
+
+ private:
+  std::unique_ptr<serialize::ForecastBundle> bundle_;
+  const features::FeatureExtractor* extractor_ = nullptr;
+  features::RawExtractor raw_extractor_;
+  features::DailyPercentileExtractor percentile_extractor_;
+  features::HandcraftedExtractor handcrafted_extractor_;
+};
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_CORE_FORECAST_SERVICE_H_

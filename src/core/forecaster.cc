@@ -3,6 +3,7 @@
 #include "core/baselines.h"
 #include "features/window.h"
 #include "obs/pipeline_context.h"
+#include "serialize/bundle.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -160,7 +161,8 @@ Matrix<float> Forecaster::BuildPredictionRows(
   return rows;
 }
 
-ForecastResult Forecaster::Run(const ForecastConfig& config) const {
+std::unique_ptr<ml::BinaryClassifier> Forecaster::TrainClassifier(
+    const ForecastConfig& config) const {
   HOTSPOT_CHECK_GE(config.h, 1);
   HOTSPOT_CHECK_GE(config.w, 1);
   HOTSPOT_CHECK_GE(config.training_days, 1);
@@ -168,35 +170,12 @@ ForecastResult Forecaster::Run(const ForecastConfig& config) const {
   HOTSPOT_CHECK_GE(config.t - config.h - config.w, 0);
   HOTSPOT_CHECK_LT(config.t, target_labels_->cols());
 
-  ForecastResult result;
-  result.model = config.model;
-
-  // Deterministic per-(model, t, h, w) seed stream.
+  // Deterministic per-(model, t, h, w) seed stream, identical to Run()'s.
   Rng seeder(config.seed ^
              (static_cast<uint64_t>(config.t) << 40) ^
              (static_cast<uint64_t>(config.h) << 24) ^
              (static_cast<uint64_t>(config.w) << 8) ^
              static_cast<uint64_t>(config.model));
-
-  switch (config.model) {
-    case ModelKind::kRandom: {
-      Rng rng = seeder.Fork(1);
-      result.predictions = RandomBaseline(num_sectors(), &rng);
-      return result;
-    }
-    case ModelKind::kPersist:
-      result.predictions = PersistBaseline(*target_labels_, config.t);
-      return result;
-    case ModelKind::kAverage:
-      result.predictions =
-          AverageBaseline(*daily_scores_, config.t, config.w);
-      return result;
-    case ModelKind::kTrend:
-      result.predictions = TrendBaseline(*daily_scores_, config.t, config.w);
-      return result;
-    default:
-      break;
-  }
 
   const features::FeatureExtractor& extractor =
       *ExtractorFor(config.model);
@@ -236,7 +215,63 @@ ForecastResult Forecaster::Run(const ForecastConfig& config) const {
     HOTSPOT_SPAN("forecast/train");
     classifier->Fit(train);
   }
+  return classifier;
+}
 
+std::unique_ptr<serialize::ForecastBundle> Forecaster::TrainBundle(
+    const ForecastConfig& config) const {
+  HOTSPOT_CHECK(ExtractorFor(config.model) != nullptr)
+      << "only classifier models can be bundled";
+  auto bundle = std::make_unique<serialize::ForecastBundle>();
+  bundle->model = config.model;
+  bundle->window_days = config.w;
+  bundle->horizon_days = config.h;
+  bundle->num_channels = features_->num_channels();
+  bundle->feature_dim = ExtractorFor(config.model)
+                            ->OutputDim(config.w, features_->num_channels());
+  bundle->classifier = TrainClassifier(config);
+  return bundle;
+}
+
+ForecastResult Forecaster::Run(const ForecastConfig& config) const {
+  HOTSPOT_CHECK_GE(config.h, 1);
+  HOTSPOT_CHECK_GE(config.w, 1);
+  HOTSPOT_CHECK_GE(config.t - config.h - config.w, 0);
+  HOTSPOT_CHECK_LT(config.t, target_labels_->cols());
+
+  ForecastResult result;
+  result.model = config.model;
+
+  switch (config.model) {
+    case ModelKind::kRandom: {
+      // Deterministic per-(model, t, h, w) seed stream.
+      Rng seeder(config.seed ^
+                 (static_cast<uint64_t>(config.t) << 40) ^
+                 (static_cast<uint64_t>(config.h) << 24) ^
+                 (static_cast<uint64_t>(config.w) << 8) ^
+                 static_cast<uint64_t>(config.model));
+      Rng rng = seeder.Fork(1);
+      result.predictions = RandomBaseline(num_sectors(), &rng);
+      return result;
+    }
+    case ModelKind::kPersist:
+      result.predictions = PersistBaseline(*target_labels_, config.t);
+      return result;
+    case ModelKind::kAverage:
+      result.predictions =
+          AverageBaseline(*daily_scores_, config.t, config.w);
+      return result;
+    case ModelKind::kTrend:
+      result.predictions = TrendBaseline(*daily_scores_, config.t, config.w);
+      return result;
+    default:
+      break;
+  }
+
+  std::unique_ptr<ml::BinaryClassifier> classifier =
+      TrainClassifier(config);
+  const features::FeatureExtractor& extractor =
+      *ExtractorFor(config.model);
   Matrix<float> prediction_rows = BuildPredictionRows(config, extractor);
   {
     HOTSPOT_SPAN("forecast/predict");

@@ -15,6 +15,10 @@
 #include "ml/random_forest.h"
 #include "tensor/matrix.h"
 
+namespace hotspot::serialize {
+struct ForecastBundle;
+}  // namespace hotspot::serialize
+
 namespace hotspot {
 
 /// The forecasting models of Table III, plus the GBDT extension.
@@ -94,6 +98,15 @@ class Forecaster {
   /// Produces predictions Ŷ_{:,t+h} for one configuration.
   ForecastResult Run(const ForecastConfig& config) const;
 
+  /// Trains the classifier of `config` (a classifier ModelKind) and packs
+  /// it with the feature-window spec into a servable bundle. Training uses
+  /// the exact seed stream of Run(), so serving the bundle on windows
+  /// ending at day t reproduces Run()'s predictions bit for bit. The
+  /// caller fills in the bundle's score config and normalization stats
+  /// (study-level state the forecaster never sees).
+  std::unique_ptr<serialize::ForecastBundle> TrainBundle(
+      const ForecastConfig& config) const;
+
   /// The extractor a classifier model uses (nullptr for baselines).
   const features::FeatureExtractor* ExtractorFor(ModelKind model) const;
 
@@ -104,6 +117,11 @@ class Forecaster {
   std::vector<float> LabelsAtDay(int day) const;
 
  private:
+  /// The shared training path of Run() and TrainBundle(): builds the
+  /// training set and fits the classifier of `config.model` with the
+  /// deterministic per-(model, t, h, w) seed stream.
+  std::unique_ptr<ml::BinaryClassifier> TrainClassifier(
+      const ForecastConfig& config) const;
   ml::Dataset BuildTrainingSet(const ForecastConfig& config,
                                const features::FeatureExtractor& extractor)
       const;

@@ -10,10 +10,13 @@
 ///   forecast — models and the per-cell protocol (Forecaster, ModelKind)
 ///   eval     — ψ/lift scoring and sweeps (EvaluationRunner, RunSweep)
 ///   obs      — metrics, trace spans, snapshots (obs::PipelineContext)
+///   serve    — model persistence and warm-start serving (ForecastBundle,
+///              ForecastService)
 
 #include "core/config.h"
 #include "core/dynamics.h"
 #include "core/evaluation.h"
+#include "core/forecast_service.h"
 #include "core/forecaster.h"
 #include "core/importance.h"
 #include "core/labels.h"
@@ -26,6 +29,8 @@
 #include "obs/pipeline_context.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
+#include "serialize/bundle.h"
+#include "serialize/model_io.h"
 #include "simnet/generator.h"
 #include "stats/average_precision.h"
 #include "stats/confidence.h"

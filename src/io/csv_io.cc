@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 
 #include "util/csv.h"
 #include "util/logging.h"
@@ -42,6 +43,12 @@ bool ParseIntField(const std::string& field, int* value) {
 std::string FloatField(float value) {
   if (IsMissing(value)) return "";
   return FormatNumber(value, 9);
+}
+
+std::string FieldCountError(size_t expected, size_t got) {
+  return "expected " + std::to_string(expected) + " fields, got " +
+         std::to_string(got) + (got < expected ? " (truncated row?)"
+                                               : " (extra columns?)");
 }
 
 }  // namespace
@@ -119,18 +126,18 @@ IoStatus ReadMatrixCsv(const std::string& path, Matrix<float>* matrix) {
     if (line.empty()) continue;
     std::vector<std::string> fields = ParseCsvLine(line);
     if (static_cast<int>(fields.size()) != cols + 1) {
-      return IoStatus::Error(
-          LineError(path, line_number, "wrong field count"));
+      return IoStatus::Error(LineError(
+          path, line_number,
+          FieldCountError(static_cast<size_t>(cols) + 1, fields.size())));
     }
     std::vector<float> row(static_cast<size_t>(cols));
     for (int j = 0; j < cols; ++j) {
       if (!ParseFloatField(fields[static_cast<size_t>(j + 1)],
                            &row[static_cast<size_t>(j)])) {
-        return IoStatus::Error(
-            LineError(path, line_number, "bad number '" +
-                                             fields[static_cast<size_t>(
-                                                 j + 1)] +
-                                             "'"));
+        return IoStatus::Error(LineError(
+            path, line_number,
+            "bad number '" + fields[static_cast<size_t>(j + 1)] +
+                "' in column '" + header[static_cast<size_t>(j + 1)] + "'"));
       }
     }
     rows.push_back(std::move(row));
@@ -184,9 +191,6 @@ IoStatus ReadKpiTensorCsv(const std::string& path, Tensor3<float>* kpis,
         LineError(path, 1, "expected 'sector,hour,<kpis...>' header"));
   }
   const int l = static_cast<int>(header.size()) - 2;
-  if (kpi_names != nullptr) {
-    kpi_names->assign(header.begin() + 2, header.end());
-  }
 
   struct Cell {
     int sector;
@@ -194,6 +198,11 @@ IoStatus ReadKpiTensorCsv(const std::string& path, Tensor3<float>* kpis,
     std::vector<float> values;
   };
   std::vector<Cell> cells;
+  // Line number of the first occurrence of each (sector, hour) pair, so a
+  // duplicate row — which would otherwise mask a missing cell past the
+  // dense-coverage count check and leave a silently zero-filled tensor
+  // cell — is rejected naming both lines.
+  std::unordered_map<uint64_t, int> first_line;
   int max_sector = -1;
   int max_hour = -1;
   int line_number = 1;
@@ -202,21 +211,35 @@ IoStatus ReadKpiTensorCsv(const std::string& path, Tensor3<float>* kpis,
     if (line.empty()) continue;
     std::vector<std::string> fields = ParseCsvLine(line);
     if (static_cast<int>(fields.size()) != l + 2) {
-      return IoStatus::Error(
-          LineError(path, line_number, "wrong field count"));
+      return IoStatus::Error(LineError(
+          path, line_number,
+          FieldCountError(static_cast<size_t>(l) + 2, fields.size())));
     }
     Cell cell;
     if (!ParseIntField(fields[0], &cell.sector) ||
         !ParseIntField(fields[1], &cell.hour) || cell.sector < 0 ||
         cell.hour < 0) {
-      return IoStatus::Error(
-          LineError(path, line_number, "bad sector/hour ids"));
+      return IoStatus::Error(LineError(
+          path, line_number,
+          "bad sector/hour ids '" + fields[0] + "," + fields[1] + "'"));
+    }
+    uint64_t key = (static_cast<uint64_t>(cell.sector) << 32) |
+                   static_cast<uint32_t>(cell.hour);
+    auto [it, inserted] = first_line.emplace(key, line_number);
+    if (!inserted) {
+      return IoStatus::Error(LineError(
+          path, line_number,
+          "duplicate (sector, hour) = (" + fields[0] + ", " + fields[1] +
+              "), first seen at line " + std::to_string(it->second)));
     }
     cell.values.resize(static_cast<size_t>(l));
     for (int k = 0; k < l; ++k) {
       if (!ParseFloatField(fields[static_cast<size_t>(k + 2)],
                            &cell.values[static_cast<size_t>(k)])) {
-        return IoStatus::Error(LineError(path, line_number, "bad number"));
+        return IoStatus::Error(LineError(
+            path, line_number,
+            "bad number '" + fields[static_cast<size_t>(k + 2)] +
+                "' in column '" + header[static_cast<size_t>(k + 2)] + "'"));
       }
     }
     max_sector = std::max(max_sector, cell.sector);
@@ -231,6 +254,11 @@ IoStatus ReadKpiTensorCsv(const std::string& path, Tensor3<float>* kpis,
                            std::to_string(cells.size()) + " rows for a " +
                            std::to_string(max_sector + 1) + "x" +
                            std::to_string(max_hour + 1) + " grid");
+  }
+  // All validation passed — only now touch the outputs, so a failed load
+  // never leaves a partially-filled tensor or name list behind.
+  if (kpi_names != nullptr) {
+    kpi_names->assign(header.begin() + 2, header.end());
   }
   *kpis = Tensor3<float>(max_sector + 1, max_hour + 1, l);
   for (const Cell& cell : cells) {
@@ -280,18 +308,28 @@ IoStatus ReadTopologyCsv(const std::string& path,
     if (line.empty()) continue;
     std::vector<std::string> fields = ParseCsvLine(line);
     if (fields.size() != 8) {
-      return IoStatus::Error(
-          LineError(path, line_number, "wrong field count"));
+      return IoStatus::Error(LineError(path, line_number,
+                                       FieldCountError(8, fields.size())));
     }
     simnet::Sector sector;
     float x, y, azimuth;
-    if (!ParseIntField(fields[0], &sector.id) ||
-        !ParseIntField(fields[1], &sector.tower_id) ||
-        !ParseIntField(fields[2], &sector.patch_id) ||
-        !ParseIntField(fields[3], &sector.city_id) ||
-        !ParseFloatField(fields[4], &x) || !ParseFloatField(fields[5], &y) ||
-        !ParseFloatField(fields[6], &azimuth)) {
-      return IoStatus::Error(LineError(path, line_number, "bad field"));
+    static constexpr const char* kColumns[] = {
+        "sector", "tower", "patch", "city", "x_km", "y_km", "azimuth_deg"};
+    int* int_fields[] = {&sector.id, &sector.tower_id, &sector.patch_id,
+                         &sector.city_id};
+    float* float_fields[] = {&x, &y, &azimuth};
+    for (int c = 0; c < 7; ++c) {
+      bool parsed = c < 4
+                        ? ParseIntField(fields[static_cast<size_t>(c)],
+                                        int_fields[c])
+                        : ParseFloatField(fields[static_cast<size_t>(c)],
+                                          float_fields[c - 4]);
+      if (!parsed) {
+        return IoStatus::Error(LineError(
+            path, line_number,
+            "bad value '" + fields[static_cast<size_t>(c)] +
+                "' in column '" + kColumns[c] + "'"));
+      }
     }
     sector.x_km = x;
     sector.y_km = y;

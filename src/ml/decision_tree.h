@@ -7,6 +7,10 @@
 #include "ml/dataset.h"
 #include "util/rng.h"
 
+namespace hotspot::serialize {
+struct ModelAccess;
+}  // namespace hotspot::serialize
+
 namespace hotspot::ml {
 
 /// CART configuration. Defaults match the paper's single-Tree setup
@@ -47,6 +51,8 @@ class DecisionTree : public BinaryClassifier {
   int SplitFeatureAt(int split_index) const;
 
  private:
+  friend struct ::hotspot::serialize::ModelAccess;
+
   struct Node {
     int feature = -1;        ///< -1 for leaves
     float threshold = 0.0f;  ///< go left when value <= threshold (or NaN)

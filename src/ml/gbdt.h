@@ -7,6 +7,10 @@
 #include "ml/dataset.h"
 #include "util/rng.h"
 
+namespace hotspot::serialize {
+struct ModelAccess;
+}  // namespace hotspot::serialize
+
 namespace hotspot::ml {
 
 /// Gradient-boosted decision trees with histogram split finding and
@@ -45,6 +49,8 @@ class FeatureBinner {
   const std::vector<float>& Thresholds(int feature) const;
 
  private:
+  friend struct ::hotspot::serialize::ModelAccess;
+
   /// thresholds_[f] sorted ascending; value <= thresholds_[f][b] falls in
   /// bin b+1.
   std::vector<std::vector<float>> thresholds_;
@@ -66,6 +72,8 @@ class Gbdt : public BinaryClassifier {
   const std::vector<double>& training_loss() const { return training_loss_; }
 
  private:
+  friend struct ::hotspot::serialize::ModelAccess;
+
   struct Node {
     int feature = -1;     ///< -1 for leaves
     int bin_threshold = 0;  ///< go left when bin(value) <= bin_threshold

@@ -7,6 +7,10 @@
 #include "ml/dataset.h"
 #include "ml/decision_tree.h"
 
+namespace hotspot::serialize {
+struct ModelAccess;
+}  // namespace hotspot::serialize
+
 namespace hotspot::ml {
 
 /// Random forest configuration. Defaults match the paper's RF setup
@@ -38,6 +42,8 @@ class RandomForest : public BinaryClassifier {
   const DecisionTree& tree(int index) const;
 
  private:
+  friend struct ::hotspot::serialize::ModelAccess;
+
   ForestConfig config_;
   std::vector<std::unique_ptr<DecisionTree>> trees_;
   int num_features_ = 0;

@@ -10,12 +10,9 @@
 
 namespace hotspot::nn {
 
-namespace {
-
-/// Per-KPI mean/std over finite cells. Stds of constant features become 1.
-void ComputeNormalization(const Tensor3<float>& kpis,
-                          std::vector<double>* means,
-                          std::vector<double>* stds) {
+void ComputeKpiNormalization(const Tensor3<float>& kpis,
+                             std::vector<double>* means,
+                             std::vector<double>* stds) {
   const int l = kpis.dim2();
   means->assign(static_cast<size_t>(l), 0.0);
   stds->assign(static_cast<size_t>(l), 1.0);
@@ -43,8 +40,6 @@ void ComputeNormalization(const Tensor3<float>& kpis,
     (*stds)[ks] = var > 1e-12 ? std::sqrt(var) : 1.0;
   }
 }
-
-}  // namespace
 
 KpiImputer::KpiImputer(const ImputerConfig& config) : config_(config) {
   HOTSPOT_CHECK_GT(config.slice_hours, 0);
@@ -129,7 +124,7 @@ ImputerReport KpiImputer::Fit(const Tensor3<float>& kpis) {
   HOTSPOT_CHECK_GT(n, 0);
   HOTSPOT_CHECK_GT(slices, 0);
 
-  ComputeNormalization(kpis, &feature_means_, &feature_stds_);
+  ComputeKpiNormalization(kpis, &feature_means_, &feature_stds_);
 
   AutoencoderConfig net_config;
   net_config.input_dim = config_.slice_hours * l;
@@ -282,7 +277,7 @@ long long ImputeForwardFill(Tensor3<float>* kpis) {
   const int l = kpis->dim2();
   // Per-feature mean for the all-missing-prefix fallback.
   std::vector<double> means, stds;
-  ComputeNormalization(*kpis, &means, &stds);
+  ComputeKpiNormalization(*kpis, &means, &stds);
 
   long long filled = 0;
   for (int i = 0; i < n; ++i) {
@@ -318,7 +313,7 @@ long long ImputeForwardFill(Tensor3<float>* kpis) {
 long long ImputeFeatureMean(Tensor3<float>* kpis) {
   HOTSPOT_CHECK(kpis != nullptr);
   std::vector<double> means, stds;
-  ComputeNormalization(*kpis, &means, &stds);
+  ComputeKpiNormalization(*kpis, &means, &stds);
   long long filled = 0;
   const int l = kpis->dim2();
   for (int i = 0; i < kpis->dim0(); ++i) {

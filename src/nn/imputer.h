@@ -6,7 +6,18 @@
 #include "nn/autoencoder.h"
 #include "tensor/tensor3.h"
 
+namespace hotspot::serialize {
+struct ModelAccess;
+}  // namespace hotspot::serialize
+
 namespace hotspot::nn {
+
+/// Per-KPI mean/std over the finite cells of the tensor (stds of constant
+/// features become 1). The per-study normalization stats the imputer and
+/// the serialized ForecastBundle carry.
+void ComputeKpiNormalization(const Tensor3<float>& kpis,
+                             std::vector<double>* means,
+                             std::vector<double>* stds);
 
 /// Training/imputation knobs for the KPI imputer of Sec. II-C.
 struct ImputerConfig {
@@ -62,6 +73,8 @@ class KpiImputer {
   const ImputerConfig& config() const { return config_; }
 
  private:
+  friend struct ::hotspot::serialize::ModelAccess;
+
   /// Builds the clean target, corrupted input, and observation mask for
   /// one (sector, week) slice, flattened to a single row. At least the
   /// missing cells are corrupted; extra observed cells are corrupted until

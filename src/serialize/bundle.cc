@@ -1,0 +1,128 @@
+#include "serialize/bundle.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace hotspot::serialize {
+
+namespace {
+
+bool IsClassifierKind(ModelKind model) {
+  switch (model) {
+    case ModelKind::kTree:
+    case ModelKind::kRfRaw:
+    case ModelKind::kRfF1:
+    case ModelKind::kRfF2:
+    case ModelKind::kGbdt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void EncodeBundle(const ForecastBundle& bundle, ByteWriter* writer) {
+  HOTSPOT_CHECK(IsClassifierKind(bundle.model))
+      << "only classifier models can be bundled";
+  HOTSPOT_CHECK(bundle.classifier != nullptr);
+  writer->WriteU32(static_cast<uint32_t>(bundle.model));
+  writer->WriteI32(bundle.window_days);
+  writer->WriteI32(bundle.horizon_days);
+  writer->WriteI32(bundle.num_channels);
+  writer->WriteI32(bundle.feature_dim);
+  EncodeScoreConfig(bundle.score, writer);
+  EncodeNormalization(bundle.normalization, writer);
+  // The classifier's concrete type is pinned by the model kind (the same
+  // mapping Forecaster::Run uses), so the downcasts are exact.
+  switch (bundle.model) {
+    case ModelKind::kTree:
+      ModelAccess::EncodeTree(
+          static_cast<const ml::DecisionTree&>(*bundle.classifier), writer);
+      break;
+    case ModelKind::kRfRaw:
+    case ModelKind::kRfF1:
+    case ModelKind::kRfF2:
+      ModelAccess::EncodeForest(
+          static_cast<const ml::RandomForest&>(*bundle.classifier), writer);
+      break;
+    case ModelKind::kGbdt:
+      ModelAccess::EncodeGbdt(
+          static_cast<const ml::Gbdt&>(*bundle.classifier), writer);
+      break;
+    default:
+      HOTSPOT_CHECK(false);
+  }
+}
+
+std::unique_ptr<ForecastBundle> DecodeBundle(ByteReader* reader) {
+  auto bundle = std::make_unique<ForecastBundle>();
+  uint32_t model = reader->ReadU32();
+  bundle->window_days = reader->ReadI32();
+  bundle->horizon_days = reader->ReadI32();
+  bundle->num_channels = reader->ReadI32();
+  bundle->feature_dim = reader->ReadI32();
+  if (!reader->ok()) return nullptr;
+  bundle->model = static_cast<ModelKind>(model);
+  if (model > static_cast<uint32_t>(ModelKind::kGbdt) ||
+      !IsClassifierKind(bundle->model)) {
+    reader->Fail("bundle model kind is not a servable classifier");
+    return nullptr;
+  }
+  if (bundle->window_days <= 0 || bundle->horizon_days <= 0 ||
+      bundle->num_channels <= 0 || bundle->feature_dim <= 0) {
+    reader->Fail("bundle window spec out of range");
+    return nullptr;
+  }
+  if (!DecodeScoreConfig(reader, &bundle->score)) return nullptr;
+  if (!DecodeNormalization(reader, &bundle->normalization)) return nullptr;
+  switch (bundle->model) {
+    case ModelKind::kTree:
+      bundle->classifier = ModelAccess::DecodeTree(reader);
+      break;
+    case ModelKind::kRfRaw:
+    case ModelKind::kRfF1:
+    case ModelKind::kRfF2:
+      bundle->classifier = ModelAccess::DecodeForest(reader);
+      break;
+    case ModelKind::kGbdt:
+      bundle->classifier = ModelAccess::DecodeGbdt(reader);
+      break;
+    default:
+      reader->Fail("bundle model kind is not a servable classifier");
+      return nullptr;
+  }
+  if (bundle->classifier == nullptr) return nullptr;
+  return bundle;
+}
+
+Status SaveBundle(const std::string& path, const ForecastBundle& bundle) {
+  ByteWriter writer;
+  EncodeBundle(bundle, &writer);
+  return WriteArtifactFile(path, ArtifactKind::kForecastBundle,
+                           writer.bytes());
+}
+
+Status LoadBundle(const std::string& path,
+                  std::unique_ptr<ForecastBundle>* bundle) {
+  HOTSPOT_CHECK(bundle != nullptr);
+  std::vector<uint8_t> payload;
+  Status status =
+      ReadArtifactFile(path, ArtifactKind::kForecastBundle, &payload);
+  if (!status.ok) return status;
+  ByteReader reader(payload.data(), payload.size());
+  std::unique_ptr<ForecastBundle> loaded = DecodeBundle(&reader);
+  if (loaded == nullptr || !reader.ok()) {
+    std::string what =
+        reader.error().empty() ? "malformed payload" : reader.error();
+    return Status::Error(path + ": " + what);
+  }
+  if (!reader.AtEnd()) {
+    return Status::Error(path + ": trailing bytes after payload");
+  }
+  *bundle = std::move(loaded);
+  return Status::Ok();
+}
+
+}  // namespace hotspot::serialize

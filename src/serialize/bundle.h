@@ -1,0 +1,42 @@
+#ifndef HOTSPOT_SERIALIZE_BUNDLE_H_
+#define HOTSPOT_SERIALIZE_BUNDLE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/forecaster.h"
+#include "serialize/model_io.h"
+
+namespace hotspot::serialize {
+
+/// One trained forecasting cell packaged for serving: the classifier, the
+/// operator scoring configuration its labels came from, the per-study KPI
+/// normalization stats, and the feature-window spec a server needs to turn
+/// incoming KPI windows into the rows the classifier was trained on.
+///
+/// A bundle is servable iff `model` is one of the classifier kinds (kTree,
+/// kRfRaw, kRfF1, kRfF2, kGbdt) and `classifier` is trained — the only
+/// states Save/Load produce.
+struct ForecastBundle {
+  ModelKind model = ModelKind::kGbdt;
+  int window_days = 7;   ///< w of Eq. 6: the classifier reads 24·w hours
+  int horizon_days = 1;  ///< h: predictions are for day t+h
+  int num_channels = 0;  ///< channel count of the training feature tensor
+  int feature_dim = 0;   ///< classifier input dimensionality
+  ScoreConfig score;
+  NormalizationStats normalization;
+  std::unique_ptr<ml::BinaryClassifier> classifier;
+};
+
+/// Payload codec; Decode returns null with the reason in reader->error().
+void EncodeBundle(const ForecastBundle& bundle, ByteWriter* writer);
+std::unique_ptr<ForecastBundle> DecodeBundle(ByteReader* reader);
+
+/// Whole-file save/load in the versioned checksummed container.
+Status SaveBundle(const std::string& path, const ForecastBundle& bundle);
+Status LoadBundle(const std::string& path,
+                  std::unique_ptr<ForecastBundle>* bundle);
+
+}  // namespace hotspot::serialize
+
+#endif  // HOTSPOT_SERIALIZE_BUNDLE_H_

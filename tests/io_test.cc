@@ -136,6 +136,26 @@ TEST_F(IoTest, KpiTensorRoundTrip) {
   }
 }
 
+TEST_F(IoTest, MatrixErrorNamesLineAndColumn) {
+  std::ofstream(Path("bad.csv")) << "sector,t0,t1\n0,1,2\n1,1,oops\n";
+  Matrix<float> loaded;
+  IoStatus status = ReadMatrixCsv(Path("bad.csv"), &loaded);
+  ASSERT_FALSE(status.ok);
+  EXPECT_NE(status.error.find(":3:"), std::string::npos) << status.error;
+  EXPECT_NE(status.error.find("'oops'"), std::string::npos) << status.error;
+  EXPECT_NE(status.error.find("'t1'"), std::string::npos) << status.error;
+}
+
+TEST_F(IoTest, MatrixRaggedRowErrorCountsFields) {
+  std::ofstream(Path("bad.csv")) << "sector,t0,t1\n0,1\n";
+  Matrix<float> loaded;
+  IoStatus status = ReadMatrixCsv(Path("bad.csv"), &loaded);
+  ASSERT_FALSE(status.ok);
+  EXPECT_NE(status.error.find("expected 3 fields, got 2"),
+            std::string::npos)
+      << status.error;
+}
+
 TEST_F(IoTest, KpiTensorRejectsSparseCoverage) {
   std::ofstream(Path("sparse.csv"))
       << "sector,hour,kpi\n0,0,1\n0,1,2\n1,0,3\n";  // (1,1) missing
@@ -149,6 +169,64 @@ TEST_F(IoTest, KpiTensorRejectsEmptyFile) {
   std::ofstream(Path("empty.csv")) << "sector,hour,kpi\n";
   Tensor3<float> loaded;
   EXPECT_FALSE(ReadKpiTensorCsv(Path("empty.csv"), &loaded, nullptr).ok);
+}
+
+TEST_F(IoTest, KpiTensorRejectsDuplicateCellNamingBothLines) {
+  // The duplicate (0,0) keeps the row count at the dense 2x2 = 4, so
+  // without explicit duplicate detection the missing (1,1) cell would load
+  // as a silent 0 — this must be an error naming both offending lines.
+  std::ofstream(Path("dup.csv")) << "sector,hour,kpi\n"
+                                 << "0,0,1\n0,1,2\n1,0,3\n0,0,9\n";
+  Tensor3<float> loaded;
+  IoStatus status = ReadKpiTensorCsv(Path("dup.csv"), &loaded, nullptr);
+  ASSERT_FALSE(status.ok);
+  EXPECT_NE(status.error.find("duplicate"), std::string::npos)
+      << status.error;
+  EXPECT_NE(status.error.find(":5:"), std::string::npos) << status.error;
+  EXPECT_NE(status.error.find("line 2"), std::string::npos) << status.error;
+}
+
+TEST_F(IoTest, KpiTensorErrorNamesValueAndKpiColumn) {
+  std::ofstream(Path("bad.csv")) << "sector,hour,noise,drops\n"
+                                 << "0,0,1.5,2.5\n0,1,1.5,banana\n";
+  Tensor3<float> loaded;
+  IoStatus status = ReadKpiTensorCsv(Path("bad.csv"), &loaded, nullptr);
+  ASSERT_FALSE(status.ok);
+  EXPECT_NE(status.error.find(":3:"), std::string::npos) << status.error;
+  EXPECT_NE(status.error.find("'banana'"), std::string::npos)
+      << status.error;
+  EXPECT_NE(status.error.find("'drops'"), std::string::npos)
+      << status.error;
+}
+
+TEST_F(IoTest, KpiTensorRejectsBadIds) {
+  std::ofstream(Path("bad.csv")) << "sector,hour,kpi\n-1,0,1\n";
+  Tensor3<float> loaded;
+  IoStatus status = ReadKpiTensorCsv(Path("bad.csv"), &loaded, nullptr);
+  ASSERT_FALSE(status.ok);
+  EXPECT_NE(status.error.find("sector/hour"), std::string::npos)
+      << status.error;
+}
+
+TEST_F(IoTest, KpiTensorFailedLoadLeavesOutputsUntouched) {
+  Tensor3<float> loaded(1, 1, 1, 42.0f);
+  std::vector<std::string> names = {"sentinel"};
+  std::ofstream(Path("bad.csv")) << "sector,hour,kpi\n0,0,oops\n";
+  ASSERT_FALSE(ReadKpiTensorCsv(Path("bad.csv"), &loaded, &names).ok);
+  // Atomic failure: no partially-filled tensor, no clobbered name list.
+  EXPECT_EQ(loaded(0, 0, 0), 42.0f);
+  EXPECT_EQ(names, (std::vector<std::string>{"sentinel"}));
+}
+
+TEST_F(IoTest, KpiTensorRaggedRowErrorCountsFields) {
+  std::ofstream(Path("bad.csv")) << "sector,hour,noise,drops\n"
+                                 << "0,0,1.5,2.5,7.0\n";
+  Tensor3<float> loaded;
+  IoStatus status = ReadKpiTensorCsv(Path("bad.csv"), &loaded, nullptr);
+  ASSERT_FALSE(status.ok);
+  EXPECT_NE(status.error.find("expected 4 fields, got 5"),
+            std::string::npos)
+      << status.error;
 }
 
 TEST_F(IoTest, TopologyRoundTrip) {
@@ -177,6 +255,19 @@ TEST_F(IoTest, TopologyRejectsUnknownArchetype) {
   IoStatus status = ReadTopologyCsv(Path("topo.csv"), &loaded);
   EXPECT_FALSE(status.ok);
   EXPECT_NE(status.error.find("archetype"), std::string::npos);
+}
+
+TEST_F(IoTest, TopologyErrorNamesValueAndColumn) {
+  std::ofstream(Path("topo.csv"))
+      << "sector,tower,patch,city,x_km,y_km,azimuth_deg,archetype\n"
+      << "0,0,0,0,1.0,north,0.0,residential\n";
+  simnet::Topology loaded;
+  IoStatus status = ReadTopologyCsv(Path("topo.csv"), &loaded);
+  ASSERT_FALSE(status.ok);
+  EXPECT_NE(status.error.find(":2:"), std::string::npos) << status.error;
+  EXPECT_NE(status.error.find("'north'"), std::string::npos)
+      << status.error;
+  EXPECT_NE(status.error.find("'y_km'"), std::string::npos) << status.error;
 }
 
 TEST_F(IoTest, TopologyRejectsNonDenseIds) {

@@ -1,0 +1,53 @@
+// Regenerates the golden serving fixture under tests/data/: a tiny
+// fixed-seed GBDT ForecastBundle plus the hex-float predictions it must
+// produce on the golden study. Run after any intentional change to the
+// binary format or to the training pipeline's numerics, then commit the
+// refreshed files:
+//
+//   ./make_serialize_golden [output_dir]   (default: HOTSPOT_TEST_DATA_DIR)
+#include <cstdio>
+#include <string>
+
+#include "core/forecast_service.h"
+#include "serialize/bundle.h"
+#include "serialize_golden.h"
+
+#ifndef HOTSPOT_TEST_DATA_DIR
+#define HOTSPOT_TEST_DATA_DIR "."
+#endif
+
+int main(int argc, char** argv) {
+  using namespace hotspot;
+  std::string dir = argc > 1 ? argv[1] : HOTSPOT_TEST_DATA_DIR;
+
+  Study study = testing::BuildGoldenStudy();
+  Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
+  ForecastConfig config = testing::GoldenForecastConfig();
+
+  std::unique_ptr<serialize::ForecastBundle> bundle =
+      forecaster.TrainBundle(config);
+  bundle->score = study.score_config;
+  bundle->normalization =
+      serialize::NormalizationFromKpis(study.network.kpis);
+
+  std::string bundle_path = dir + "/" + testing::kGoldenBundleFile;
+  serialize::Status status = serialize::SaveBundle(bundle_path, *bundle);
+  if (!status.ok) {
+    std::fprintf(stderr, "save failed: %s\n", status.error.c_str());
+    return 1;
+  }
+
+  ForecastService service(std::move(bundle));
+  std::vector<float> predictions =
+      service.PredictAtDay(study.features, config.t);
+  std::string predictions_path =
+      dir + "/" + testing::kGoldenPredictionsFile;
+  if (!testing::WriteGoldenPredictions(predictions_path, predictions)) {
+    std::fprintf(stderr, "cannot write %s\n", predictions_path.c_str());
+    return 1;
+  }
+
+  std::printf("wrote %s and %s (%zu predictions)\n", bundle_path.c_str(),
+              predictions_path.c_str(), predictions.size());
+  return 0;
+}

@@ -1,0 +1,81 @@
+#ifndef HOTSPOT_TESTS_SERIALIZE_GOLDEN_H_
+#define HOTSPOT_TESTS_SERIALIZE_GOLDEN_H_
+
+/// Shared definition of the golden serving fixture: the generator
+/// (make_serialize_golden) and the golden-file test must build the exact
+/// same study and bundle, so both include this header. Predictions are
+/// stored as hex floats ("%a"), which round-trip through text bit for bit.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/forecaster.h"
+#include "core/study.h"
+#include "simnet/generator.h"
+
+namespace hotspot::testing {
+
+inline constexpr char kGoldenBundleFile[] = "golden_bundle.hsb";
+inline constexpr char kGoldenPredictionsFile[] = "golden_predictions.txt";
+
+inline simnet::GeneratorConfig GoldenNetworkConfig() {
+  simnet::GeneratorConfig config;
+  config.topology.target_sectors = 24;
+  config.topology.num_cities = 1;
+  config.weeks = 9;
+  config.seed = 20260805;
+  return config;
+}
+
+inline ForecastConfig GoldenForecastConfig() {
+  ForecastConfig config;
+  config.model = ModelKind::kGbdt;
+  config.t = 55;
+  config.h = 1;
+  config.w = 3;
+  config.seed = 17;
+  config.gbdt.num_iterations = 10;
+  config.gbdt.num_leaves = 7;
+  config.gbdt.max_bins = 16;
+  return config;
+}
+
+inline Study BuildGoldenStudy() {
+  return BuildStudy(StudyInput(GoldenNetworkConfig()), StudyOptions{});
+}
+
+inline bool WriteGoldenPredictions(const std::string& path,
+                                   const std::vector<float>& predictions) {
+  std::ofstream out(path);
+  if (!out) return false;
+  char buffer[64];
+  for (float value : predictions) {
+    std::snprintf(buffer, sizeof(buffer), "%a", static_cast<double>(value));
+    out << buffer << "\n";
+  }
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+inline bool ReadGoldenPredictions(const std::string& path,
+                                  std::vector<float>* predictions) {
+  std::ifstream in(path);
+  if (!in) return false;
+  predictions->clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    char* end = nullptr;
+    double value = std::strtod(line.c_str(), &end);
+    if (end == line.c_str()) return false;
+    predictions->push_back(static_cast<float>(value));
+  }
+  return !predictions->empty();
+}
+
+}  // namespace hotspot::testing
+
+#endif  // HOTSPOT_TESTS_SERIALIZE_GOLDEN_H_

@@ -1,0 +1,503 @@
+// Lockdown tests for the versioned model-serialization subsystem:
+//   * round-trip determinism — Save → Load → predictions must be bitwise
+//     identical to the in-memory model, at HOTSPOT_NUM_THREADS 1 and 4,
+//     for the GBDT, the random forest, the single tree and the imputer;
+//   * corruption fuzz — truncations, byte flips, wrong magic, future
+//     format versions, kind mismatches and garbage payloads must all be
+//     rejected with a clear error and no undefined behavior (this suite
+//     runs under HOTSPOT_SANITIZE in CI);
+//   * golden file — the checked-in fixed-seed bundle under tests/data/
+//     must load and reproduce its checked-in predictions exactly.
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/forecast_service.h"
+#include "gtest/gtest.h"
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+#include "nn/imputer.h"
+#include "scoped_num_threads.h"
+#include "serialize/bundle.h"
+#include "serialize/model_io.h"
+#include "serialize_golden.h"
+#include "util/rng.h"
+
+#ifndef HOTSPOT_TEST_DATA_DIR
+#define HOTSPOT_TEST_DATA_DIR "."
+#endif
+
+namespace hotspot {
+namespace {
+
+/// The ISSUE's lockdown points: the serial reference and one parallel run.
+const char* const kThreadCounts[] = {"1", "4"};
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hotspot_serialize_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+ml::Dataset MakeDataset(int n, int d, uint64_t seed) {
+  Rng rng(seed);
+  ml::Dataset data;
+  data.features = Matrix<float>(n, d);
+  data.labels.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    float* row = data.features.Row(i);
+    double signal = 0.0;
+    for (int f = 0; f < d; ++f) {
+      if (rng.Bernoulli(0.05)) {
+        row[f] = MissingValue();
+        continue;
+      }
+      row[f] = static_cast<float>(rng.Gaussian());
+      if (f < 3) signal += row[f];
+    }
+    data.labels[static_cast<size_t>(i)] =
+        signal + rng.Gaussian() > 0.5 ? 1.0f : 0.0f;
+  }
+  data.weights = ml::BalancedWeights(data.labels);
+  return data;
+}
+
+std::vector<double> Predictions(const ml::BinaryClassifier& model,
+                                const ml::Dataset& data) {
+  std::vector<double> predictions;
+  for (int i = 0; i < data.num_instances(); ++i) {
+    predictions.push_back(model.PredictProba(data.features.Row(i)));
+  }
+  return predictions;
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip determinism
+// ---------------------------------------------------------------------------
+
+TEST_F(SerializeTest, GbdtRoundTripBitwiseIdentical) {
+  ml::Dataset data = MakeDataset(300, 10, 99);
+  for (const char* threads : kThreadCounts) {
+    ScopedNumThreads env(threads);
+    ml::GbdtConfig config;
+    config.num_iterations = 20;
+    config.num_leaves = 9;
+    config.max_bins = 16;
+    config.feature_fraction = 0.7;
+    config.bagging_fraction = 0.8;
+    config.seed = 5;
+    ml::Gbdt model(config);
+    model.Fit(data);
+
+    ASSERT_TRUE(serialize::SaveGbdt(Path("model.hsb"), model).ok);
+    std::unique_ptr<ml::Gbdt> loaded;
+    serialize::Status status = serialize::LoadGbdt(Path("model.hsb"),
+                                                   &loaded);
+    ASSERT_TRUE(status.ok) << status.error;
+    ASSERT_NE(loaded, nullptr);
+
+    // Exact (==) comparisons throughout: the contract is bitwise identity.
+    EXPECT_EQ(Predictions(*loaded, data), Predictions(model, data))
+        << threads << " threads";
+    EXPECT_EQ(loaded->FeatureImportances(), model.FeatureImportances())
+        << threads << " threads";
+    EXPECT_EQ(loaded->training_loss(), model.training_loss())
+        << threads << " threads";
+    for (int i = 0; i < data.num_instances(); ++i) {
+      EXPECT_EQ(loaded->PredictRaw(data.features.Row(i)),
+                model.PredictRaw(data.features.Row(i)));
+    }
+  }
+}
+
+TEST_F(SerializeTest, RandomForestRoundTripBitwiseIdentical) {
+  ml::Dataset data = MakeDataset(250, 8, 11);
+  for (const char* threads : kThreadCounts) {
+    ScopedNumThreads env(threads);
+    ml::ForestConfig config;
+    config.num_trees = 10;
+    config.seed = 3;
+    ml::RandomForest model(config);
+    model.Fit(data);
+
+    ASSERT_TRUE(serialize::SaveRandomForest(Path("forest.hsb"), model).ok);
+    std::unique_ptr<ml::RandomForest> loaded;
+    serialize::Status status =
+        serialize::LoadRandomForest(Path("forest.hsb"), &loaded);
+    ASSERT_TRUE(status.ok) << status.error;
+    ASSERT_NE(loaded, nullptr);
+
+    EXPECT_EQ(Predictions(*loaded, data), Predictions(model, data))
+        << threads << " threads";
+    EXPECT_EQ(loaded->FeatureImportances(), model.FeatureImportances())
+        << threads << " threads";
+  }
+}
+
+TEST_F(SerializeTest, DecisionTreeRoundTripBitwiseIdentical) {
+  ml::Dataset data = MakeDataset(200, 6, 23);
+  for (const char* threads : kThreadCounts) {
+    ScopedNumThreads env(threads);
+    ml::TreeConfig config;
+    config.seed = 9;
+    ml::DecisionTree model(config);
+    model.Fit(data);
+
+    ASSERT_TRUE(serialize::SaveDecisionTree(Path("tree.hsb"), model).ok);
+    std::unique_ptr<ml::DecisionTree> loaded;
+    serialize::Status status =
+        serialize::LoadDecisionTree(Path("tree.hsb"), &loaded);
+    ASSERT_TRUE(status.ok) << status.error;
+    ASSERT_NE(loaded, nullptr);
+
+    EXPECT_EQ(Predictions(*loaded, data), Predictions(model, data))
+        << threads << " threads";
+    EXPECT_EQ(loaded->FeatureImportances(), model.FeatureImportances())
+        << threads << " threads";
+  }
+}
+
+Tensor3<float> MakeKpis(int sectors, int hours, int kpis, uint64_t seed) {
+  Tensor3<float> tensor(sectors, hours, kpis);
+  Rng rng(seed);
+  for (float& v : tensor.data()) {
+    v = rng.Bernoulli(0.08) ? MissingValue()
+                            : static_cast<float>(rng.Gaussian());
+  }
+  return tensor;
+}
+
+TEST_F(SerializeTest, ImputerRoundTripBitwiseIdentical) {
+  Tensor3<float> kpis = MakeKpis(4, 24 * 7, 3, 61);
+  for (const char* threads : kThreadCounts) {
+    ScopedNumThreads env(threads);
+    nn::ImputerConfig config;
+    config.slice_hours = 24;
+    config.encoder_layers = 2;
+    config.batch_size = 8;
+    config.epochs = 2;
+    config.seed = 41;
+    nn::KpiImputer imputer(config);
+    imputer.Fit(kpis);
+
+    Tensor3<float> reference = kpis;
+    imputer.Impute(&reference);
+
+    ASSERT_TRUE(serialize::SaveImputer(Path("imputer.hsb"), imputer).ok);
+    std::unique_ptr<nn::KpiImputer> loaded;
+    serialize::Status status =
+        serialize::LoadImputer(Path("imputer.hsb"), &loaded);
+    ASSERT_TRUE(status.ok) << status.error;
+    ASSERT_NE(loaded, nullptr);
+
+    Tensor3<float> imputed = kpis;
+    loaded->Impute(&imputed);
+    EXPECT_EQ(imputed.data(), reference.data()) << threads << " threads";
+  }
+}
+
+TEST_F(SerializeTest, ScoreConfigRoundTrip) {
+  ScoreConfig config;
+  config.indicators = {{1.5, 0.25, true}, {0.5, 0.9, false}, {2.0, 0.4,
+                                                              true}};
+  config.hot_threshold = 0.55;
+  ASSERT_TRUE(serialize::SaveScoreConfig(Path("score.hsb"), config).ok);
+  ScoreConfig loaded;
+  serialize::Status status =
+      serialize::LoadScoreConfig(Path("score.hsb"), &loaded);
+  ASSERT_TRUE(status.ok) << status.error;
+  ASSERT_EQ(loaded.num_indicators(), config.num_indicators());
+  for (int k = 0; k < config.num_indicators(); ++k) {
+    EXPECT_EQ(loaded.indicators[static_cast<size_t>(k)].weight,
+              config.indicators[static_cast<size_t>(k)].weight);
+    EXPECT_EQ(loaded.indicators[static_cast<size_t>(k)].threshold,
+              config.indicators[static_cast<size_t>(k)].threshold);
+    EXPECT_EQ(loaded.indicators[static_cast<size_t>(k)].higher_is_worse,
+              config.indicators[static_cast<size_t>(k)].higher_is_worse);
+  }
+  EXPECT_EQ(loaded.hot_threshold, config.hot_threshold);
+}
+
+TEST_F(SerializeTest, NormalizationRoundTrip) {
+  Tensor3<float> kpis = MakeKpis(3, 48, 4, 77);
+  serialize::NormalizationStats stats =
+      serialize::NormalizationFromKpis(kpis);
+  ASSERT_EQ(stats.means.size(), 4u);
+  ASSERT_TRUE(serialize::SaveNormalization(Path("norm.hsb"), stats).ok);
+  serialize::NormalizationStats loaded;
+  serialize::Status status =
+      serialize::LoadNormalization(Path("norm.hsb"), &loaded);
+  ASSERT_TRUE(status.ok) << status.error;
+  EXPECT_EQ(loaded, stats);
+}
+
+// ---------------------------------------------------------------------------
+// Bundle + warm-start serving
+// ---------------------------------------------------------------------------
+
+/// One shared golden study per process (building it is the expensive part).
+const Study& SharedStudy() {
+  static const Study* study = new Study(testing::BuildGoldenStudy());
+  return *study;
+}
+
+TEST_F(SerializeTest, BundleServingMatchesForecasterRun) {
+  const Study& study = SharedStudy();
+  Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
+  ForecastConfig config = testing::GoldenForecastConfig();
+
+  for (const char* threads : kThreadCounts) {
+    ScopedNumThreads env(threads);
+    ForecastResult reference = forecaster.Run(config);
+
+    std::unique_ptr<serialize::ForecastBundle> bundle =
+        forecaster.TrainBundle(config);
+    bundle->score = study.score_config;
+    bundle->normalization =
+        serialize::NormalizationFromKpis(study.network.kpis);
+    ASSERT_TRUE(serialize::SaveBundle(Path("bundle.hsb"), *bundle).ok);
+
+    std::unique_ptr<ForecastService> service;
+    serialize::Status status =
+        ForecastService::Load(Path("bundle.hsb"), &service);
+    ASSERT_TRUE(status.ok) << status.error;
+
+    // The served bundle must reproduce Run()'s predictions bit for bit:
+    // same seed stream at train time, same feature path at serve time.
+    EXPECT_EQ(service->PredictAtDay(study.features, config.t),
+              reference.predictions)
+        << threads << " threads";
+
+    // The tensor-batch entry point sees the same windows and must agree.
+    const int hours = 24 * config.w;
+    const int start = 24 * (config.t - config.w);
+    Tensor3<float> windows(study.num_sectors(), hours,
+                           study.features.num_channels());
+    for (int i = 0; i < study.num_sectors(); ++i) {
+      for (int j = 0; j < hours; ++j) {
+        const float* src = study.features.tensor().Slice(i, start + j);
+        float* dst = windows.Slice(i, j);
+        for (int k = 0; k < study.features.num_channels(); ++k) {
+          dst[k] = src[k];
+        }
+      }
+    }
+    EXPECT_EQ(service->Predict(windows), reference.predictions)
+        << threads << " threads";
+
+    // Round-tripped metadata survives.
+    EXPECT_EQ(service->bundle().score.hot_threshold,
+              study.score_config.hot_threshold);
+    EXPECT_EQ(service->bundle().window_days, config.w);
+    EXPECT_EQ(service->bundle().horizon_days, config.h);
+  }
+}
+
+TEST_F(SerializeTest, BundleRoundTripForEveryClassifierKind) {
+  const Study& study = SharedStudy();
+  Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
+  ForecastConfig config = testing::GoldenForecastConfig();
+  config.forest.num_trees = 5;
+
+  for (ModelKind model : {ModelKind::kTree, ModelKind::kRfRaw,
+                          ModelKind::kRfF1, ModelKind::kRfF2,
+                          ModelKind::kGbdt}) {
+    config.model = model;
+    ForecastResult reference = forecaster.Run(config);
+    std::unique_ptr<serialize::ForecastBundle> bundle =
+        forecaster.TrainBundle(config);
+    bundle->score = study.score_config;
+    ASSERT_TRUE(serialize::SaveBundle(Path("kind.hsb"), *bundle).ok)
+        << ModelName(model);
+
+    std::unique_ptr<ForecastService> service;
+    serialize::Status status =
+        ForecastService::Load(Path("kind.hsb"), &service);
+    ASSERT_TRUE(status.ok) << ModelName(model) << ": " << status.error;
+    EXPECT_EQ(service->PredictAtDay(study.features, config.t),
+              reference.predictions)
+        << ModelName(model);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption fuzz
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+class SerializeFuzzTest : public SerializeTest {
+ protected:
+  void SetUp() override {
+    SerializeTest::SetUp();
+    ml::Dataset data = MakeDataset(120, 6, 7);
+    ml::GbdtConfig config;
+    config.num_iterations = 5;
+    config.num_leaves = 4;
+    config.max_bins = 8;
+    ml::Gbdt model(config);
+    model.Fit(data);
+    ASSERT_TRUE(serialize::SaveGbdt(Path("valid.hsb"), model).ok);
+    valid_ = ReadFile(Path("valid.hsb"));
+    ASSERT_GT(valid_.size(), 32u);
+  }
+
+  /// Loads `bytes` as a GBDT artifact; returns the (expected) error text.
+  std::string LoadCorrupt(const std::vector<uint8_t>& bytes) {
+    WriteFile(Path("corrupt.hsb"), bytes);
+    std::unique_ptr<ml::Gbdt> loaded;
+    serialize::Status status =
+        serialize::LoadGbdt(Path("corrupt.hsb"), &loaded);
+    EXPECT_FALSE(status.ok) << "corrupt file accepted";
+    EXPECT_FALSE(status.error.empty());
+    EXPECT_EQ(loaded, nullptr) << "output written despite failure";
+    return status.error;
+  }
+
+  std::vector<uint8_t> valid_;
+};
+
+TEST_F(SerializeFuzzTest, EveryTruncationRejected) {
+  // Every header prefix, then strided points through the payload. None may
+  // crash, index out of bounds, or be accepted.
+  for (size_t len = 0; len < valid_.size();
+       len = len < 40 ? len + 1 : len + 97) {
+    std::vector<uint8_t> truncated(valid_.begin(),
+                                   valid_.begin() +
+                                       static_cast<ptrdiff_t>(len));
+    LoadCorrupt(truncated);
+  }
+}
+
+TEST_F(SerializeFuzzTest, EveryByteFlipRejected) {
+  // The header is fully validated and the payload is checksummed, so any
+  // single corrupted byte must surface as an error.
+  for (size_t pos = 0; pos < valid_.size();
+       pos = pos < 48 ? pos + 1 : pos + 131) {
+    std::vector<uint8_t> flipped = valid_;
+    flipped[pos] ^= 0xff;
+    LoadCorrupt(flipped);
+  }
+}
+
+TEST_F(SerializeFuzzTest, WrongMagicNamed) {
+  std::vector<uint8_t> bad = valid_;
+  bad[0] = 'X';
+  EXPECT_NE(LoadCorrupt(bad).find("magic"), std::string::npos);
+}
+
+TEST_F(SerializeFuzzTest, FutureFormatVersionNamed) {
+  std::vector<uint8_t> future = valid_;
+  future[8] = 0x63;  // little-endian version 99
+  future[9] = future[10] = future[11] = 0;
+  std::string error = LoadCorrupt(future);
+  EXPECT_NE(error.find("version 99"), std::string::npos) << error;
+  EXPECT_NE(error.find("newer"), std::string::npos) << error;
+}
+
+TEST_F(SerializeFuzzTest, WrongArtifactKindNamed) {
+  ScoreConfig config;
+  config.indicators = {{1.0, 0.5, true}};
+  ASSERT_TRUE(serialize::SaveScoreConfig(Path("score.hsb"), config).ok);
+  std::unique_ptr<ml::Gbdt> loaded;
+  serialize::Status status = serialize::LoadGbdt(Path("score.hsb"),
+                                                 &loaded);
+  ASSERT_FALSE(status.ok);
+  EXPECT_NE(status.error.find("kind"), std::string::npos) << status.error;
+  EXPECT_EQ(loaded, nullptr);
+}
+
+TEST_F(SerializeFuzzTest, TrailingGarbageRejected) {
+  std::vector<uint8_t> padded = valid_;
+  padded.insert(padded.end(), {0xde, 0xad, 0xbe, 0xef});
+  std::string error = LoadCorrupt(padded);
+  EXPECT_NE(error.find("mismatch"), std::string::npos) << error;
+}
+
+TEST_F(SerializeFuzzTest, ChecksummedGarbagePayloadRejected) {
+  // A well-framed file whose payload is random bytes: the container checks
+  // pass, so this exercises the structural validation of the decoder.
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    Rng rng(seed);
+    std::vector<uint8_t> payload(256 + static_cast<size_t>(seed) * 97);
+    for (uint8_t& b : payload) {
+      b = static_cast<uint8_t>(rng.NextUint64() & 0xff);
+    }
+    ASSERT_TRUE(serialize::WriteArtifactFile(Path("garbage.hsb"),
+                                             serialize::ArtifactKind::kGbdt,
+                                             payload)
+                    .ok);
+    std::unique_ptr<ml::Gbdt> loaded;
+    serialize::Status status =
+        serialize::LoadGbdt(Path("garbage.hsb"), &loaded);
+    EXPECT_FALSE(status.ok) << "seed " << seed;
+    EXPECT_EQ(loaded, nullptr);
+  }
+}
+
+TEST_F(SerializeFuzzTest, CorruptBundleRejectedByService) {
+  // valid.hsb is a GBDT artifact, not a bundle: the service must refuse it.
+  std::unique_ptr<ForecastService> service;
+  serialize::Status status =
+      ForecastService::Load(Path("valid.hsb"), &service);
+  EXPECT_FALSE(status.ok);
+  EXPECT_EQ(service, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Golden file
+// ---------------------------------------------------------------------------
+
+TEST(SerializeGolden, CheckedInBundleReproducesGoldenPredictions) {
+  const std::string dir = HOTSPOT_TEST_DATA_DIR;
+
+  std::vector<float> golden;
+  ASSERT_TRUE(testing::ReadGoldenPredictions(
+      dir + "/" + testing::kGoldenPredictionsFile, &golden))
+      << "missing fixture; regenerate with make_serialize_golden";
+
+  std::unique_ptr<ForecastService> service;
+  serialize::Status status = ForecastService::Load(
+      dir + "/" + testing::kGoldenBundleFile, &service);
+  ASSERT_TRUE(status.ok) << status.error;
+
+  const Study& study = SharedStudy();
+  ForecastConfig config = testing::GoldenForecastConfig();
+  // Exact equality: the fixture stores hex floats, which carry the full
+  // bit pattern through text.
+  EXPECT_EQ(service->PredictAtDay(study.features, config.t), golden);
+
+  // And the bundle's training is reproducible from source: retraining at
+  // the golden seed yields the same predictions as the checked-in file.
+  Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
+  EXPECT_EQ(forecaster.Run(config).predictions, golden);
+}
+
+}  // namespace
+}  // namespace hotspot
