@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_features.dir/bench_abl_features.cc.o"
+  "CMakeFiles/bench_abl_features.dir/bench_abl_features.cc.o.d"
+  "bench_abl_features"
+  "bench_abl_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

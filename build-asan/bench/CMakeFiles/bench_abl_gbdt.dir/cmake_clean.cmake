@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_gbdt.dir/bench_abl_gbdt.cc.o"
+  "CMakeFiles/bench_abl_gbdt.dir/bench_abl_gbdt.cc.o.d"
+  "bench_abl_gbdt"
+  "bench_abl_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

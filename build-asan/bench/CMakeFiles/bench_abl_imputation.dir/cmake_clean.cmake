@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_imputation.dir/bench_abl_imputation.cc.o"
+  "CMakeFiles/bench_abl_imputation.dir/bench_abl_imputation.cc.o.d"
+  "bench_abl_imputation"
+  "bench_abl_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

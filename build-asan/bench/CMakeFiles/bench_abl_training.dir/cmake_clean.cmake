@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_training.dir/bench_abl_training.cc.o"
+  "CMakeFiles/bench_abl_training.dir/bench_abl_training.cc.o.d"
+  "bench_abl_training"
+  "bench_abl_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_kpi_examples.dir/bench_fig01_kpi_examples.cc.o"
+  "CMakeFiles/bench_fig01_kpi_examples.dir/bench_fig01_kpi_examples.cc.o.d"
+  "bench_fig01_kpi_examples"
+  "bench_fig01_kpi_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_kpi_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_score_and_labels.dir/bench_fig02_score_and_labels.cc.o"
+  "CMakeFiles/bench_fig02_score_and_labels.dir/bench_fig02_score_and_labels.cc.o.d"
+  "bench_fig02_score_and_labels"
+  "bench_fig02_score_and_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_score_and_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig02_score_and_labels.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig02_score_and_labels.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_label_raster.dir/bench_fig03_label_raster.cc.o"
+  "CMakeFiles/bench_fig03_label_raster.dir/bench_fig03_label_raster.cc.o.d"
+  "bench_fig03_label_raster"
+  "bench_fig03_label_raster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_label_raster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

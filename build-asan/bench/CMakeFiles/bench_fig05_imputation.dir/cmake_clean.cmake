@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_imputation.dir/bench_fig05_imputation.cc.o"
+  "CMakeFiles/bench_fig05_imputation.dir/bench_fig05_imputation.cc.o.d"
+  "bench_fig05_imputation"
+  "bench_fig05_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

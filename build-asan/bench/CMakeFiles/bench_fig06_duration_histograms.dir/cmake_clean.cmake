@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_duration_histograms.dir/bench_fig06_duration_histograms.cc.o"
+  "CMakeFiles/bench_fig06_duration_histograms.dir/bench_fig06_duration_histograms.cc.o.d"
+  "bench_fig06_duration_histograms"
+  "bench_fig06_duration_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_duration_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_consecutive_runs.dir/bench_fig07_consecutive_runs.cc.o"
+  "CMakeFiles/bench_fig07_consecutive_runs.dir/bench_fig07_consecutive_runs.cc.o.d"
+  "bench_fig07_consecutive_runs"
+  "bench_fig07_consecutive_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_consecutive_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_spatial_correlation.dir/bench_fig08_spatial_correlation.cc.o"
+  "CMakeFiles/bench_fig08_spatial_correlation.dir/bench_fig08_spatial_correlation.cc.o.d"
+  "bench_fig08_spatial_correlation"
+  "bench_fig08_spatial_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_spatial_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

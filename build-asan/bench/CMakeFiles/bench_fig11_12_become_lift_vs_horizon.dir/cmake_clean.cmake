@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_12_become_lift_vs_horizon.dir/bench_fig11_12_become_lift_vs_horizon.cc.o"
+  "CMakeFiles/bench_fig11_12_become_lift_vs_horizon.dir/bench_fig11_12_become_lift_vs_horizon.cc.o.d"
+  "bench_fig11_12_become_lift_vs_horizon"
+  "bench_fig11_12_become_lift_vs_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_12_become_lift_vs_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

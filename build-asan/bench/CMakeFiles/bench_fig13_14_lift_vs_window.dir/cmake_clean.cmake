@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_14_lift_vs_window.dir/bench_fig13_14_lift_vs_window.cc.o"
+  "CMakeFiles/bench_fig13_14_lift_vs_window.dir/bench_fig13_14_lift_vs_window.cc.o.d"
+  "bench_fig13_14_lift_vs_window"
+  "bench_fig13_14_lift_vs_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_14_lift_vs_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

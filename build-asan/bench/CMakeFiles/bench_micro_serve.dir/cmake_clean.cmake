@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_serve.dir/bench_micro_serve.cc.o"
+  "CMakeFiles/bench_micro_serve.dir/bench_micro_serve.cc.o.d"
+  "bench_micro_serve"
+  "bench_micro_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

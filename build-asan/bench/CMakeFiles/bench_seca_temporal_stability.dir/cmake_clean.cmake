@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seca_temporal_stability.dir/bench_seca_temporal_stability.cc.o"
+  "CMakeFiles/bench_seca_temporal_stability.dir/bench_seca_temporal_stability.cc.o.d"
+  "bench_seca_temporal_stability"
+  "bench_seca_temporal_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seca_temporal_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

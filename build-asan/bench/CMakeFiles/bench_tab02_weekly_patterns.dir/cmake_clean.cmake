@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_weekly_patterns.dir/bench_tab02_weekly_patterns.cc.o"
+  "CMakeFiles/bench_tab02_weekly_patterns.dir/bench_tab02_weekly_patterns.cc.o.d"
+  "bench_tab02_weekly_patterns"
+  "bench_tab02_weekly_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_weekly_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

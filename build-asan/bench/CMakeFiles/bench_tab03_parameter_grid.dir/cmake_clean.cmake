@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_parameter_grid.dir/bench_tab03_parameter_grid.cc.o"
+  "CMakeFiles/bench_tab03_parameter_grid.dir/bench_tab03_parameter_grid.cc.o.d"
+  "bench_tab03_parameter_grid"
+  "bench_tab03_parameter_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_parameter_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

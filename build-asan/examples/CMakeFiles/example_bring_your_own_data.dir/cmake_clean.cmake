@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bring_your_own_data.dir/bring_your_own_data.cpp.o"
+  "CMakeFiles/example_bring_your_own_data.dir/bring_your_own_data.cpp.o.d"
+  "example_bring_your_own_data"
+  "example_bring_your_own_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bring_your_own_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_bring_your_own_data.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_bring_your_own_data.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_network_dynamics_report.dir/network_dynamics_report.cpp.o"
+  "CMakeFiles/example_network_dynamics_report.dir/network_dynamics_report.cpp.o.d"
+  "example_network_dynamics_report"
+  "example_network_dynamics_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_network_dynamics_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_proactive_troubleshooting.dir/proactive_troubleshooting.cpp.o"
+  "CMakeFiles/example_proactive_troubleshooting.dir/proactive_troubleshooting.cpp.o.d"
+  "example_proactive_troubleshooting"
+  "example_proactive_troubleshooting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_proactive_troubleshooting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

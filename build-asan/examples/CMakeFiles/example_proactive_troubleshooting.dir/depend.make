@@ -1,0 +1,2 @@
+# Empty dependencies file for example_proactive_troubleshooting.
+# This may be replaced when dependencies are built.

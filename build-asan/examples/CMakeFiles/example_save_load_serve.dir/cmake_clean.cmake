@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_save_load_serve.dir/save_load_serve.cpp.o"
+  "CMakeFiles/example_save_load_serve.dir/save_load_serve.cpp.o.d"
+  "example_save_load_serve"
+  "example_save_load_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_save_load_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

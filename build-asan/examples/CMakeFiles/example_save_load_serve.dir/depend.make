@@ -1,0 +1,2 @@
+# Empty dependencies file for example_save_load_serve.
+# This may be replaced when dependencies are built.

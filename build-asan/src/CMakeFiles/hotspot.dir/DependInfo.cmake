@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/CMakeFiles/hotspot.dir/core/baselines.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/core/baselines.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/hotspot.dir/core/config.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/core/config.cc.o.d"
+  "/root/repo/src/core/dynamics.cc" "src/CMakeFiles/hotspot.dir/core/dynamics.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/core/dynamics.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/CMakeFiles/hotspot.dir/core/evaluation.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/core/evaluation.cc.o.d"
+  "/root/repo/src/core/forecast_service.cc" "src/CMakeFiles/hotspot.dir/core/forecast_service.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/core/forecast_service.cc.o.d"
+  "/root/repo/src/core/forecaster.cc" "src/CMakeFiles/hotspot.dir/core/forecaster.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/core/forecaster.cc.o.d"
+  "/root/repo/src/core/importance.cc" "src/CMakeFiles/hotspot.dir/core/importance.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/core/importance.cc.o.d"
+  "/root/repo/src/core/labels.cc" "src/CMakeFiles/hotspot.dir/core/labels.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/core/labels.cc.o.d"
+  "/root/repo/src/core/score.cc" "src/CMakeFiles/hotspot.dir/core/score.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/core/score.cc.o.d"
+  "/root/repo/src/core/sector_filter.cc" "src/CMakeFiles/hotspot.dir/core/sector_filter.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/core/sector_filter.cc.o.d"
+  "/root/repo/src/core/study.cc" "src/CMakeFiles/hotspot.dir/core/study.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/core/study.cc.o.d"
+  "/root/repo/src/core/task.cc" "src/CMakeFiles/hotspot.dir/core/task.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/core/task.cc.o.d"
+  "/root/repo/src/features/feature_tensor.cc" "src/CMakeFiles/hotspot.dir/features/feature_tensor.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/features/feature_tensor.cc.o.d"
+  "/root/repo/src/features/handcrafted_features.cc" "src/CMakeFiles/hotspot.dir/features/handcrafted_features.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/features/handcrafted_features.cc.o.d"
+  "/root/repo/src/features/percentile_features.cc" "src/CMakeFiles/hotspot.dir/features/percentile_features.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/features/percentile_features.cc.o.d"
+  "/root/repo/src/features/raw_features.cc" "src/CMakeFiles/hotspot.dir/features/raw_features.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/features/raw_features.cc.o.d"
+  "/root/repo/src/features/window.cc" "src/CMakeFiles/hotspot.dir/features/window.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/features/window.cc.o.d"
+  "/root/repo/src/io/csv_io.cc" "src/CMakeFiles/hotspot.dir/io/csv_io.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/io/csv_io.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/hotspot.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/gbdt.cc" "src/CMakeFiles/hotspot.dir/ml/gbdt.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/ml/gbdt.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/hotspot.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/nn/autoencoder.cc" "src/CMakeFiles/hotspot.dir/nn/autoencoder.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/nn/autoencoder.cc.o.d"
+  "/root/repo/src/nn/imputer.cc" "src/CMakeFiles/hotspot.dir/nn/imputer.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/nn/imputer.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/hotspot.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/matrix_ops.cc" "src/CMakeFiles/hotspot.dir/nn/matrix_ops.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/nn/matrix_ops.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/hotspot.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/CMakeFiles/hotspot.dir/obs/metrics.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/obs/metrics.cc.o.d"
+  "/root/repo/src/obs/pipeline_context.cc" "src/CMakeFiles/hotspot.dir/obs/pipeline_context.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/obs/pipeline_context.cc.o.d"
+  "/root/repo/src/obs/snapshot.cc" "src/CMakeFiles/hotspot.dir/obs/snapshot.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/obs/snapshot.cc.o.d"
+  "/root/repo/src/obs/trace.cc" "src/CMakeFiles/hotspot.dir/obs/trace.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/obs/trace.cc.o.d"
+  "/root/repo/src/serialize/binary_format.cc" "src/CMakeFiles/hotspot.dir/serialize/binary_format.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/serialize/binary_format.cc.o.d"
+  "/root/repo/src/serialize/bundle.cc" "src/CMakeFiles/hotspot.dir/serialize/bundle.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/serialize/bundle.cc.o.d"
+  "/root/repo/src/serialize/model_io.cc" "src/CMakeFiles/hotspot.dir/serialize/model_io.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/serialize/model_io.cc.o.d"
+  "/root/repo/src/simnet/calendar.cc" "src/CMakeFiles/hotspot.dir/simnet/calendar.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/simnet/calendar.cc.o.d"
+  "/root/repo/src/simnet/events.cc" "src/CMakeFiles/hotspot.dir/simnet/events.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/simnet/events.cc.o.d"
+  "/root/repo/src/simnet/generator.cc" "src/CMakeFiles/hotspot.dir/simnet/generator.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/simnet/generator.cc.o.d"
+  "/root/repo/src/simnet/kpi_catalog.cc" "src/CMakeFiles/hotspot.dir/simnet/kpi_catalog.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/simnet/kpi_catalog.cc.o.d"
+  "/root/repo/src/simnet/load_model.cc" "src/CMakeFiles/hotspot.dir/simnet/load_model.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/simnet/load_model.cc.o.d"
+  "/root/repo/src/simnet/missing.cc" "src/CMakeFiles/hotspot.dir/simnet/missing.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/simnet/missing.cc.o.d"
+  "/root/repo/src/simnet/topology.cc" "src/CMakeFiles/hotspot.dir/simnet/topology.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/simnet/topology.cc.o.d"
+  "/root/repo/src/stats/average_precision.cc" "src/CMakeFiles/hotspot.dir/stats/average_precision.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/stats/average_precision.cc.o.d"
+  "/root/repo/src/stats/confidence.cc" "src/CMakeFiles/hotspot.dir/stats/confidence.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/stats/confidence.cc.o.d"
+  "/root/repo/src/stats/correlation.cc" "src/CMakeFiles/hotspot.dir/stats/correlation.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/stats/correlation.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/hotspot.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/ks_test.cc" "src/CMakeFiles/hotspot.dir/stats/ks_test.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/stats/ks_test.cc.o.d"
+  "/root/repo/src/stats/percentile.cc" "src/CMakeFiles/hotspot.dir/stats/percentile.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/stats/percentile.cc.o.d"
+  "/root/repo/src/stats/runlength.cc" "src/CMakeFiles/hotspot.dir/stats/runlength.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/stats/runlength.cc.o.d"
+  "/root/repo/src/tensor/temporal.cc" "src/CMakeFiles/hotspot.dir/tensor/temporal.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/tensor/temporal.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/hotspot.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/hotspot.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/hotspot.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/hotspot.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/hotspot.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

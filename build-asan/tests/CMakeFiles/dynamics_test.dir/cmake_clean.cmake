@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamics_test.dir/dynamics_test.cc.o"
+  "CMakeFiles/dynamics_test.dir/dynamics_test.cc.o.d"
+  "dynamics_test"
+  "dynamics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecaster_test.dir/forecaster_test.cc.o"
+  "CMakeFiles/forecaster_test.dir/forecaster_test.cc.o.d"
+  "forecaster_test"
+  "forecaster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecaster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_serialize_golden.dir/make_serialize_golden.cc.o"
+  "CMakeFiles/make_serialize_golden.dir/make_serialize_golden.cc.o.d"
+  "make_serialize_golden"
+  "make_serialize_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_serialize_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

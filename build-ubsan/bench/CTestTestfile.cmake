@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-ubsan/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_micro_parallel_smoke "/root/repo/build-ubsan/bench/bench_micro_parallel")
+set_tests_properties(bench_micro_parallel_smoke PROPERTIES  ENVIRONMENT "HOTSPOT_MICRO_SMOKE=1" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
