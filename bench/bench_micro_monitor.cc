@@ -1,0 +1,173 @@
+// Smoke bench for the online monitoring layer: trains a small bundle,
+// serves a few monitored batches plus matured outcomes through
+// ForecastService, exports the HealthReport JSON snapshot, and fails
+// (nonzero exit) if any key of the documented schema contract
+// (monitor/health.h) is missing from the exported document. Registered
+// as the ctest `bench_micro_monitor_smoke` under the `monitor` label so
+// `ctest -L monitor` covers the unit suite and this end-to-end export
+// together, sanitizer builds included.
+//
+// An output path may be given as argv[1]; by default the JSON lands in
+// the system temp directory and is removed on success.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/forecast_service.h"
+#include "core/study.h"
+#include "monitor/health.h"
+#include "serialize/bundle.h"
+#include "simnet/generator.h"
+
+namespace hotspot::bench {
+namespace {
+
+/// Every key the HealthReport JSON schema pins (see HealthReportToJson in
+/// monitor/health.h). The export must contain each as a quoted JSON key.
+constexpr const char* kSchemaKeys[] = {
+    // top level
+    "monitoring_enabled", "status", "requests", "windows", "drift",
+    "quality", "latency", "alerts",
+    // drift block + per-channel findings
+    "score", "channels", "name", "ks_statistic", "p_value", "live_samples",
+    "observed_total",
+    // quality block + calibration bins
+    "labels_total", "window_count", "positive_rate", "average_precision",
+    "lift", "expected_calibration_error", "calibration", "lo", "hi",
+    "count", "mean_score", "observed_rate",
+    // latency block
+    "sum_seconds", "p50_seconds", "p99_seconds", "slo_seconds",
+    "in_slo_fraction",
+};
+
+int Main(int argc, char** argv) {
+  // 1. Train a small bundle (monitoring fingerprints ride along in v2).
+  simnet::GeneratorConfig generator;
+  generator.topology.target_sectors = 40;
+  generator.topology.num_cities = 1;
+  generator.weeks = 9;
+  generator.seed = 2026;
+  Study study = BuildStudy(StudyInput(generator), StudyOptions{});
+
+  ForecastConfig config;
+  config.model = ModelKind::kGbdt;
+  config.t = 55;
+  config.h = 1;
+  config.w = 3;
+  config.gbdt.num_iterations = 10;
+  config.gbdt.num_leaves = 15;
+  config.gbdt.max_bins = 32;
+
+  Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
+  std::unique_ptr<serialize::ForecastBundle> bundle =
+      forecaster.TrainBundle(config);
+  bundle->score = study.score_config;
+  auto service = std::make_unique<ForecastService>(std::move(bundle));
+  if (!service->monitoring_enabled()) {
+    std::fprintf(stderr, "FAIL: monitoring did not auto-enable on a "
+                         "fingerprinted bundle\n");
+    return 1;
+  }
+
+  // 2. Serve a few batches and feed matured outcomes so every section of
+  // the report (drift, quality, latency) has observations behind it.
+  // The rolling window is sized to blend the served days: any single day
+  // is one draw from the weekly cycle, and comparing it alone against
+  // the pooled multi-week fingerprint would read day-of-week structure
+  // as drift.
+  monitor::MonitorConfig monitoring;
+  monitoring.drift_window = 4096;
+  service->EnableMonitoring(monitoring);
+  for (int day = config.t - 2; day <= config.t; ++day) {
+    std::vector<float> scores = service->PredictAtDay(study.features, day);
+    std::vector<float> labels(scores.size());
+    for (size_t i = 0; i < scores.size(); ++i) {
+      labels[i] = service->IsHot(scores[i]) ? 1.0f : 0.0f;
+    }
+    service->RecordOutcomes(scores, labels);
+  }
+
+  monitor::HealthReport report = service->Health();
+  if (!report.monitoring_enabled || report.requests == 0 ||
+      report.windows == 0) {
+    std::fprintf(stderr, "FAIL: health report recorded no serving "
+                         "traffic (requests=%llu windows=%llu)\n",
+                 static_cast<unsigned long long>(report.requests),
+                 static_cast<unsigned long long>(report.windows));
+    return 1;
+  }
+  // The traffic above is the training distribution itself, so any alert
+  // here is a false positive (the run is fully deterministic).
+  if (report.overall != monitor::AlertState::kOk) {
+    std::fprintf(stderr, "FAIL: in-distribution traffic raised %zu "
+                         "alert(s), overall=%s\n", report.alerts.size(),
+                 monitor::AlertStateName(report.overall));
+    for (const monitor::HealthAlert& alert : report.alerts) {
+      std::fprintf(stderr, "  %s: %s\n", alert.target.c_str(),
+                   alert.message.c_str());
+    }
+    return 1;
+  }
+
+  // 3. Export the snapshot and re-read it from disk — the schema check
+  // runs against the bytes a scrape job would actually ingest.
+  const std::string path =
+      argc > 1 ? argv[1]
+               : (std::filesystem::temp_directory_path() /
+                  "hotspot_health_report.json")
+                     .string();
+  if (!monitor::WriteHealthReportJson(report, path)) {
+    std::fprintf(stderr, "FAIL: could not write %s\n", path.c_str());
+    return 1;
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  if (json.empty() || json.front() != '{') {
+    std::fprintf(stderr, "FAIL: %s is not a JSON object\n", path.c_str());
+    return 1;
+  }
+
+  int missing = 0;
+  for (const char* key : kSchemaKeys) {
+    const std::string quoted = std::string("\"") + key + "\":";
+    if (json.find(quoted) == std::string::npos) {
+      std::fprintf(stderr, "FAIL: exported health report is missing "
+                           "schema key \"%s\"\n", key);
+      ++missing;
+    }
+  }
+  // The report must stay parseable by strict JSON readers: non-finite
+  // values are contractually emitted as null, never as nan/inf tokens.
+  for (const char* token : {"nan", "inf"}) {
+    if (json.find(token) != std::string::npos) {
+      std::fprintf(stderr, "FAIL: exported health report contains a "
+                           "non-JSON '%s' literal\n", token);
+      ++missing;
+    }
+  }
+  if (missing > 0) {
+    std::fprintf(stderr, "result: FAIL (%d schema violations, report "
+                         "kept at %s)\n", missing, path.c_str());
+    return 1;
+  }
+
+  std::printf("health report: %zu bytes, %zu monitored channels, "
+              "status=%s\n",
+              json.size(), report.channel_drift.size(),
+              monitor::AlertStateName(report.overall));
+  if (argc <= 1) std::filesystem::remove(path);
+  std::printf("result: PASS (all %zu schema keys present)\n",
+              std::size(kSchemaKeys));
+  return 0;
+}
+
+}  // namespace
+}  // namespace hotspot::bench
+
+int main(int argc, char** argv) { return hotspot::bench::Main(argc, argv); }

@@ -1,6 +1,9 @@
 // google-benchmark microbenchmarks of the serialization + serving layer:
 // bundle save/load latency (the warm-start cost a serving process pays
-// once) and batched prediction throughput through ForecastService.
+// once) and batched prediction throughput through ForecastService, with
+// and without online monitoring (the monitored variant must stay within
+// 5 % of the unmonitored one — record both in EXPERIMENTS.md when the
+// numbers change materially).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -88,7 +91,11 @@ void BM_BundleLoad(benchmark::State& state) {
 }
 BENCHMARK(BM_BundleLoad);
 
-void BM_ServePredictBatch(benchmark::State& state) {
+// The monitored/unmonitored pair measures the online-monitoring
+// observation cost per batch (strided input sampling + score window +
+// latency histogram). The budget is <5 % over the unmonitored path —
+// monitoring is an observer, not a tax on serving.
+void ServePredictBatch(benchmark::State& state, bool monitored) {
   ServeFixture& fixture = Fixture();
   std::unique_ptr<ForecastService> service;
   serialize::Status status =
@@ -96,6 +103,14 @@ void BM_ServePredictBatch(benchmark::State& state) {
   if (!status.ok) {
     state.SkipWithError(status.error.c_str());
     return;
+  }
+  if (monitored) {
+    if (!service->EnableMonitoring()) {
+      state.SkipWithError("bundle carries no monitoring fingerprints");
+      return;
+    }
+  } else {
+    service->DisableMonitoring();
   }
   for (auto _ : state) {
     std::vector<float> scores =
@@ -105,7 +120,16 @@ void BM_ServePredictBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           fixture.study.num_sectors());
 }
+
+void BM_ServePredictBatch(benchmark::State& state) {
+  ServePredictBatch(state, /*monitored=*/false);
+}
 BENCHMARK(BM_ServePredictBatch);
+
+void BM_ServePredictBatchMonitored(benchmark::State& state) {
+  ServePredictBatch(state, /*monitored=*/true);
+}
+BENCHMARK(BM_ServePredictBatchMonitored);
 
 }  // namespace
 }  // namespace hotspot

@@ -5,6 +5,7 @@
 #include "features/window.h"
 #include "obs/pipeline_context.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace hotspot {
@@ -34,6 +35,27 @@ ForecastService::ForecastService(
   HOTSPOT_CHECK_EQ(
       extractor_->OutputDim(bundle_->window_days, bundle_->num_channels),
       bundle_->feature_dim);
+  if (bundle_->fingerprints != nullptr) EnableMonitoring();
+}
+
+bool ForecastService::EnableMonitoring(const monitor::MonitorConfig& config) {
+  if (bundle_->fingerprints == nullptr) return false;
+  HOTSPOT_CHECK_EQ(
+      static_cast<int>(bundle_->fingerprints->channels.size()),
+      bundle_->num_channels);
+  monitor_ = std::make_unique<monitor::ServingMonitor>(
+      bundle_->fingerprints.get(), config);
+  return true;
+}
+
+void ForecastService::RecordOutcomes(const std::vector<float>& scores,
+                                     const std::vector<float>& labels) const {
+  if (monitor_ != nullptr) monitor_->RecordOutcomes(scores, labels);
+}
+
+monitor::HealthReport ForecastService::Health() const {
+  if (monitor_ == nullptr) return monitor::HealthReport{};
+  return monitor_->Report();
 }
 
 serialize::Status ForecastService::Load(
@@ -55,6 +77,7 @@ std::vector<float> ForecastService::Predict(
   HOTSPOT_CHECK_EQ(windows.dim1(), window_hours());
   HOTSPOT_CHECK_EQ(windows.dim2(), bundle_->num_channels);
   HOTSPOT_SPAN("serve/predict");
+  Stopwatch watch;
   const int n = windows.dim0();
   if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
     ctx->metrics().counter("serve/requests").Increment();
@@ -72,6 +95,15 @@ std::vector<float> ForecastService::Predict(
     scores[static_cast<size_t>(i)] =
         static_cast<float>(bundle_->classifier->PredictProba(row.data()));
   });
+  const double seconds = watch.ElapsedSeconds();
+  if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
+    ctx->metrics()
+        .histogram("serve/latency_seconds", obs::DefaultLatencySeconds())
+        .Observe(seconds);
+  }
+  if (monitor_ != nullptr) {
+    monitor_->ObserveBatch(windows, 0, windows.dim1(), scores, seconds);
+  }
   return scores;
 }
 
@@ -79,6 +111,7 @@ std::vector<float> ForecastService::PredictAtDay(
     const features::FeatureTensor& features, int end_day) const {
   HOTSPOT_CHECK_EQ(features.num_channels(), bundle_->num_channels);
   HOTSPOT_SPAN("serve/predict");
+  Stopwatch watch;
   const int n = features.num_sectors();
   if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
     ctx->metrics().counter("serve/requests").Increment();
@@ -95,6 +128,17 @@ std::vector<float> ForecastService::PredictAtDay(
     scores[static_cast<size_t>(i)] =
         static_cast<float>(bundle_->classifier->PredictProba(row.data()));
   });
+  const double seconds = watch.ElapsedSeconds();
+  if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
+    ctx->metrics()
+        .histogram("serve/latency_seconds", obs::DefaultLatencySeconds())
+        .Observe(seconds);
+  }
+  if (monitor_ != nullptr) {
+    monitor_->ObserveBatch(features.tensor(),
+                           24 * (end_day - bundle_->window_days),
+                           24 * end_day, scores, seconds);
+  }
   return scores;
 }
 

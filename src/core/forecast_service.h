@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "monitor/monitor.h"
 #include "serialize/bundle.h"
 #include "tensor/tensor3.h"
 
@@ -20,7 +21,17 @@ namespace hotspot {
 /// through the thread pool (one sector per task, index-owned writes, so
 /// results are bitwise-independent of HOTSPOT_NUM_THREADS), and reports
 /// under the `serve/` observability namespace: counters serve/requests
-/// and serve/windows, spans serve/load and serve/predict.
+/// and serve/windows, spans serve/load and serve/predict, and the
+/// serve/latency_seconds histogram.
+///
+/// When the bundle carries monitoring fingerprints (format v2), the
+/// service also runs an online ServingMonitor: every Predict batch feeds
+/// the drift detector and the latency SLO tracker, RecordOutcomes()
+/// accepts matured ground-truth labels for model-quality tracking, and
+/// Health() snapshots the whole thing. Monitoring never feeds back into
+/// the scores — predictions are bitwise identical with it on or off.
+/// Bundles without fingerprints (v1 files) serve normally with
+/// monitoring gracefully disabled.
 class ForecastService {
  public:
   /// Takes ownership of a loaded (servable) bundle.
@@ -50,11 +61,33 @@ class ForecastService {
     return score >= bundle_->score.hot_threshold;
   }
 
+  /// (Re)starts online monitoring with `config`. Returns false — and
+  /// leaves monitoring off — when the bundle has no fingerprints (v1
+  /// files). Monitoring starts automatically with a default config at
+  /// construction when fingerprints are present, so this is only needed
+  /// to tune thresholds or to re-enable after DisableMonitoring().
+  bool EnableMonitoring(const monitor::MonitorConfig& config = {});
+  void DisableMonitoring() { monitor_.reset(); }
+  bool monitoring_enabled() const { return monitor_ != nullptr; }
+
+  /// Feeds matured ground-truth labels for previously served scores into
+  /// the quality tracker (scores[i] and labels[i] are the same
+  /// sector/day). No-op when monitoring is disabled.
+  void RecordOutcomes(const std::vector<float>& scores,
+                      const std::vector<float>& labels) const;
+
+  /// Current health snapshot. With monitoring disabled the report says so
+  /// (monitoring_enabled = false, everything OK and empty).
+  monitor::HealthReport Health() const;
+
   const serialize::ForecastBundle& bundle() const { return *bundle_; }
   int window_hours() const { return 24 * bundle_->window_days; }
 
  private:
   std::unique_ptr<serialize::ForecastBundle> bundle_;
+  /// Mutable so the const Predict paths can record observations; the
+  /// monitor itself is internally synchronized.
+  mutable std::unique_ptr<monitor::ServingMonitor> monitor_;
   const features::FeatureExtractor* extractor_ = nullptr;
   features::RawExtractor raw_extractor_;
   features::DailyPercentileExtractor percentile_extractor_;

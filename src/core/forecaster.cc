@@ -2,6 +2,7 @@
 
 #include "core/baselines.h"
 #include "features/window.h"
+#include "monitor/fingerprint.h"
 #include "obs/pipeline_context.h"
 #include "serialize/bundle.h"
 #include "util/logging.h"
@@ -218,6 +219,87 @@ std::unique_ptr<ml::BinaryClassifier> Forecaster::TrainClassifier(
   return classifier;
 }
 
+/// Per-channel reservoir size of the monitoring fingerprints: large enough
+/// for a stable two-sample KS reference, small enough that a bundle grows
+/// by only a few KB per channel.
+constexpr int kFingerprintReservoir = 256;
+
+std::unique_ptr<monitor::BundleFingerprints> Forecaster::BuildFingerprints(
+    const ForecastConfig& config,
+    const ml::BinaryClassifier& classifier) const {
+  HOTSPOT_SPAN("forecast/fingerprint");
+  // The same pooled label days BuildTrainingSet uses (including the Tree
+  // override), so the sketches summarize exactly the data the classifier
+  // saw.
+  ForecastConfig training_config = config;
+  if (config.model == ModelKind::kTree && config.tree_training_days > 0) {
+    training_config.training_days = config.tree_training_days;
+  }
+  int min_label_day = config.t;
+  for (int pooled = 0; pooled < training_config.training_days; ++pooled) {
+    int label_day = config.t - pooled * training_config.training_day_stride;
+    if (label_day - config.h - config.w < 0) break;
+    min_label_day = label_day;
+  }
+  const int first_hour = 24 * (min_label_day - config.h - config.w);
+  const int last_hour = 24 * (config.t - config.h);
+
+  const int n = num_sectors();
+  const int channels = features_->num_channels();
+  const Tensor3<float>& tensor = features_->tensor();
+  auto fingerprints = std::make_unique<monitor::BundleFingerprints>();
+  fingerprints->first_hour = first_hour;
+  fingerprints->last_hour = last_hour;
+  fingerprints->channels.resize(static_cast<size_t>(channels));
+  // Parallel over channels; channel k only writes its own sketch, and each
+  // sketch's reservoir has its own seed, so the result is bitwise
+  // independent of the thread count.
+  util::ParallelFor(0, channels, [&](int64_t k64) {
+    const int k = static_cast<int>(k64);
+    const uint64_t seed =
+        config.seed ^ 0x6670ull << 32 ^ static_cast<uint64_t>(k);
+    // Only channels whose hourly values form a stationary distribution get
+    // a drift reference. Calendar channels are clock features — the served
+    // day always differs from the training days, so a KS test against them
+    // reads "time moved forward" as drift — and the up-sampled daily/weekly
+    // channels are piecewise constant, so one served day has degenerate
+    // support. Their sketches stay empty, which the detector reads as
+    // "not monitored".
+    const features::FeatureGroup group = features_->ChannelGroup(k);
+    if (group != features::FeatureGroup::kKpi &&
+        group != features::FeatureGroup::kHourlyScore) {
+      fingerprints->channels[static_cast<size_t>(k)] = monitor::BuildSketch(
+          features_->ChannelName(k), {}, kFingerprintReservoir, seed);
+      return;
+    }
+    std::vector<float> values;
+    values.reserve(static_cast<size_t>(n) *
+                   static_cast<size_t>(last_hour - first_hour));
+    for (int i = 0; i < n; ++i) {
+      for (int j = first_hour; j < last_hour; ++j) {
+        values.push_back(tensor.At(i, j, k));
+      }
+    }
+    fingerprints->channels[static_cast<size_t>(k)] = monitor::BuildSketch(
+        features_->ChannelName(k), values, kFingerprintReservoir, seed);
+  });
+
+  // Score reference: what the trained classifier predicts on the day-t
+  // windows — the distribution Run() reports and serving should keep
+  // producing while the world looks like the training window.
+  Matrix<float> rows =
+      BuildPredictionRows(config, *ExtractorFor(config.model));
+  std::vector<float> scores(static_cast<size_t>(n));
+  util::ParallelFor(0, n, [&](int64_t i) {
+    scores[static_cast<size_t>(i)] = static_cast<float>(
+        classifier.PredictProba(rows.Row(static_cast<int>(i))));
+  });
+  fingerprints->scores =
+      monitor::BuildSketch("prediction_score", scores, kFingerprintReservoir,
+                           config.seed ^ 0x5343ull << 32);
+  return fingerprints;
+}
+
 std::unique_ptr<serialize::ForecastBundle> Forecaster::TrainBundle(
     const ForecastConfig& config) const {
   HOTSPOT_CHECK(ExtractorFor(config.model) != nullptr)
@@ -230,6 +312,7 @@ std::unique_ptr<serialize::ForecastBundle> Forecaster::TrainBundle(
   bundle->feature_dim = ExtractorFor(config.model)
                             ->OutputDim(config.w, features_->num_channels());
   bundle->classifier = TrainClassifier(config);
+  bundle->fingerprints = BuildFingerprints(config, *bundle->classifier);
   return bundle;
 }
 

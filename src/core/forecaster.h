@@ -19,6 +19,10 @@ namespace hotspot::serialize {
 struct ForecastBundle;
 }  // namespace hotspot::serialize
 
+namespace hotspot::monitor {
+struct BundleFingerprints;
+}  // namespace hotspot::monitor
+
 namespace hotspot {
 
 /// The forecasting models of Table III, plus the GBDT extension.
@@ -102,8 +106,13 @@ class Forecaster {
   /// it with the feature-window spec into a servable bundle. Training uses
   /// the exact seed stream of Run(), so serving the bundle on windows
   /// ending at day t reproduces Run()'s predictions bit for bit. The
-  /// caller fills in the bundle's score config and normalization stats
-  /// (study-level state the forecaster never sees).
+  /// bundle also carries the monitoring fingerprints: per-channel
+  /// distribution sketches over the exact hour span the training windows
+  /// covered, plus a sketch of the scores the trained classifier produces
+  /// on the day-t windows (the reference the serving-side drift detector
+  /// tests live traffic against). The caller fills in the bundle's score
+  /// config and normalization stats (study-level state the forecaster
+  /// never sees).
   std::unique_ptr<serialize::ForecastBundle> TrainBundle(
       const ForecastConfig& config) const;
 
@@ -122,6 +131,12 @@ class Forecaster {
   /// deterministic per-(model, t, h, w) seed stream.
   std::unique_ptr<ml::BinaryClassifier> TrainClassifier(
       const ForecastConfig& config) const;
+  /// Sketches the training-window input distributions (one per channel)
+  /// and the trained classifier's day-t score distribution — the drift
+  /// references TrainBundle packs into the bundle.
+  std::unique_ptr<monitor::BundleFingerprints> BuildFingerprints(
+      const ForecastConfig& config,
+      const ml::BinaryClassifier& classifier) const;
   ml::Dataset BuildTrainingSet(const ForecastConfig& config,
                                const features::FeatureExtractor& extractor)
       const;

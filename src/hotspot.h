@@ -12,6 +12,8 @@
 ///   obs      — metrics, trace spans, snapshots (obs::PipelineContext)
 ///   serve    — model persistence and warm-start serving (ForecastBundle,
 ///              ForecastService)
+///   monitor  — online drift / quality / latency health for the serving
+///              path (ServingMonitor, HealthReport)
 
 #include "core/config.h"
 #include "core/dynamics.h"
@@ -24,6 +26,8 @@
 #include "core/study.h"
 #include "core/task.h"
 #include "io/csv_io.h"
+#include "monitor/health.h"
+#include "monitor/monitor.h"
 #include "nn/imputer.h"
 #include "obs/metrics.h"
 #include "obs/pipeline_context.h"

@@ -1,0 +1,108 @@
+#include "monitor/drift.h"
+
+#include <cmath>
+
+#include "stats/ks_test.h"
+#include "util/logging.h"
+
+namespace hotspot::monitor {
+
+const char* AlertStateName(AlertState state) {
+  switch (state) {
+    case AlertState::kOk:
+      return "OK";
+    case AlertState::kWarn:
+      return "WARN";
+    case AlertState::kDrift:
+      return "DRIFT";
+  }
+  return "unknown";
+}
+
+RollingWindow::RollingWindow(int capacity)
+    : capacity_(static_cast<size_t>(capacity)) {
+  HOTSPOT_CHECK_GE(capacity, 1);
+  values_.reserve(capacity_);
+}
+
+std::vector<double> RollingWindow::Values() const {
+  return std::vector<double>(values_.begin(), values_.end());
+}
+
+DriftDetector::DriftDetector(const BundleFingerprints* fingerprints,
+                             const DriftThresholds& thresholds,
+                             int window_capacity)
+    : fingerprints_(fingerprints), thresholds_(thresholds),
+      scores_(window_capacity) {
+  HOTSPOT_CHECK(fingerprints != nullptr);
+  channels_.reserve(fingerprints->channels.size());
+  for (size_t k = 0; k < fingerprints->channels.size(); ++k) {
+    channels_.emplace_back(window_capacity);
+  }
+}
+
+DriftFinding DriftDetector::Evaluate(
+    const RollingWindow& window,
+    const DistributionSketch& reference) const {
+  DriftFinding finding;
+  finding.name = reference.name;
+  finding.observed_total = window.total();
+
+  std::vector<double> live = window.Values();
+  uint64_t finite = 0;
+  for (double v : live) {
+    if (std::isfinite(v)) ++finite;
+  }
+  finding.live_samples = finite;
+  // No reference (constant training channel aside, an empty reservoir
+  // means the fingerprint saw no finite data) or too little live data:
+  // no evidence either way.
+  if (reference.reservoir.empty() ||
+      finite < static_cast<uint64_t>(thresholds_.min_samples)) {
+    return finding;
+  }
+
+  std::vector<double> ref(reference.reservoir.begin(),
+                          reference.reservoir.end());
+  KsResult ks = KolmogorovSmirnovTestMasked(std::move(live),
+                                            std::move(ref));
+  finding.statistic = ks.statistic;
+  finding.p_value = ks.p_value;
+  if (ks.p_value <= thresholds_.drift_p_value &&
+      ks.statistic >= thresholds_.drift_statistic) {
+    finding.state = AlertState::kDrift;
+  } else if (ks.p_value <= thresholds_.warn_p_value &&
+             ks.statistic >= thresholds_.warn_statistic) {
+    finding.state = AlertState::kWarn;
+  }
+  return finding;
+}
+
+DriftFinding DriftDetector::EvaluateChannel(int channel) const {
+  HOTSPOT_CHECK(channel >= 0 && channel < num_channels());
+  return Evaluate(channels_[static_cast<size_t>(channel)],
+                  fingerprints_->channels[static_cast<size_t>(channel)]);
+}
+
+std::vector<DriftFinding> DriftDetector::EvaluateChannels() const {
+  std::vector<DriftFinding> findings;
+  findings.reserve(channels_.size());
+  for (int k = 0; k < num_channels(); ++k) {
+    findings.push_back(EvaluateChannel(k));
+  }
+  return findings;
+}
+
+DriftFinding DriftDetector::EvaluateScores() const {
+  return Evaluate(scores_, fingerprints_->scores);
+}
+
+AlertState DriftDetector::OverallState() const {
+  AlertState state = EvaluateScores().state;
+  for (int k = 0; k < num_channels(); ++k) {
+    state = WorstState(state, EvaluateChannel(k).state);
+  }
+  return state;
+}
+
+}  // namespace hotspot::monitor

@@ -1,0 +1,112 @@
+#ifndef HOTSPOT_MONITOR_DRIFT_H_
+#define HOTSPOT_MONITOR_DRIFT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "monitor/fingerprint.h"
+
+namespace hotspot::monitor {
+
+/// Three-level alert ladder used by every monitored signal (drift,
+/// quality, latency). Ordered so "worse" compares greater.
+enum class AlertState { kOk = 0, kWarn = 1, kDrift = 2 };
+
+const char* AlertStateName(AlertState state);
+
+inline AlertState WorstState(AlertState a, AlertState b) {
+  return a > b ? a : b;
+}
+
+/// Escalation thresholds of the two-sample KS drift test. A signal
+/// escalates only when the p-value is small AND the statistic is large:
+/// with hundreds of live samples against a dense reference, tiny
+/// distribution wobbles reach significance long before they matter
+/// operationally, so the effect-size gate keeps WARN/DRIFT meaningful.
+struct DriftThresholds {
+  int min_samples = 32;          ///< below this the verdict is always OK
+  double warn_p_value = 1e-2;
+  double warn_statistic = 0.15;
+  double drift_p_value = 1e-3;
+  double drift_statistic = 0.25;
+};
+
+/// One drift verdict: the signal name, the KS evidence, and how much live
+/// data it rests on.
+struct DriftFinding {
+  std::string name;
+  AlertState state = AlertState::kOk;
+  double statistic = 0.0;
+  double p_value = 1.0;
+  uint64_t live_samples = 0;     ///< finite values in the rolling window
+  uint64_t observed_total = 0;   ///< values ever pushed at this signal
+};
+
+/// Fixed-capacity ring of the most recent observations of one signal.
+/// Push is on the serve path (once per sampled tensor cell), so it stays
+/// inline and branch-cheap.
+class RollingWindow {
+ public:
+  explicit RollingWindow(int capacity);
+
+  void Push(float value) {
+    ++total_;
+    if (values_.size() < capacity_) {
+      values_.push_back(value);
+      return;
+    }
+    values_[next_] = value;
+    if (++next_ == capacity_) next_ = 0;
+  }
+  /// The retained values as doubles (insertion order not preserved).
+  std::vector<double> Values() const;
+  int size() const { return static_cast<int>(values_.size()); }
+  uint64_t total() const { return total_; }
+
+ private:
+  size_t capacity_;
+  size_t next_ = 0;
+  uint64_t total_ = 0;
+  std::vector<float> values_;
+};
+
+/// Per-bundle drift detector: one rolling window per feature channel plus
+/// one for the prediction scores, each tested (on demand, not per batch)
+/// against the bundle's training-time fingerprint with the NaN-masked
+/// two-sample KS test. Not thread-safe; ServingMonitor serializes access.
+class DriftDetector {
+ public:
+  /// `fingerprints` must outlive the detector.
+  DriftDetector(const BundleFingerprints* fingerprints,
+                const DriftThresholds& thresholds, int window_capacity);
+
+  int num_channels() const { return static_cast<int>(channels_.size()); }
+
+  void ObserveInput(int channel, float value) {
+    channels_[static_cast<size_t>(channel)].Push(value);
+  }
+  void ObserveScore(float value) { scores_.Push(value); }
+
+  /// KS verdict of one channel's rolling window against its fingerprint.
+  DriftFinding EvaluateChannel(int channel) const;
+  std::vector<DriftFinding> EvaluateChannels() const;
+  DriftFinding EvaluateScores() const;
+
+  /// Fleet-level aggregation: the worst state across all channels and the
+  /// score distribution.
+  AlertState OverallState() const;
+
+ private:
+  DriftFinding Evaluate(const RollingWindow& window,
+                        const DistributionSketch& reference) const;
+
+  const BundleFingerprints* fingerprints_;
+  DriftThresholds thresholds_;
+  std::vector<RollingWindow> channels_;
+  RollingWindow scores_;
+};
+
+}  // namespace hotspot::monitor
+
+#endif  // HOTSPOT_MONITOR_DRIFT_H_

@@ -1,0 +1,69 @@
+#ifndef HOTSPOT_MONITOR_FINGERPRINT_H_
+#define HOTSPOT_MONITOR_FINGERPRINT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serialize/binary_format.h"
+
+namespace hotspot::monitor {
+
+/// Compact summary of one scalar distribution as it looked at training
+/// time: a percentile grid, a uniform reservoir sample (the two-sample-KS
+/// reference the drift detector tests live traffic against), and the first
+/// two moments. Missing (NaN) values are excluded before sketching;
+/// `count` is the number of finite values summarized.
+struct DistributionSketch {
+  std::string name;
+  uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::vector<double> quantile_ps;  ///< percentile grid, ascending in [0,100]
+  std::vector<double> quantiles;    ///< value at each grid point
+  std::vector<float> reservoir;     ///< uniform sample, sorted ascending
+
+  bool operator==(const DistributionSketch&) const = default;
+};
+
+/// The percentile grid every sketch is built on.
+std::vector<double> SketchQuantileGrid();
+
+/// Builds a sketch of `values` (NaNs dropped). The reservoir is a uniform
+/// sample of at most `reservoir_capacity` finite values, drawn with the
+/// deterministic `seed` so repeated training runs produce identical
+/// bundles. An all-NaN or empty input yields a sketch with count 0.
+DistributionSketch BuildSketch(std::string name,
+                               const std::vector<float>& values,
+                               int reservoir_capacity, uint64_t seed);
+
+/// Reference fingerprints of one trained bundle: a sketch per feature
+/// channel over the exact hour span the training windows covered, plus a
+/// sketch of the training-time prediction scores. Serialized into the
+/// ForecastBundle as its own versioned section, so a serving process can
+/// detect drift without access to the training data.
+///
+/// Channels whose hourly values are not a stationary distribution —
+/// calendar clock features and the piecewise-constant up-sampled
+/// daily/weekly channels — carry an empty (count 0) sketch: present so
+/// indices line up with the tensor, but never drift-tested.
+struct BundleFingerprints {
+  int first_hour = 0;  ///< training-window span fingerprinted: [first, last)
+  int last_hour = 0;
+  std::vector<DistributionSketch> channels;  ///< one per feature channel
+  DistributionSketch scores;                 ///< training-time predictions
+
+  bool operator==(const BundleFingerprints&) const = default;
+};
+
+/// Fingerprint payload codec (the bundle's section framing and section
+/// version live in serialize/bundle.cc). Decode returns false with the
+/// reason in reader->error().
+void EncodeFingerprints(const BundleFingerprints& fingerprints,
+                        serialize::ByteWriter* writer);
+bool DecodeFingerprints(serialize::ByteReader* reader,
+                        BundleFingerprints* fingerprints);
+
+}  // namespace hotspot::monitor
+
+#endif  // HOTSPOT_MONITOR_FINGERPRINT_H_

@@ -1,0 +1,177 @@
+#include "monitor/health.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace hotspot::monitor {
+
+namespace {
+
+void AppendEscaped(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          *out += buffer;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// NaN/inf have no JSON literal; emit null so consumers see "absent"
+/// rather than a parse error.
+void AppendNumber(double value, std::string* out) {
+  if (!std::isfinite(value)) {
+    *out += "null";
+    return;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  *out += buffer;
+}
+
+void AppendU64(uint64_t value, std::string* out) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%llu",
+                static_cast<unsigned long long>(value));
+  *out += buffer;
+}
+
+void AppendState(AlertState state, std::string* out) {
+  AppendEscaped(AlertStateName(state), out);
+}
+
+void AppendDriftFinding(const DriftFinding& finding, std::string* out) {
+  *out += "{\"name\": ";
+  AppendEscaped(finding.name, out);
+  *out += ", \"status\": ";
+  AppendState(finding.state, out);
+  *out += ", \"ks_statistic\": ";
+  AppendNumber(finding.statistic, out);
+  *out += ", \"p_value\": ";
+  AppendNumber(finding.p_value, out);
+  *out += ", \"live_samples\": ";
+  AppendU64(finding.live_samples, out);
+  *out += ", \"observed_total\": ";
+  AppendU64(finding.observed_total, out);
+  *out += "}";
+}
+
+}  // namespace
+
+std::string HealthReportToJson(const HealthReport& report) {
+  std::string json;
+  json.reserve(4096);
+  json += "{\n  \"monitoring_enabled\": ";
+  json += report.monitoring_enabled ? "true" : "false";
+  json += ",\n  \"status\": ";
+  AppendState(report.overall, &json);
+  json += ",\n  \"requests\": ";
+  AppendU64(report.requests, &json);
+  json += ",\n  \"windows\": ";
+  AppendU64(report.windows, &json);
+
+  json += ",\n  \"drift\": {\"status\": ";
+  AppendState(report.drift_state, &json);
+  json += ", \"score\": ";
+  AppendDriftFinding(report.score_drift, &json);
+  json += ", \"channels\": [";
+  for (size_t k = 0; k < report.channel_drift.size(); ++k) {
+    if (k > 0) json += ", ";
+    json += "\n    ";
+    AppendDriftFinding(report.channel_drift[k], &json);
+  }
+  json += report.channel_drift.empty() ? "]}" : "\n  ]}";
+
+  json += ",\n  \"quality\": {\"status\": ";
+  AppendState(report.quality_state, &json);
+  json += ", \"labels_total\": ";
+  AppendU64(report.quality.labels_total, &json);
+  json += ", \"window_count\": ";
+  AppendNumber(report.quality.window_count, &json);
+  json += ", \"positive_rate\": ";
+  AppendNumber(report.quality.positive_rate, &json);
+  json += ", \"average_precision\": ";
+  AppendNumber(report.quality.average_precision, &json);
+  json += ", \"lift\": ";
+  AppendNumber(report.quality.lift, &json);
+  json += ", \"expected_calibration_error\": ";
+  AppendNumber(report.quality.expected_calibration_error, &json);
+  json += ", \"calibration\": [";
+  for (size_t b = 0; b < report.quality.calibration.size(); ++b) {
+    const CalibrationBin& bin = report.quality.calibration[b];
+    if (b > 0) json += ", ";
+    json += "\n    {\"lo\": ";
+    AppendNumber(bin.lo, &json);
+    json += ", \"hi\": ";
+    AppendNumber(bin.hi, &json);
+    json += ", \"count\": ";
+    AppendU64(bin.count, &json);
+    json += ", \"mean_score\": ";
+    AppendNumber(bin.mean_score, &json);
+    json += ", \"observed_rate\": ";
+    AppendNumber(bin.observed_rate, &json);
+    json += "}";
+  }
+  json += report.quality.calibration.empty() ? "]}" : "\n  ]}";
+
+  json += ",\n  \"latency\": {\"status\": ";
+  AppendState(report.latency.state, &json);
+  json += ", \"count\": ";
+  AppendU64(report.latency.count, &json);
+  json += ", \"sum_seconds\": ";
+  AppendNumber(report.latency.sum_seconds, &json);
+  json += ", \"p50_seconds\": ";
+  AppendNumber(report.latency.p50_seconds, &json);
+  json += ", \"p99_seconds\": ";
+  AppendNumber(report.latency.p99_seconds, &json);
+  json += ", \"slo_seconds\": ";
+  AppendNumber(report.latency.slo_seconds, &json);
+  json += ", \"in_slo_fraction\": ";
+  AppendNumber(report.latency.in_slo_fraction, &json);
+  json += "}";
+
+  json += ",\n  \"alerts\": [";
+  for (size_t a = 0; a < report.alerts.size(); ++a) {
+    const HealthAlert& alert = report.alerts[a];
+    if (a > 0) json += ", ";
+    json += "\n    {\"target\": ";
+    AppendEscaped(alert.target, &json);
+    json += ", \"state\": ";
+    AppendState(alert.state, &json);
+    json += ", \"message\": ";
+    AppendEscaped(alert.message, &json);
+    json += "}";
+  }
+  json += report.alerts.empty() ? "]" : "\n  ]";
+  json += "\n}\n";
+  return json;
+}
+
+bool WriteHealthReportJson(const HealthReport& report,
+                           const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << HealthReportToJson(report);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace hotspot::monitor

@@ -1,0 +1,91 @@
+#ifndef HOTSPOT_MONITOR_HEALTH_H_
+#define HOTSPOT_MONITOR_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "monitor/drift.h"
+#include "monitor/quality.h"
+
+namespace hotspot::monitor {
+
+/// Serve-latency SLO: the latency budget one Predict batch must meet and
+/// the fraction of batches that must meet it before the alert ladder
+/// escalates.
+struct LatencySlo {
+  double slo_seconds = 0.050;
+  double warn_fraction = 0.99;   ///< in-SLO share below this → WARN
+  double drift_fraction = 0.95;  ///< in-SLO share below this → DRIFT
+};
+
+/// Rolled-up serve-latency view computed from the monitor's obs histogram
+/// (bucket-interpolated percentiles, so they are estimates, not exact
+/// order statistics).
+struct LatencySummary {
+  uint64_t count = 0;
+  double sum_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double slo_seconds = 0.0;
+  double in_slo_fraction = 1.0;
+  AlertState state = AlertState::kOk;
+};
+
+/// Quality escalation thresholds: the rolling lift Λ a healthy forecaster
+/// must sustain once enough labels matured (Λ = 1 is a random ranking).
+struct QualityThresholds {
+  double warn_lift = 1.5;
+  double drift_lift = 1.0;
+};
+
+/// One fired alert rule, newest snapshot only (the report is a
+/// point-in-time document, not an event log).
+struct HealthAlert {
+  std::string target;  ///< "drift/<channel>", "quality/lift", "latency/slo"
+  AlertState state = AlertState::kOk;
+  std::string message;
+};
+
+/// Point-in-time health snapshot of one monitored ForecastService: the
+/// JSON-exportable answer to "is this bundle still safe to serve?".
+struct HealthReport {
+  bool monitoring_enabled = false;
+  AlertState overall = AlertState::kOk;
+
+  AlertState drift_state = AlertState::kOk;
+  std::vector<DriftFinding> channel_drift;
+  DriftFinding score_drift;
+
+  AlertState quality_state = AlertState::kOk;
+  QualitySummary quality;
+
+  LatencySummary latency;
+
+  uint64_t requests = 0;  ///< Predict batches observed
+  uint64_t windows = 0;   ///< sector windows scored across those batches
+
+  std::vector<HealthAlert> alerts;
+};
+
+/// Renders the report as a self-contained JSON object. Schema (stable
+/// keys, the contract bench_micro_monitor pins):
+///   monitoring_enabled, status, requests, windows,
+///   drift:   {status, score:{...}, channels:[{name, status, ks_statistic,
+///             p_value, live_samples, observed_total}]},
+///   quality: {status, labels_total, window_count, positive_rate,
+///             average_precision, lift, expected_calibration_error,
+///             calibration:[{lo, hi, count, mean_score, observed_rate}]},
+///   latency: {status, count, sum_seconds, p50_seconds, p99_seconds,
+///             slo_seconds, in_slo_fraction},
+///   alerts:  [{target, state, message}]
+/// Non-finite metric values are emitted as JSON null.
+std::string HealthReportToJson(const HealthReport& report);
+
+/// Writes HealthReportToJson to `path`. Returns false on I/O error.
+bool WriteHealthReportJson(const HealthReport& report,
+                           const std::string& path);
+
+}  // namespace hotspot::monitor
+
+#endif  // HOTSPOT_MONITOR_HEALTH_H_

@@ -1,0 +1,217 @@
+#include "monitor/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace hotspot::monitor {
+
+namespace {
+
+/// Linear-interpolated quantile estimate over histogram buckets (bucket b
+/// spans (bounds[b-1], bounds[b]]; the overflow bucket has no upper edge,
+/// so its estimate saturates at the last finite bound).
+double BucketQuantile(const std::vector<double>& bounds,
+                      const std::vector<uint64_t>& buckets, uint64_t count,
+                      double q) {
+  if (count == 0) return 0.0;
+  double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    uint64_t next = cumulative + buckets[b];
+    if (static_cast<double>(next) >= target && buckets[b] > 0) {
+      if (b >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      double lo = b == 0 ? 0.0 : bounds[b - 1];
+      double hi = bounds[b];
+      double inside = target - static_cast<double>(cumulative);
+      return lo + (hi - lo) * inside / static_cast<double>(buckets[b]);
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+/// Fraction of observations at or below `slo_seconds`, interpolating
+/// inside the bucket the SLO edge falls into.
+double InSloFraction(const std::vector<double>& bounds,
+                     const std::vector<uint64_t>& buckets, uint64_t count,
+                     double slo_seconds) {
+  if (count == 0) return 1.0;
+  double covered = 0.0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    double lo = b == 0 ? 0.0 : bounds[b - 1];
+    double hi = b < bounds.size()
+                    ? bounds[b]
+                    : std::numeric_limits<double>::infinity();
+    if (hi <= slo_seconds) {
+      covered += static_cast<double>(buckets[b]);
+    } else if (lo < slo_seconds && std::isfinite(hi)) {
+      covered += static_cast<double>(buckets[b]) * (slo_seconds - lo) /
+                 (hi - lo);
+    }
+  }
+  return std::clamp(covered / static_cast<double>(count), 0.0, 1.0);
+}
+
+}  // namespace
+
+ServingMonitor::ServingMonitor(const BundleFingerprints* fingerprints,
+                               const MonitorConfig& config)
+    : config_(config),
+      drift_(fingerprints, config.drift, config.drift_window),
+      quality_(config.quality), latency_(obs::DefaultLatencySeconds()) {
+  HOTSPOT_CHECK_GE(config.input_sample_hours, 1);
+  HOTSPOT_CHECK_LE(config.input_sample_hours, 24);
+  // Only channels with a reference reservoir are ever drift-tested
+  // (calendar and up-sampled daily/weekly channels carry empty
+  // sketches); observing the others would be pure serve-path cost.
+  for (size_t k = 0; k < fingerprints->channels.size(); ++k) {
+    if (!fingerprints->channels[k].reservoir.empty()) {
+      monitored_channels_.push_back(static_cast<int>(k));
+    }
+  }
+}
+
+void ServingMonitor::ObserveBatch(const Tensor3<float>& tensor,
+                                  int hour_begin, int hour_end,
+                                  const std::vector<float>& scores,
+                                  double latency_seconds) {
+  HOTSPOT_CHECK(hour_begin >= 0 && hour_end <= tensor.dim1() &&
+                hour_begin < hour_end);
+  HOTSPOT_CHECK_EQ(tensor.dim2(), drift_.num_channels());
+  const int sectors =
+      std::min(tensor.dim0(), static_cast<int>(scores.size()));
+  // Sample the freshest day (or the whole span when shorter), at a
+  // deterministic stride — no RNG, so monitoring stays reproducible.
+  const int span_begin = std::max(hour_begin, hour_end - 24);
+  const int span = hour_end - span_begin;
+  int samples = std::min(config_.input_sample_hours, span);
+  // Per-batch observation budget: refresh at most a quarter of the
+  // rolling window per batch. Refilling the whole window every batch
+  // buys nothing statistically (the verdict converges within a few
+  // batches either way) but multiplies the serve-path cost. The
+  // decimation also keeps one batch from overflowing the ring: eviction
+  // would then truncate to whichever sectors were pushed last, and a
+  // sector subset has a different marginal distribution than the
+  // all-sector fingerprint (per-sector scale heterogeneity would read
+  // as drift).
+  const int batch_budget = std::max(1, config_.drift_window / 4);
+  if (sectors > 0 && sectors * samples > batch_budget) {
+    samples = std::max(1, batch_budget / sectors);
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++requests_;
+  windows_ += static_cast<uint64_t>(scores.size());
+  for (int i = 0; i < sectors; ++i) {
+    for (int s = 0; s < samples; ++s) {
+      // Evenly spaced over the span, with a per-sector phase rotation
+      // folded in via fixed-point stepping: across the batch every clock
+      // hour gets sampled even when `samples` does not divide `span` —
+      // a fixed clock-hour subset has a different marginal distribution
+      // than the full-diurnal fingerprint and would falsely read as
+      // drift.
+      const int j =
+          span_begin +
+          static_cast<int>((static_cast<int64_t>(s) * sectors + i) * span /
+                           (static_cast<int64_t>(samples) * sectors));
+      const float* values = tensor.Slice(i, j);
+      for (int k : monitored_channels_) {
+        drift_.ObserveInput(k, values[k]);
+      }
+    }
+  }
+  for (float score : scores) drift_.ObserveScore(score);
+  latency_.Observe(latency_seconds);
+}
+
+void ServingMonitor::RecordOutcomes(const std::vector<float>& scores,
+                                    const std::vector<float>& labels) {
+  HOTSPOT_CHECK_EQ(scores.size(), labels.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    quality_.Record(scores[i], labels[i]);
+  }
+}
+
+HealthReport ServingMonitor::Report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HealthReport report;
+  report.monitoring_enabled = true;
+  report.requests = requests_;
+  report.windows = windows_;
+
+  report.channel_drift = drift_.EvaluateChannels();
+  report.score_drift = drift_.EvaluateScores();
+  report.score_drift.name = "prediction_score";
+  report.drift_state = report.score_drift.state;
+  for (const DriftFinding& finding : report.channel_drift) {
+    report.drift_state = WorstState(report.drift_state, finding.state);
+    if (finding.state != AlertState::kOk) {
+      report.alerts.push_back(
+          {"drift/" + finding.name, finding.state,
+           "live KPI distribution departed from the training fingerprint "
+           "(KS " +
+               std::to_string(finding.statistic) + ")"});
+    }
+  }
+  if (report.score_drift.state != AlertState::kOk) {
+    report.alerts.push_back(
+        {"drift/prediction_score", report.score_drift.state,
+         "prediction-score distribution departed from the training "
+         "fingerprint (KS " +
+             std::to_string(report.score_drift.statistic) + ")"});
+  }
+
+  report.quality = quality_.Summarize();
+  if (report.quality.window_count >= config_.quality.min_labels &&
+      std::isfinite(report.quality.lift)) {
+    if (report.quality.lift < config_.quality_thresholds.drift_lift) {
+      report.quality_state = AlertState::kDrift;
+    } else if (report.quality.lift < config_.quality_thresholds.warn_lift) {
+      report.quality_state = AlertState::kWarn;
+    }
+    if (report.quality_state != AlertState::kOk) {
+      report.alerts.push_back(
+          {"quality/lift", report.quality_state,
+           "rolling lift dropped to " +
+               std::to_string(report.quality.lift)});
+    }
+  }
+
+  std::vector<uint64_t> buckets = latency_.BucketCounts();
+  report.latency.count = latency_.Count();
+  report.latency.sum_seconds = latency_.Sum();
+  report.latency.p50_seconds =
+      BucketQuantile(latency_.bounds(), buckets, report.latency.count, 0.5);
+  report.latency.p99_seconds =
+      BucketQuantile(latency_.bounds(), buckets, report.latency.count, 0.99);
+  report.latency.slo_seconds = config_.latency.slo_seconds;
+  report.latency.in_slo_fraction =
+      InSloFraction(latency_.bounds(), buckets, report.latency.count,
+                    config_.latency.slo_seconds);
+  if (report.latency.count > 0) {
+    if (report.latency.in_slo_fraction < config_.latency.drift_fraction) {
+      report.latency.state = AlertState::kDrift;
+    } else if (report.latency.in_slo_fraction <
+               config_.latency.warn_fraction) {
+      report.latency.state = AlertState::kWarn;
+    }
+    if (report.latency.state != AlertState::kOk) {
+      report.alerts.push_back(
+          {"latency/slo", report.latency.state,
+           "only " + std::to_string(report.latency.in_slo_fraction) +
+               " of batches met the " +
+               std::to_string(config_.latency.slo_seconds) + " s SLO"});
+    }
+  }
+
+  report.overall = WorstState(
+      WorstState(report.drift_state, report.quality_state),
+      report.latency.state);
+  return report;
+}
+
+}  // namespace hotspot::monitor

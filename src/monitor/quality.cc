@@ -1,0 +1,90 @@
+#include "monitor/quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/average_precision.h"
+#include "util/logging.h"
+
+namespace hotspot::monitor {
+
+QualityTracker::QualityTracker(const QualityConfig& config)
+    : config_(config) {
+  HOTSPOT_CHECK_GE(config.window, 1);
+  HOTSPOT_CHECK_GE(config.calibration_bins, 1);
+  scores_.reserve(static_cast<size_t>(config.window));
+  labels_.reserve(static_cast<size_t>(config.window));
+}
+
+void QualityTracker::Record(float score, float label) {
+  if (!std::isfinite(score) || !std::isfinite(label)) return;
+  float binary = label != 0.0f ? 1.0f : 0.0f;
+  ++total_;
+  if (scores_.size() < static_cast<size_t>(config_.window)) {
+    scores_.push_back(score);
+    labels_.push_back(binary);
+    return;
+  }
+  scores_[next_] = score;
+  labels_[next_] = binary;
+  next_ = (next_ + 1) % static_cast<size_t>(config_.window);
+}
+
+QualitySummary QualityTracker::Summarize() const {
+  QualitySummary summary;
+  summary.labels_total = total_;
+  summary.window_count = static_cast<int>(scores_.size());
+  summary.positive_rate = std::nan("");
+  summary.average_precision = std::nan("");
+  summary.lift = std::nan("");
+  summary.expected_calibration_error = std::nan("");
+
+  const int bins = config_.calibration_bins;
+  summary.calibration.resize(static_cast<size_t>(bins));
+  for (int b = 0; b < bins; ++b) {
+    CalibrationBin& bin = summary.calibration[static_cast<size_t>(b)];
+    bin.lo = static_cast<double>(b) / bins;
+    bin.hi = static_cast<double>(b + 1) / bins;
+  }
+  if (scores_.empty()) return summary;
+
+  uint64_t positives = 0;
+  std::vector<double> bin_score_sum(static_cast<size_t>(bins), 0.0);
+  std::vector<uint64_t> bin_positives(static_cast<size_t>(bins), 0);
+  for (size_t i = 0; i < scores_.size(); ++i) {
+    if (labels_[i] != 0.0f) ++positives;
+    // Scores are probabilities in [0, 1]; clamp so boundary values and
+    // baseline-style rankings outside the unit interval still land in a
+    // bin instead of indexing out of range.
+    double clamped = std::clamp(static_cast<double>(scores_[i]), 0.0, 1.0);
+    int b = std::min(static_cast<int>(clamped * bins), bins - 1);
+    CalibrationBin& bin = summary.calibration[static_cast<size_t>(b)];
+    ++bin.count;
+    bin_score_sum[static_cast<size_t>(b)] += clamped;
+    if (labels_[i] != 0.0f) ++bin_positives[static_cast<size_t>(b)];
+  }
+  summary.positive_rate =
+      static_cast<double>(positives) / static_cast<double>(scores_.size());
+
+  summary.average_precision = AveragePrecision(labels_, scores_);
+  // A random ranking's expected AP is the positive rate, so the rolling
+  // lift Λ needs no baseline model run.
+  summary.lift = Lift(summary.average_precision, summary.positive_rate);
+
+  double ece = 0.0;
+  for (int b = 0; b < bins; ++b) {
+    CalibrationBin& bin = summary.calibration[static_cast<size_t>(b)];
+    if (bin.count == 0) continue;
+    bin.mean_score =
+        bin_score_sum[static_cast<size_t>(b)] / static_cast<double>(bin.count);
+    bin.observed_rate = static_cast<double>(bin_positives[static_cast<size_t>(b)]) /
+                        static_cast<double>(bin.count);
+    ece += (static_cast<double>(bin.count) /
+            static_cast<double>(scores_.size())) *
+           std::fabs(bin.mean_score - bin.observed_rate);
+  }
+  summary.expected_calibration_error = ece;
+  return summary;
+}
+
+}  // namespace hotspot::monitor

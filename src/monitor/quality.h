@@ -1,0 +1,68 @@
+#ifndef HOTSPOT_MONITOR_QUALITY_H_
+#define HOTSPOT_MONITOR_QUALITY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hotspot::monitor {
+
+/// Sizing of the delayed-label quality tracker.
+struct QualityConfig {
+  int window = 2048;         ///< (score, label) pairs kept for the metrics
+  int calibration_bins = 10; ///< equal-width score bins over [0, 1]
+  int min_labels = 64;       ///< below this no quality verdict is issued
+};
+
+/// One reliability bin of the calibration diagram: the mean predicted
+/// score vs the observed hot-spot rate of the labels that landed in it.
+struct CalibrationBin {
+  double lo = 0.0;             ///< bin covers scores in [lo, hi)
+  double hi = 0.0;
+  uint64_t count = 0;
+  double mean_score = 0.0;     ///< 0 when the bin is empty
+  double observed_rate = 0.0;  ///< 0 when the bin is empty
+};
+
+/// Rolling model-quality metrics over the matured labels (the paper's
+/// Sec. IV-B metrics, computed online): average precision ψ of the
+/// score ranking, lift Λ over the random baseline (whose ψ is the
+/// positive rate), and a reliability decomposition with its expected
+/// calibration error. NaN metrics mean "not computable" (no positives,
+/// or no labels at all).
+struct QualitySummary {
+  uint64_t labels_total = 0;  ///< feedback pairs ever recorded
+  int window_count = 0;       ///< pairs currently in the rolling window
+  double positive_rate = 0.0;
+  double average_precision = 0.0;
+  double lift = 0.0;
+  double expected_calibration_error = 0.0;
+  std::vector<CalibrationBin> calibration;
+};
+
+/// Accumulates delayed ground-truth feedback and summarizes it on demand.
+/// Not thread-safe; ServingMonitor serializes access.
+class QualityTracker {
+ public:
+  explicit QualityTracker(const QualityConfig& config);
+
+  /// Records one matured (predicted score, true label) pair. Labels are
+  /// binary; any nonzero finite label counts as hot.
+  void Record(float score, float label);
+
+  uint64_t labels_total() const { return total_; }
+  const QualityConfig& config() const { return config_; }
+
+  QualitySummary Summarize() const;
+
+ private:
+  QualityConfig config_;
+  uint64_t total_ = 0;
+  size_t next_ = 0;
+  std::vector<float> scores_;  ///< ring, parallel to labels_
+  std::vector<float> labels_;
+};
+
+}  // namespace hotspot::monitor
+
+#endif  // HOTSPOT_MONITOR_QUALITY_H_

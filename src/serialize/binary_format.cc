@@ -205,7 +205,8 @@ Status WriteArtifactFile(const std::string& path, ArtifactKind kind,
 }
 
 Status ReadArtifactFile(const std::string& path, ArtifactKind expected_kind,
-                        std::vector<uint8_t>* payload) {
+                        std::vector<uint8_t>* payload,
+                        uint32_t* format_version) {
   HOTSPOT_CHECK(payload != nullptr);
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::Error("cannot open " + path);
@@ -228,13 +229,14 @@ Status ReadArtifactFile(const std::string& path, ArtifactKind expected_kind,
     return Status::Error(path + ": bad magic (not a hotspot artifact file)");
   }
   uint32_t version = reader.ReadU32();
-  if (version == 0 || version > kFormatVersion) {
+  if (version < kOldestFormatVersion || version > kFormatVersion) {
     return Status::Error(
         path + ": format version " + std::to_string(version) +
         " is newer than this binary supports (" +
         std::to_string(kFormatVersion) +
         "); rebuild, or bump kFormatVersion alongside the layout change");
   }
+  if (format_version != nullptr) *format_version = version;
   uint32_t kind = reader.ReadU32();
   if (kind != static_cast<uint32_t>(expected_kind)) {
     return Status::Error(path + ": artifact kind " + std::to_string(kind) +

@@ -35,11 +35,15 @@ enum class ArtifactKind : uint32_t {
 
 const char* ArtifactKindName(ArtifactKind kind);
 
-/// Current (and oldest readable) version of the container format. Bump
-/// whenever any payload layout changes; the loader rejects files with a
-/// newer version than it was built for (forward compatibility is not
-/// attempted), which is what the golden-file test pins.
-inline constexpr uint32_t kFormatVersion = 1;
+/// Current version of the container format. Bump whenever any payload
+/// layout changes; the loader rejects files with a newer version than it
+/// was built for (forward compatibility is not attempted), which is what
+/// the golden-file test pins. Older versions down to kOldestFormatVersion
+/// stay readable: decoders receive the file's version and take the
+/// matching legacy path (v1 = the pre-section bundle layout without the
+/// monitoring fingerprints).
+inline constexpr uint32_t kFormatVersion = 2;
+inline constexpr uint32_t kOldestFormatVersion = 1;
 
 /// The 8-byte magic that opens every artifact file.
 inline constexpr char kMagic[8] = {'H', 'O', 'T', 'S', 'P', 'O', 'T', 'B'};
@@ -63,6 +67,10 @@ class ByteWriter {
   void WriteBool(bool value) { WriteU8(value ? 1 : 0); }
   /// Length-prefixed (u32) raw string bytes.
   void WriteString(const std::string& value);
+  /// Appends `size` pre-encoded bytes verbatim (section framing).
+  void WriteRaw(const uint8_t* data, size_t size) {
+    bytes_.insert(bytes_.end(), data, data + size);
+  }
 
   void WriteF32Vector(const std::vector<float>& values);
   void WriteF64Vector(const std::vector<double>& values);
@@ -134,9 +142,12 @@ Status WriteArtifactFile(const std::string& path, ArtifactKind kind,
 /// kFormatVersion are rejected with a "bump" hint), kind, declared payload
 /// size against the actual file size (truncation / trailing garbage), and
 /// the CRC (any flipped payload byte). On success `payload` holds the
-/// verified payload bytes.
+/// verified payload bytes and `format_version` (when non-null) the file's
+/// container version, so payload decoders can pick the legacy layout for
+/// older files.
 Status ReadArtifactFile(const std::string& path, ArtifactKind expected_kind,
-                        std::vector<uint8_t>* payload);
+                        std::vector<uint8_t>* payload,
+                        uint32_t* format_version = nullptr);
 
 }  // namespace hotspot::serialize
 

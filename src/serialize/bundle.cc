@@ -21,19 +21,52 @@ bool IsClassifierKind(ModelKind model) {
   }
 }
 
-}  // namespace
+/// The v2 bundle payload is a table of self-describing sections
+/// (id, version, size, bytes). Each section versions independently of the
+/// container, so a future layout change to, say, the fingerprints bumps
+/// one section version and the loader can name exactly which section it
+/// cannot read.
+enum BundleSection : uint32_t {
+  kScoreSection = 1,
+  kNormalizationSection = 2,
+  kClassifierSection = 3,
+  kFingerprintsSection = 4,
+};
 
-void EncodeBundle(const ForecastBundle& bundle, ByteWriter* writer) {
-  HOTSPOT_CHECK(IsClassifierKind(bundle.model))
-      << "only classifier models can be bundled";
-  HOTSPOT_CHECK(bundle.classifier != nullptr);
-  writer->WriteU32(static_cast<uint32_t>(bundle.model));
-  writer->WriteI32(bundle.window_days);
-  writer->WriteI32(bundle.horizon_days);
-  writer->WriteI32(bundle.num_channels);
-  writer->WriteI32(bundle.feature_dim);
-  EncodeScoreConfig(bundle.score, writer);
-  EncodeNormalization(bundle.normalization, writer);
+const char* SectionName(uint32_t id) {
+  switch (id) {
+    case kScoreSection:
+      return "score_config";
+    case kNormalizationSection:
+      return "normalization";
+    case kClassifierSection:
+      return "classifier";
+    case kFingerprintsSection:
+      return "fingerprints";
+  }
+  return "unknown";
+}
+
+/// Newest version of each section this binary reads and writes.
+uint32_t SupportedSectionVersion(uint32_t id) {
+  switch (id) {
+    case kScoreSection:
+    case kNormalizationSection:
+    case kClassifierSection:
+    case kFingerprintsSection:
+      return 1;
+  }
+  return 0;  // unknown section id
+}
+
+void WriteSection(uint32_t id, const ByteWriter& body, ByteWriter* writer) {
+  writer->WriteU32(id);
+  writer->WriteU32(SupportedSectionVersion(id));
+  writer->WriteU64(body.bytes().size());
+  writer->WriteRaw(body.bytes().data(), body.bytes().size());
+}
+
+void EncodeClassifier(const ForecastBundle& bundle, ByteWriter* writer) {
   // The classifier's concrete type is pinned by the model kind (the same
   // mapping Forecaster::Run uses), so the downcasts are exact.
   switch (bundle.model) {
@@ -56,27 +89,7 @@ void EncodeBundle(const ForecastBundle& bundle, ByteWriter* writer) {
   }
 }
 
-std::unique_ptr<ForecastBundle> DecodeBundle(ByteReader* reader) {
-  auto bundle = std::make_unique<ForecastBundle>();
-  uint32_t model = reader->ReadU32();
-  bundle->window_days = reader->ReadI32();
-  bundle->horizon_days = reader->ReadI32();
-  bundle->num_channels = reader->ReadI32();
-  bundle->feature_dim = reader->ReadI32();
-  if (!reader->ok()) return nullptr;
-  bundle->model = static_cast<ModelKind>(model);
-  if (model > static_cast<uint32_t>(ModelKind::kGbdt) ||
-      !IsClassifierKind(bundle->model)) {
-    reader->Fail("bundle model kind is not a servable classifier");
-    return nullptr;
-  }
-  if (bundle->window_days <= 0 || bundle->horizon_days <= 0 ||
-      bundle->num_channels <= 0 || bundle->feature_dim <= 0) {
-    reader->Fail("bundle window spec out of range");
-    return nullptr;
-  }
-  if (!DecodeScoreConfig(reader, &bundle->score)) return nullptr;
-  if (!DecodeNormalization(reader, &bundle->normalization)) return nullptr;
+bool DecodeClassifier(ByteReader* reader, ForecastBundle* bundle) {
   switch (bundle->model) {
     case ModelKind::kTree:
       bundle->classifier = ModelAccess::DecodeTree(reader);
@@ -91,9 +104,153 @@ std::unique_ptr<ForecastBundle> DecodeBundle(ByteReader* reader) {
       break;
     default:
       reader->Fail("bundle model kind is not a servable classifier");
-      return nullptr;
+      return false;
   }
-  if (bundle->classifier == nullptr) return nullptr;
+  return bundle->classifier != nullptr;
+}
+
+/// Decodes the common header fields shared by the v1 and v2 layouts.
+bool DecodeHeader(ByteReader* reader, ForecastBundle* bundle) {
+  uint32_t model = reader->ReadU32();
+  bundle->window_days = reader->ReadI32();
+  bundle->horizon_days = reader->ReadI32();
+  bundle->num_channels = reader->ReadI32();
+  bundle->feature_dim = reader->ReadI32();
+  if (!reader->ok()) return false;
+  bundle->model = static_cast<ModelKind>(model);
+  if (model > static_cast<uint32_t>(ModelKind::kGbdt) ||
+      !IsClassifierKind(bundle->model)) {
+    reader->Fail("bundle model kind is not a servable classifier");
+    return false;
+  }
+  if (bundle->window_days <= 0 || bundle->horizon_days <= 0 ||
+      bundle->num_channels <= 0 || bundle->feature_dim <= 0) {
+    reader->Fail("bundle window spec out of range");
+    return false;
+  }
+  return true;
+}
+
+bool DecodeSectioned(ByteReader* reader, ForecastBundle* bundle) {
+  uint32_t section_count = reader->ReadU32();
+  if (!reader->ok()) return false;
+  if (section_count > 64) {
+    reader->Fail("bundle section count out of range");
+    return false;
+  }
+  bool seen[5] = {};
+  for (uint32_t s = 0; s < section_count; ++s) {
+    uint32_t id = reader->ReadU32();
+    uint32_t version = reader->ReadU32();
+    uint64_t size = reader->ReadU64();
+    if (!reader->ok()) return false;
+    uint32_t supported = SupportedSectionVersion(id);
+    if (supported == 0) {
+      reader->Fail("bundle section id " + std::to_string(id) +
+                   " is not known to this binary");
+      return false;
+    }
+    if (version == 0 || version > supported) {
+      reader->Fail("bundle '" + std::string(SectionName(id)) +
+                   "' section version " + std::to_string(version) +
+                   " is newer than this binary supports (" +
+                   std::to_string(supported) + ")");
+      return false;
+    }
+    if (seen[id]) {
+      reader->Fail("bundle '" + std::string(SectionName(id)) +
+                   "' section appears twice");
+      return false;
+    }
+    seen[id] = true;
+    if (size > reader->remaining()) {
+      reader->Fail("bundle '" + std::string(SectionName(id)) +
+                   "' section size exceeds payload");
+      return false;
+    }
+    size_t before = reader->remaining();
+    switch (id) {
+      case kScoreSection:
+        if (!DecodeScoreConfig(reader, &bundle->score)) return false;
+        break;
+      case kNormalizationSection:
+        if (!DecodeNormalization(reader, &bundle->normalization)) {
+          return false;
+        }
+        break;
+      case kClassifierSection:
+        if (!DecodeClassifier(reader, bundle)) return false;
+        break;
+      case kFingerprintsSection: {
+        auto fingerprints =
+            std::make_unique<monitor::BundleFingerprints>();
+        if (!monitor::DecodeFingerprints(reader, fingerprints.get())) {
+          return false;
+        }
+        bundle->fingerprints = std::move(fingerprints);
+        break;
+      }
+    }
+    if (before - reader->remaining() != size) {
+      reader->Fail("bundle '" + std::string(SectionName(id)) +
+                   "' section size does not match its contents");
+      return false;
+    }
+  }
+  for (uint32_t id :
+       {kScoreSection, kNormalizationSection, kClassifierSection}) {
+    if (!seen[id]) {
+      reader->Fail("bundle is missing its required '" +
+                   std::string(SectionName(id)) + "' section");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void EncodeBundle(const ForecastBundle& bundle, ByteWriter* writer) {
+  HOTSPOT_CHECK(IsClassifierKind(bundle.model))
+      << "only classifier models can be bundled";
+  HOTSPOT_CHECK(bundle.classifier != nullptr);
+  writer->WriteU32(static_cast<uint32_t>(bundle.model));
+  writer->WriteI32(bundle.window_days);
+  writer->WriteI32(bundle.horizon_days);
+  writer->WriteI32(bundle.num_channels);
+  writer->WriteI32(bundle.feature_dim);
+
+  writer->WriteU32(bundle.fingerprints != nullptr ? 4 : 3);
+  ByteWriter score;
+  EncodeScoreConfig(bundle.score, &score);
+  WriteSection(kScoreSection, score, writer);
+  ByteWriter normalization;
+  EncodeNormalization(bundle.normalization, &normalization);
+  WriteSection(kNormalizationSection, normalization, writer);
+  ByteWriter classifier;
+  EncodeClassifier(bundle, &classifier);
+  WriteSection(kClassifierSection, classifier, writer);
+  if (bundle.fingerprints != nullptr) {
+    ByteWriter fingerprints;
+    monitor::EncodeFingerprints(*bundle.fingerprints, &fingerprints);
+    WriteSection(kFingerprintsSection, fingerprints, writer);
+  }
+}
+
+std::unique_ptr<ForecastBundle> DecodeBundle(ByteReader* reader,
+                                             uint32_t format_version) {
+  auto bundle = std::make_unique<ForecastBundle>();
+  if (!DecodeHeader(reader, bundle.get())) return nullptr;
+  if (format_version >= 2) {
+    if (!DecodeSectioned(reader, bundle.get())) return nullptr;
+  } else {
+    // v1: flat score → normalization → classifier layout, no fingerprints
+    // (monitoring stays disabled for such bundles).
+    if (!DecodeScoreConfig(reader, &bundle->score)) return nullptr;
+    if (!DecodeNormalization(reader, &bundle->normalization)) return nullptr;
+    if (!DecodeClassifier(reader, bundle.get())) return nullptr;
+  }
+  if (!reader->ok()) return nullptr;
   return bundle;
 }
 
@@ -108,11 +265,13 @@ Status LoadBundle(const std::string& path,
                   std::unique_ptr<ForecastBundle>* bundle) {
   HOTSPOT_CHECK(bundle != nullptr);
   std::vector<uint8_t> payload;
-  Status status =
-      ReadArtifactFile(path, ArtifactKind::kForecastBundle, &payload);
+  uint32_t format_version = kFormatVersion;
+  Status status = ReadArtifactFile(path, ArtifactKind::kForecastBundle,
+                                   &payload, &format_version);
   if (!status.ok) return status;
   ByteReader reader(payload.data(), payload.size());
-  std::unique_ptr<ForecastBundle> loaded = DecodeBundle(&reader);
+  std::unique_ptr<ForecastBundle> loaded =
+      DecodeBundle(&reader, format_version);
   if (loaded == nullptr || !reader.ok()) {
     std::string what =
         reader.error().empty() ? "malformed payload" : reader.error();

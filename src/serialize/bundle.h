@@ -5,18 +5,23 @@
 #include <string>
 
 #include "core/forecaster.h"
+#include "monitor/fingerprint.h"
 #include "serialize/model_io.h"
 
 namespace hotspot::serialize {
 
 /// One trained forecasting cell packaged for serving: the classifier, the
 /// operator scoring configuration its labels came from, the per-study KPI
-/// normalization stats, and the feature-window spec a server needs to turn
-/// incoming KPI windows into the rows the classifier was trained on.
+/// normalization stats, the feature-window spec a server needs to turn
+/// incoming KPI windows into the rows the classifier was trained on, and
+/// (since format v2) the training-window distribution fingerprints the
+/// online drift monitor tests live traffic against.
 ///
 /// A bundle is servable iff `model` is one of the classifier kinds (kTree,
 /// kRfRaw, kRfF1, kRfF2, kGbdt) and `classifier` is trained — the only
-/// states Save/Load produce.
+/// states Save/Load produce. `fingerprints` may be null: v1 files predate
+/// the monitoring section, and such bundles serve with monitoring
+/// gracefully disabled.
 struct ForecastBundle {
   ModelKind model = ModelKind::kGbdt;
   int window_days = 7;   ///< w of Eq. 6: the classifier reads 24·w hours
@@ -26,11 +31,17 @@ struct ForecastBundle {
   ScoreConfig score;
   NormalizationStats normalization;
   std::unique_ptr<ml::BinaryClassifier> classifier;
+  std::unique_ptr<monitor::BundleFingerprints> fingerprints;
 };
 
 /// Payload codec; Decode returns null with the reason in reader->error().
+/// The v2 payload frames each part (score config, normalization,
+/// classifier, fingerprints) as a section carrying its own version, so
+/// version skew is reported per section by name; `format_version` selects
+/// the legacy flat layout for v1 files.
 void EncodeBundle(const ForecastBundle& bundle, ByteWriter* writer);
-std::unique_ptr<ForecastBundle> DecodeBundle(ByteReader* reader);
+std::unique_ptr<ForecastBundle> DecodeBundle(
+    ByteReader* reader, uint32_t format_version = kFormatVersion);
 
 /// Whole-file save/load in the versioned checksummed container.
 Status SaveBundle(const std::string& path, const ForecastBundle& bundle);

@@ -50,4 +50,17 @@ KsResult KolmogorovSmirnovTest(std::vector<double> sample1,
   return result;
 }
 
+KsResult KolmogorovSmirnovTestMasked(std::vector<double> sample1,
+                                     std::vector<double> sample2) {
+  auto drop_non_finite = [](std::vector<double>* sample) {
+    sample->erase(std::remove_if(sample->begin(), sample->end(),
+                                 [](double v) { return !std::isfinite(v); }),
+                  sample->end());
+  };
+  drop_non_finite(&sample1);
+  drop_non_finite(&sample2);
+  if (sample1.empty() || sample2.empty()) return KsResult{};
+  return KolmogorovSmirnovTest(std::move(sample1), std::move(sample2));
+}
+
 }  // namespace hotspot

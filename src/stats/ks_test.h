@@ -19,6 +19,13 @@ struct KsResult {
 KsResult KolmogorovSmirnovTest(std::vector<double> sample1,
                                std::vector<double> sample2);
 
+/// NaN-tolerant variant for live telemetry (the drift monitor's entry
+/// point): non-finite values are dropped from both samples first. If
+/// either sample has no finite values left there is no evidence of a
+/// difference, so the result is {statistic 0, p-value 1}.
+KsResult KolmogorovSmirnovTestMasked(std::vector<double> sample1,
+                                     std::vector<double> sample2);
+
 /// Survival function of the Kolmogorov distribution,
 /// Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} exp(-2 k² λ²).
 double KolmogorovSurvival(double lambda);

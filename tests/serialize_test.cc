@@ -487,6 +487,11 @@ TEST(SerializeGolden, CheckedInBundleReproducesGoldenPredictions) {
       dir + "/" + testing::kGoldenBundleFile, &service);
   ASSERT_TRUE(status.ok) << status.error;
 
+  // The current-format fixture carries monitoring fingerprints, so the
+  // service comes up with the online monitor armed.
+  EXPECT_NE(service->bundle().fingerprints, nullptr);
+  EXPECT_TRUE(service->monitoring_enabled());
+
   const Study& study = SharedStudy();
   ForecastConfig config = testing::GoldenForecastConfig();
   // Exact equality: the fixture stores hex floats, which carry the full
@@ -497,6 +502,165 @@ TEST(SerializeGolden, CheckedInBundleReproducesGoldenPredictions) {
   // the golden seed yields the same predictions as the checked-in file.
   Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
   EXPECT_EQ(forecaster.Run(config).predictions, golden);
+}
+
+TEST(SerializeGolden, FormatV1BundleServesWithMonitoringDisabled) {
+  // The checked-in v1 fixture (flat layout, no fingerprint section) must
+  // keep loading forever, produce the same golden predictions, and serve
+  // with monitoring gracefully off — old artifacts never break, they just
+  // don't get the new telemetry.
+  const std::string dir = HOTSPOT_TEST_DATA_DIR;
+  std::vector<float> golden;
+  ASSERT_TRUE(testing::ReadGoldenPredictions(
+      dir + "/" + testing::kGoldenPredictionsFile, &golden));
+
+  std::unique_ptr<ForecastService> service;
+  serialize::Status status =
+      ForecastService::Load(dir + "/golden_bundle_v1.hsb", &service);
+  ASSERT_TRUE(status.ok) << status.error;
+  EXPECT_EQ(service->bundle().fingerprints, nullptr);
+  EXPECT_FALSE(service->monitoring_enabled());
+
+  const Study& study = SharedStudy();
+  ForecastConfig config = testing::GoldenForecastConfig();
+  EXPECT_EQ(service->PredictAtDay(study.features, config.t), golden);
+  EXPECT_FALSE(service->Health().monitoring_enabled);
+}
+
+// ---------------------------------------------------------------------------
+// Per-section version skew
+// ---------------------------------------------------------------------------
+
+uint32_t ReadU32At(const std::vector<uint8_t>& bytes, size_t pos) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(bytes[pos + static_cast<size_t>(i)])
+             << (8 * i);
+  }
+  return value;
+}
+
+uint64_t ReadU64At(const std::vector<uint8_t>& bytes, size_t pos) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(bytes[pos + static_cast<size_t>(i)])
+             << (8 * i);
+  }
+  return value;
+}
+
+void WriteU32At(std::vector<uint8_t>* bytes, size_t pos, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    (*bytes)[pos + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+class SerializeSectionTest : public SerializeTest {
+ protected:
+  void SetUp() override {
+    SerializeTest::SetUp();
+    // Extract the sectioned payload of a freshly trained bundle.
+    const Study& study = SharedStudy();
+    Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
+    std::unique_ptr<serialize::ForecastBundle> bundle =
+        forecaster.TrainBundle(testing::GoldenForecastConfig());
+    bundle->score = study.score_config;
+    ASSERT_TRUE(serialize::SaveBundle(Path("bundle.hsb"), *bundle).ok);
+    serialize::Status status = serialize::ReadArtifactFile(
+        Path("bundle.hsb"), serialize::ArtifactKind::kForecastBundle,
+        &payload_);
+    ASSERT_TRUE(status.ok) << status.error;
+  }
+
+  /// Byte offset of the (id, version, size) frame of the section with
+  /// `target_id` inside the payload, or npos. Layout: 20 header bytes,
+  /// u32 section count, then (u32 id, u32 version, u64 size, body)*.
+  size_t SectionOffset(uint32_t target_id) const {
+    size_t off = 20;
+    uint32_t count = ReadU32At(payload_, off);
+    off += 4;
+    for (uint32_t s = 0; s < count; ++s) {
+      if (ReadU32At(payload_, off) == target_id) return off;
+      off += 16 + ReadU64At(payload_, off + 8);
+    }
+    return std::string::npos;
+  }
+
+  /// Re-frames the (possibly patched) payload with a fresh checksum and
+  /// loads it as a bundle, returning the load error ("" on success).
+  std::string LoadPatched() {
+    EXPECT_TRUE(serialize::WriteArtifactFile(
+                    Path("patched.hsb"),
+                    serialize::ArtifactKind::kForecastBundle, payload_)
+                    .ok);
+    std::unique_ptr<serialize::ForecastBundle> bundle;
+    serialize::Status status =
+        serialize::LoadBundle(Path("patched.hsb"), &bundle);
+    if (status.ok) {
+      EXPECT_NE(bundle, nullptr);
+      return "";
+    }
+    EXPECT_EQ(bundle, nullptr);
+    return status.error;
+  }
+
+  std::vector<uint8_t> payload_;
+};
+
+TEST_F(SerializeSectionTest, UnpatchedPayloadHasAllFourSections) {
+  for (uint32_t id : {1u, 2u, 3u, 4u}) {
+    EXPECT_NE(SectionOffset(id), std::string::npos) << "section " << id;
+  }
+  EXPECT_EQ(LoadPatched(), "");
+}
+
+TEST_F(SerializeSectionTest, SkewErrorNamesTheExactSection) {
+  // A future version of each section in turn: the error must say which
+  // section is unreadable, not just "bad file".
+  const struct {
+    uint32_t id;
+    const char* name;
+  } kSections[] = {{1, "score_config"},
+                   {2, "normalization"},
+                   {3, "classifier"},
+                   {4, "fingerprints"}};
+  for (const auto& section : kSections) {
+    std::vector<uint8_t> pristine = payload_;
+    size_t off = SectionOffset(section.id);
+    ASSERT_NE(off, std::string::npos) << section.name;
+    WriteU32At(&payload_, off + 4, 99);  // the section's version field
+    std::string error = LoadPatched();
+    EXPECT_NE(error.find(std::string("'") + section.name + "'"),
+              std::string::npos)
+        << error;
+    EXPECT_NE(error.find("version 99"), std::string::npos) << error;
+    EXPECT_NE(error.find("newer"), std::string::npos) << error;
+    payload_ = pristine;
+  }
+}
+
+TEST_F(SerializeSectionTest, UnknownSectionIdIsRejectedByNumber) {
+  size_t off = SectionOffset(4);
+  ASSERT_NE(off, std::string::npos);
+  WriteU32At(&payload_, off, 77);  // an id this binary has never heard of
+  std::string error = LoadPatched();
+  EXPECT_NE(error.find("section id 77"), std::string::npos) << error;
+}
+
+TEST_F(SerializeSectionTest, MissingRequiredSectionIsNamed) {
+  // Truncate the section table to just the first (score_config) section:
+  // the loader must name a missing required section rather than serve a
+  // half-initialized bundle.
+  size_t first = SectionOffset(1);
+  size_t second = SectionOffset(2);
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  payload_.resize(second);
+  WriteU32At(&payload_, 20, 1);  // section count
+  std::string error = LoadPatched();
+  EXPECT_NE(error.find("missing"), std::string::npos) << error;
+  EXPECT_NE(error.find("normalization"), std::string::npos) << error;
 }
 
 }  // namespace

@@ -1,4 +1,6 @@
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "gtest/gtest.h"
 #include "stats/average_precision.h"
@@ -195,6 +197,92 @@ TEST(KsTest, KolmogorovSurvivalReferenceValues) {
   EXPECT_NEAR(KolmogorovSurvival(1.0), 0.2700, 1e-3);
   EXPECT_NEAR(KolmogorovSurvival(1.36), 0.0491, 1e-3);
   EXPECT_DOUBLE_EQ(KolmogorovSurvival(0.0), 1.0);
+}
+
+TEST(KsTest, HeavyTiesFromSameDistribution) {
+  // Discrete samples with many ties (counter-style KPIs): two draws of the
+  // same support must not look different.
+  std::vector<double> a, b;
+  for (int i = 0; i < 120; ++i) {
+    a.push_back(i % 4);
+    b.push_back((i + 1) % 4);
+  }
+  KsResult result = KolmogorovSmirnovTest(a, b);
+  EXPECT_LT(result.statistic, 0.05);
+  EXPECT_GT(result.p_value, 0.5);
+}
+
+TEST(KsTest, AllIdenticalValuesInBothSamples) {
+  // Degenerate but legal: a constant channel (e.g. a KPI pinned at 0)
+  // compared against its own fingerprint. Zero evidence of drift.
+  std::vector<double> a(50, 3.25);
+  std::vector<double> b(40, 3.25);
+  KsResult result = KolmogorovSmirnovTest(a, b);
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_GT(result.p_value, 0.99);
+}
+
+TEST(KsTest, ConstantSamplesAtDifferentValues) {
+  // Two different constants: maximal statistic, decisive p with enough
+  // samples.
+  std::vector<double> a(64, 0.0);
+  std::vector<double> b(64, 1.0);
+  KsResult result = KolmogorovSmirnovTest(a, b);
+  EXPECT_DOUBLE_EQ(result.statistic, 1.0);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KsTest, TinyWindowsStayConservative) {
+  // Below ~8 samples the asymptotic p-value must stay well-behaved: in
+  // [0, 1], and not significant for overlapping draws.
+  for (int n = 1; n < 8; ++n) {
+    std::vector<double> a, b;
+    for (int i = 0; i < n; ++i) {
+      a.push_back(i);
+      b.push_back(i + 0.5);
+    }
+    KsResult result = KolmogorovSmirnovTest(a, b);
+    EXPECT_GE(result.p_value, 0.0) << n;
+    EXPECT_LE(result.p_value, 1.0) << n;
+    EXPECT_GE(result.statistic, 0.0) << n;
+    EXPECT_LE(result.statistic, 1.0) << n;
+    if (n > 1) EXPECT_GT(result.p_value, 0.05) << n;
+  }
+}
+
+TEST(KsTest, MaskedVariantDropsNaN) {
+  // NaN-padded inputs must give exactly the all-finite answer.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> a, b, a_masked, b_masked;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(i * 0.02);
+    b.push_back(i * 0.02 + 0.8);
+    a_masked.push_back(a.back());
+    b_masked.push_back(b.back());
+    if (i % 5 == 0) a_masked.push_back(nan);
+    if (i % 7 == 0) {
+      b_masked.push_back(nan);
+      b_masked.push_back(std::numeric_limits<double>::infinity());
+    }
+  }
+  KsResult clean = KolmogorovSmirnovTest(a, b);
+  KsResult masked = KolmogorovSmirnovTestMasked(a_masked, b_masked);
+  EXPECT_DOUBLE_EQ(masked.statistic, clean.statistic);
+  EXPECT_DOUBLE_EQ(masked.p_value, clean.p_value);
+}
+
+TEST(KsTest, MaskedVariantWithNoFiniteDataIsNoEvidence) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> all_nan(16, nan);
+  std::vector<double> finite = {0.0, 1.0, 2.0};
+  for (const auto& [a, b] :
+       {std::pair(all_nan, finite), std::pair(finite, all_nan),
+        std::pair(all_nan, all_nan),
+        std::pair(std::vector<double>{}, finite)}) {
+    KsResult result = KolmogorovSmirnovTestMasked(a, b);
+    EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+    EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+  }
 }
 
 TEST(AveragePrecision, PerfectRankingIsOne) {
