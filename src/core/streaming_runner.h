@@ -1,0 +1,82 @@
+#ifndef HOTSPOT_CORE_STREAMING_RUNNER_H_
+#define HOTSPOT_CORE_STREAMING_RUNNER_H_
+
+#include <deque>
+#include <vector>
+
+#include "core/forecast_service.h"
+#include "stream/incremental_features.h"
+
+namespace hotspot {
+
+/// One served streaming batch: scores for the windows ending at `end_day`
+/// (one per sector, sector-id order), forecasting day `target_day` =
+/// end_day + the bundle's horizon.
+struct StreamingPrediction {
+  int end_day = 0;
+  int target_day = 0;
+  std::vector<float> scores;
+};
+
+/// The serving tail of the streaming pipeline: watches an
+/// IncrementalFeatureEngine's finalized frontier and, whenever every
+/// sector has finalized features through another day boundary, cuts the
+/// per-sector windows (Eq. 6) out of the engine's history and batches
+/// them through ForecastService::Predict — ingest → incremental features
+/// → prediction → drift/quality monitoring in one process, no offline
+/// tensor rebuild.
+///
+/// Window assembly fans out over the existing thread pool (sector i only
+/// writes its own slab) and Predict keeps its own determinism contract,
+/// so streaming scores are bitwise-identical to the batch
+/// PredictAtDay(features, end_day) at every HOTSPOT_NUM_THREADS — pinned
+/// by tests/stream_test.cc.
+///
+/// The runner also closes the monitoring loop: once the stream reaches a
+/// prediction's target day, that day's matured hot-spot labels are fed
+/// back via ForecastService::RecordOutcomes (the daily "is a hot spot"
+/// ground truth — the serving default; other target kinds need their own
+/// maturation rule). Counters land under `stream/` in the installed
+/// observability context.
+///
+/// Poll from the ingest thread (or any single thread at a time), after
+/// pushing rows. Poll at least once per engine retention window —
+/// windows older than the engine's history cannot be rebuilt, which the
+/// runner enforces with a history-coverage check at construction.
+class StreamingForecastRunner {
+ public:
+  /// Neither pointer is owned; both must outlive the runner. The engine's
+  /// channel count must match the bundle's, and its retention must cover
+  /// the serving window plus one week of frontier slack.
+  StreamingForecastRunner(ForecastService* service,
+                          stream::IncrementalFeatureEngine* engine);
+
+  StreamingForecastRunner(const StreamingForecastRunner&) = delete;
+  StreamingForecastRunner& operator=(const StreamingForecastRunner&) =
+      delete;
+
+  /// Runs every prediction batch that became ready since the last call
+  /// (possibly none — the frontier advances in whole weeks) and feeds
+  /// matured outcomes to the service's quality monitor. Returns the new
+  /// predictions in end-day order.
+  std::vector<StreamingPrediction> Poll();
+
+  /// The next window end-day Poll will serve once the stream reaches it.
+  int next_end_day() const { return next_end_day_; }
+  /// Predictions whose target day has not matured in the stream yet.
+  int pending_outcomes() const {
+    return static_cast<int>(awaiting_outcomes_.size());
+  }
+
+ private:
+  void RecordMaturedOutcomes();
+
+  ForecastService* service_;
+  stream::IncrementalFeatureEngine* engine_;
+  int next_end_day_;
+  std::deque<StreamingPrediction> awaiting_outcomes_;
+};
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_CORE_STREAMING_RUNNER_H_

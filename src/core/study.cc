@@ -125,22 +125,4 @@ Study BuildStudy(StudyInput input, const StudyOptions& options) {
   return RunPipeline(std::move(network), options);
 }
 
-// The deprecated wrappers forward to the unified entry point; suppress
-// their own deprecation diagnostics (declaration and definition must
-// match).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-Study BuildStudy(const simnet::GeneratorConfig& generator_config,
-                 const StudyOptions& options) {
-  return BuildStudy(StudyInput(generator_config), options);
-}
-
-Study BuildStudyFromNetwork(simnet::SyntheticNetwork network,
-                            const StudyOptions& options) {
-  return BuildStudy(StudyInput(std::move(network)), options);
-}
-
-#pragma GCC diagnostic pop
-
 }  // namespace hotspot

@@ -93,18 +93,11 @@ class StudyInput {
 };
 
 /// Runs the full pipeline — sector filter, imputation, scores, labels,
-/// feature tensor — on the given input. The single entry point; the
-/// legacy BuildStudy(config)/BuildStudyFromNetwork(network) pair below
-/// forwards here.
+/// feature tensor — on the given input. The single entry point: StudyInput
+/// converts implicitly from both a GeneratorConfig and a built network.
+/// (The legacy BuildStudy(config)/BuildStudyFromNetwork(network) wrapper
+/// pair was removed after its deprecation cycle.)
 Study BuildStudy(StudyInput input, const StudyOptions& options = {});
-
-[[deprecated("use BuildStudy(StudyInput(generator_config), options)")]]
-Study BuildStudy(const simnet::GeneratorConfig& generator_config,
-                 const StudyOptions& options = {});
-
-[[deprecated("use BuildStudy(StudyInput(std::move(network)), options)")]]
-Study BuildStudyFromNetwork(simnet::SyntheticNetwork network,
-                            const StudyOptions& options = {});
 
 }  // namespace hotspot
 

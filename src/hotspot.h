@@ -14,6 +14,9 @@
 ///              ForecastService)
 ///   monitor  — online drift / quality / latency health for the serving
 ///              path (ServingMonitor, HealthReport)
+///   stream   — streaming KPI ingestion and incremental features feeding
+///              the serving path end to end (KpiStreamIngestor,
+///              IncrementalFeatureEngine, StreamingForecastRunner)
 
 #include "core/config.h"
 #include "core/dynamics.h"
@@ -24,6 +27,7 @@
 #include "core/labels.h"
 #include "core/score.h"
 #include "core/study.h"
+#include "core/streaming_runner.h"
 #include "core/task.h"
 #include "io/csv_io.h"
 #include "monitor/health.h"
@@ -38,6 +42,8 @@
 #include "simnet/generator.h"
 #include "stats/average_precision.h"
 #include "stats/confidence.h"
+#include "stream/incremental_features.h"
+#include "stream/kpi_stream.h"
 #include "tensor/temporal.h"
 #include "util/csv.h"
 

@@ -176,21 +176,98 @@ IoStatus WriteKpiTensorCsv(const std::string& path,
   return IoStatus::Ok();
 }
 
+bool ParseKpiCsvHeader(const std::string& line,
+                       std::vector<std::string>* kpi_names,
+                       std::string* error) {
+  HOTSPOT_CHECK(kpi_names != nullptr);
+  HOTSPOT_CHECK(error != nullptr);
+  std::vector<std::string> header = ParseCsvLine(line);
+  if (header.size() < 3 || header[0] != "sector" || header[1] != "hour") {
+    *error = "expected 'sector,hour,<kpis...>' header";
+    return false;
+  }
+  kpi_names->assign(header.begin() + 2, header.end());
+  return true;
+}
+
+bool ParseKpiCsvRow(const std::vector<std::string>& fields,
+                    const std::vector<std::string>& kpi_names, int* sector,
+                    int* hour, std::vector<float>* values,
+                    std::string* error) {
+  HOTSPOT_CHECK(sector != nullptr && hour != nullptr && values != nullptr);
+  HOTSPOT_CHECK(error != nullptr);
+  const size_t l = kpi_names.size();
+  if (fields.size() != l + 2) {
+    *error = FieldCountError(l + 2, fields.size());
+    return false;
+  }
+  if (!ParseIntField(fields[0], sector) || !ParseIntField(fields[1], hour) ||
+      *sector < 0 || *hour < 0) {
+    *error = "bad sector/hour ids '" + fields[0] + "," + fields[1] +
+             "' (columns 'sector', 'hour')";
+    return false;
+  }
+  values->resize(l);
+  for (size_t k = 0; k < l; ++k) {
+    if (!ParseFloatField(fields[k + 2], &(*values)[k])) {
+      *error = "bad number '" + fields[k + 2] + "' in column '" +
+               kpi_names[k] + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+IoStatus KpiCsvStreamReader::Open(const std::string& path) {
+  path_ = path;
+  line_number_ = 0;
+  kpi_names_.clear();
+  in_.open(path);
+  if (!in_) {
+    status_ = IoStatus::Error("cannot open " + path);
+    return status_;
+  }
+  std::string line;
+  if (!std::getline(in_, line)) {
+    status_ = IoStatus::Error(LineError(path, 1, "missing header"));
+    return status_;
+  }
+  line_number_ = 1;
+  std::string error;
+  if (!ParseKpiCsvHeader(line, &kpi_names_, &error)) {
+    status_ = IoStatus::Error(LineError(path, 1, error));
+    return status_;
+  }
+  status_ = IoStatus::Ok();
+  opened_ = true;
+  return status_;
+}
+
+bool KpiCsvStreamReader::Next(int* sector, int* hour,
+                              std::vector<float>* values) {
+  if (!opened_ || !status_.ok) return false;
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_number_;
+    if (line.empty()) continue;
+    std::string error;
+    if (!ParseKpiCsvRow(ParseCsvLine(line), kpi_names_, sector, hour, values,
+                        &error)) {
+      status_ = IoStatus::Error(LineError(path_, line_number_, error));
+      return false;
+    }
+    return true;
+  }
+  return false;  // clean EOF: status_ stays ok
+}
+
 IoStatus ReadKpiTensorCsv(const std::string& path, Tensor3<float>* kpis,
                           std::vector<std::string>* kpi_names) {
   HOTSPOT_CHECK(kpis != nullptr);
-  std::ifstream in(path);
-  if (!in) return IoStatus::Error("cannot open " + path);
-  std::string line;
-  if (!std::getline(in, line)) {
-    return IoStatus::Error(LineError(path, 1, "missing header"));
-  }
-  std::vector<std::string> header = ParseCsvLine(line);
-  if (header.size() < 3 || header[0] != "sector" || header[1] != "hour") {
-    return IoStatus::Error(
-        LineError(path, 1, "expected 'sector,hour,<kpis...>' header"));
-  }
-  const int l = static_cast<int>(header.size()) - 2;
+  KpiCsvStreamReader reader;
+  IoStatus open_status = reader.Open(path);
+  if (!open_status.ok) return open_status;
+  const int l = reader.num_kpis();
 
   struct Cell {
     int sector;
@@ -205,47 +282,23 @@ IoStatus ReadKpiTensorCsv(const std::string& path, Tensor3<float>* kpis,
   std::unordered_map<uint64_t, int> first_line;
   int max_sector = -1;
   int max_hour = -1;
-  int line_number = 1;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (line.empty()) continue;
-    std::vector<std::string> fields = ParseCsvLine(line);
-    if (static_cast<int>(fields.size()) != l + 2) {
-      return IoStatus::Error(LineError(
-          path, line_number,
-          FieldCountError(static_cast<size_t>(l) + 2, fields.size())));
-    }
-    Cell cell;
-    if (!ParseIntField(fields[0], &cell.sector) ||
-        !ParseIntField(fields[1], &cell.hour) || cell.sector < 0 ||
-        cell.hour < 0) {
-      return IoStatus::Error(LineError(
-          path, line_number,
-          "bad sector/hour ids '" + fields[0] + "," + fields[1] + "'"));
-    }
+  Cell cell;
+  while (reader.Next(&cell.sector, &cell.hour, &cell.values)) {
     uint64_t key = (static_cast<uint64_t>(cell.sector) << 32) |
                    static_cast<uint32_t>(cell.hour);
-    auto [it, inserted] = first_line.emplace(key, line_number);
+    auto [it, inserted] = first_line.emplace(key, reader.line_number());
     if (!inserted) {
       return IoStatus::Error(LineError(
-          path, line_number,
-          "duplicate (sector, hour) = (" + fields[0] + ", " + fields[1] +
-              "), first seen at line " + std::to_string(it->second)));
-    }
-    cell.values.resize(static_cast<size_t>(l));
-    for (int k = 0; k < l; ++k) {
-      if (!ParseFloatField(fields[static_cast<size_t>(k + 2)],
-                           &cell.values[static_cast<size_t>(k)])) {
-        return IoStatus::Error(LineError(
-            path, line_number,
-            "bad number '" + fields[static_cast<size_t>(k + 2)] +
-                "' in column '" + header[static_cast<size_t>(k + 2)] + "'"));
-      }
+          path, reader.line_number(),
+          "duplicate (sector, hour) = (" + std::to_string(cell.sector) +
+              ", " + std::to_string(cell.hour) + "), first seen at line " +
+              std::to_string(it->second)));
     }
     max_sector = std::max(max_sector, cell.sector);
     max_hour = std::max(max_hour, cell.hour);
     cells.push_back(std::move(cell));
   }
+  if (!reader.status().ok) return reader.status();
   if (cells.empty()) return IoStatus::Error(path + ": no data rows");
   long long expected = static_cast<long long>(max_sector + 1) *
                        static_cast<long long>(max_hour + 1);
@@ -257,9 +310,7 @@ IoStatus ReadKpiTensorCsv(const std::string& path, Tensor3<float>* kpis,
   }
   // All validation passed — only now touch the outputs, so a failed load
   // never leaves a partially-filled tensor or name list behind.
-  if (kpi_names != nullptr) {
-    kpi_names->assign(header.begin() + 2, header.end());
-  }
+  if (kpi_names != nullptr) *kpi_names = reader.kpi_names();
   *kpis = Tensor3<float>(max_sector + 1, max_hour + 1, l);
   for (const Cell& cell : cells) {
     float* slice = kpis->Slice(cell.sector, cell.hour);

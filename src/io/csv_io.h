@@ -1,6 +1,7 @@
 #ifndef HOTSPOT_IO_CSV_IO_H_
 #define HOTSPOT_IO_CSV_IO_H_
 
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,65 @@ IoStatus WriteKpiTensorCsv(const std::string& path,
 /// taken from the header.
 IoStatus ReadKpiTensorCsv(const std::string& path, Tensor3<float>* kpis,
                           std::vector<std::string>* kpi_names);
+
+/// Parses the `sector,hour,<kpis...>` header of a long-form KPI file. On
+/// failure returns false with the reason in `error` (no file/line prefix —
+/// callers prepend it).
+bool ParseKpiCsvHeader(const std::string& line,
+                       std::vector<std::string>* kpi_names,
+                       std::string* error);
+
+/// Parses one long-form KPI data row, already split into fields, against
+/// the KPI names from the header. Empty / "nan" cells load as NaN. On
+/// failure returns false with an `error` naming the offending column (no
+/// file/line prefix — callers prepend it). Shared by ReadKpiTensorCsv and
+/// KpiCsvStreamReader so the two never disagree on dialect or error
+/// wording.
+bool ParseKpiCsvRow(const std::vector<std::string>& fields,
+                    const std::vector<std::string>& kpi_names, int* sector,
+                    int* hour, std::vector<float>* values,
+                    std::string* error);
+
+/// Incremental reader over the long-form KPI format WriteKpiTensorCsv
+/// emits: Open parses the header, then Next yields one (sector, hour,
+/// values) row at a time without materializing a tensor — the adapter the
+/// streaming ingestion layer (src/stream) feeds from. Rows may be sparse,
+/// duplicated or out of order at this level; ordering policy belongs to
+/// the consumer (KpiStreamIngestor). Every error message carries
+/// `<file>:<line>` context, naming the offending column where one exists.
+/// The whole-file ReadKpiTensorCsv is built on top of this reader.
+class KpiCsvStreamReader {
+ public:
+  KpiCsvStreamReader() = default;
+  KpiCsvStreamReader(const KpiCsvStreamReader&) = delete;
+  KpiCsvStreamReader& operator=(const KpiCsvStreamReader&) = delete;
+
+  /// Opens `path` and reads the header. On failure the reader is dead
+  /// (Next returns false and status() carries the same error).
+  IoStatus Open(const std::string& path);
+
+  /// KPI column names from the header (valid after a successful Open).
+  const std::vector<std::string>& kpi_names() const { return kpi_names_; }
+  int num_kpis() const { return static_cast<int>(kpi_names_.size()); }
+
+  /// Advances to the next data row (blank lines are skipped). Returns
+  /// false at end of input or on error; status().ok distinguishes a clean
+  /// EOF (true) from a parse/IO failure (false).
+  bool Next(int* sector, int* hour, std::vector<float>* values);
+
+  const IoStatus& status() const { return status_; }
+  /// 1-based line number of the row Next last looked at.
+  int line_number() const { return line_number_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  std::vector<std::string> kpi_names_;
+  IoStatus status_;
+  int line_number_ = 0;
+  bool opened_ = false;
+};
 
 /// Writes / reads the deployment topology (one row per sector: id, tower,
 /// patch, city, x_km, y_km, azimuth_deg, archetype name).

@@ -64,22 +64,17 @@ TEST(Integration, SectorFilterDropsDeadSectors) {
   EXPECT_GT(study.sectors_filtered_out, 0);
 }
 
-TEST(Integration, DeprecatedEntryPointsForwardToUnifiedOverload) {
-  // The legacy signatures are thin wrappers over BuildStudy(StudyInput);
-  // they must keep producing bit-identical studies until removal.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  Study legacy = BuildStudy(SmallConfig(), {});
-  Study legacy_network =
-      BuildStudyFromNetwork(simnet::GenerateNetwork(SmallConfig()), {});
-#pragma GCC diagnostic pop
-  Study unified = BuildStudy(StudyInput(SmallConfig()), {});
-  ASSERT_EQ(legacy.num_sectors(), unified.num_sectors());
-  EXPECT_EQ(legacy.scores.daily.data(), unified.scores.daily.data());
-  EXPECT_EQ(legacy.daily_labels.data(), unified.daily_labels.data());
-  ASSERT_EQ(legacy_network.num_sectors(), unified.num_sectors());
-  EXPECT_EQ(legacy_network.scores.daily.data(),
-            unified.scores.daily.data());
+TEST(Integration, NetworkInputMatchesGeneratorInput) {
+  // The two StudyInput flavors (generator config vs. pre-built network)
+  // must produce bit-identical studies for the same seed.
+  Study from_network =
+      BuildStudy(StudyInput(simnet::GenerateNetwork(SmallConfig())), {});
+  Study from_config = BuildStudy(StudyInput(SmallConfig()), {});
+  ASSERT_EQ(from_network.num_sectors(), from_config.num_sectors());
+  EXPECT_EQ(from_network.scores.daily.data(),
+            from_config.scores.daily.data());
+  EXPECT_EQ(from_network.daily_labels.data(),
+            from_config.daily_labels.data());
 }
 
 TEST(Integration, StudyDeterministicGivenSeed) {

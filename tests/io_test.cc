@@ -229,6 +229,57 @@ TEST_F(IoTest, KpiTensorRaggedRowErrorCountsFields) {
       << status.error;
 }
 
+TEST_F(IoTest, StreamReaderYieldsRowsInFileOrder) {
+  std::ofstream(Path("s.csv")) << "sector,hour,noise,drops\n"
+                               << "0,0,1.5,2.5\n1,0,3.5,NaN\n0,1,4.5,5.5\n";
+  KpiCsvStreamReader reader;
+  ASSERT_TRUE(reader.Open(Path("s.csv")).ok) << reader.status().error;
+  EXPECT_EQ(reader.kpi_names(),
+            (std::vector<std::string>{"noise", "drops"}));
+  EXPECT_EQ(reader.num_kpis(), 2);
+  int sector = -1, hour = -1;
+  std::vector<float> values;
+  ASSERT_TRUE(reader.Next(&sector, &hour, &values));
+  EXPECT_EQ(sector, 0);
+  EXPECT_EQ(hour, 0);
+  EXPECT_EQ(values, (std::vector<float>{1.5f, 2.5f}));
+  ASSERT_TRUE(reader.Next(&sector, &hour, &values));
+  EXPECT_EQ(sector, 1);
+  EXPECT_TRUE(IsMissing(values[1]));
+  ASSERT_TRUE(reader.Next(&sector, &hour, &values));
+  EXPECT_EQ(hour, 1);
+  // End of file: Next is false but the status stays OK.
+  EXPECT_FALSE(reader.Next(&sector, &hour, &values));
+  EXPECT_TRUE(reader.status().ok) << reader.status().error;
+}
+
+TEST_F(IoTest, StreamReaderErrorNamesFileLineAndColumn) {
+  std::ofstream(Path("s.csv")) << "sector,hour,noise,drops\n"
+                               << "0,0,1.5,2.5\n0,1,1.5,banana\n";
+  KpiCsvStreamReader reader;
+  ASSERT_TRUE(reader.Open(Path("s.csv")).ok);
+  int sector, hour;
+  std::vector<float> values;
+  ASSERT_TRUE(reader.Next(&sector, &hour, &values));
+  ASSERT_FALSE(reader.Next(&sector, &hour, &values));
+  IoStatus status = reader.status();
+  EXPECT_FALSE(status.ok);
+  EXPECT_NE(status.error.find("s.csv:3:"), std::string::npos)
+      << status.error;
+  EXPECT_NE(status.error.find("'banana'"), std::string::npos)
+      << status.error;
+  EXPECT_NE(status.error.find("'drops'"), std::string::npos)
+      << status.error;
+  EXPECT_EQ(reader.line_number(), 3);
+}
+
+TEST_F(IoTest, StreamReaderReportsMissingFile) {
+  KpiCsvStreamReader reader;
+  IoStatus status = reader.Open(Path("nonexistent.csv"));
+  EXPECT_FALSE(status.ok);
+  EXPECT_NE(status.error.find("cannot open"), std::string::npos);
+}
+
 TEST_F(IoTest, TopologyRoundTrip) {
   simnet::TopologyConfig config;
   config.target_sectors = 21;
