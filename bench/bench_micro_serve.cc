@@ -1,20 +1,41 @@
 // google-benchmark microbenchmarks of the serialization + serving layer:
 // bundle save/load latency (the warm-start cost a serving process pays
-// once) and batched prediction throughput through ForecastService, with
-// and without online monitoring (the monitored variant must stay within
-// 5 % of the unmonitored one — record both in EXPERIMENTS.md when the
-// numbers change materially).
+// once), batched prediction throughput through ForecastService with and
+// without online monitoring, and the single-thread predict trajectory of
+// the flat-tree engine — classic pointer-walking vs FlatForest scalar vs
+// FlatForest SIMD (vs the quantized variant) over identical rows. The
+// flat SIMD path must hold >= 5x the classic single-thread throughput;
+// record the trajectory in BENCH_micro_serve.json (HOTSPOT_BENCH_JSON
+// exports it) and EXPERIMENTS.md when the numbers change materially.
+//
+// HOTSPOT_MICRO_SMOKE=1 switches to a seconds-scale correctness smoke
+// (the ctest registration, label `simd`): serves the monitored /
+// unmonitored x flat / classic quartet under a live obs::PipelineContext,
+// asserts all four score vectors are bitwise identical, cross-checks the
+// serve/ row counters against the batches actually served, and reports
+// the measured predict trajectory. With HOTSPOT_OBS_JSON=<path> either
+// mode exports the metrics snapshot.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/forecast_service.h"
 #include "core/study.h"
+#include "features/raw_features.h"
+#include "features/window.h"
+#include "ml/flat_tree.h"
+#include "obs/pipeline_context.h"
+#include "obs/snapshot.h"
 #include "serialize/bundle.h"
 #include "simnet/generator.h"
+#include "util/stopwatch.h"
 
 namespace hotspot {
 namespace {
@@ -24,7 +45,9 @@ std::string TempPath(const char* name) {
 }
 
 /// One shared study + trained bundle per process; benches measure the
-/// serialize/serve layer, not training.
+/// serialize/serve layer, not training. The hot threshold is lowered from
+/// the study default so the trained GBDT has real splits — an all-leaf
+/// model would make every predict engine trivially fast.
 struct ServeFixture {
   Study study;
   ForecastConfig config;
@@ -36,7 +59,9 @@ struct ServeFixture {
     generator.topology.num_cities = 2;
     generator.weeks = 9;
     generator.seed = 404;
-    study = BuildStudy(StudyInput(generator), StudyOptions{});
+    StudyOptions options;
+    options.hot_threshold_override = 0.5;
+    study = BuildStudy(StudyInput(generator), options);
     config.model = ModelKind::kGbdt;
     config.t = 55;
     config.h = 1;
@@ -56,11 +81,41 @@ struct ServeFixture {
       std::abort();
     }
   }
+
+  /// The study's feature rows at day t, replicated to `rows` rows — the
+  /// predict-trajectory benches all score exactly this matrix.
+  Matrix<float> PredictRows(int rows) const {
+    features::RawExtractor extractor;
+    std::vector<float> row;
+    Matrix<float> window =
+        features::ExtractWindow(study.features, 0, config.t, config.w);
+    extractor.Extract(window, &row);
+    const int dim = static_cast<int>(row.size());
+    Matrix<float> out(rows, dim);
+    for (int i = 0; i < rows; ++i) {
+      window = features::ExtractWindow(
+          study.features, i % study.num_sectors(), config.t, config.w);
+      extractor.Extract(window, &row);
+      std::memcpy(out.Row(i), row.data(), row.size() * sizeof(float));
+    }
+    return out;
+  }
 };
 
 ServeFixture& Fixture() {
   static ServeFixture* fixture = new ServeFixture();
   return *fixture;
+}
+
+std::unique_ptr<ForecastService> LoadService(benchmark::State* state) {
+  std::unique_ptr<ForecastService> service;
+  serialize::Status status =
+      ForecastService::Load(Fixture().bundle_path, &service);
+  if (!status.ok) {
+    if (state != nullptr) state->SkipWithError(status.error.c_str());
+    return nullptr;
+  }
+  return service;
 }
 
 void BM_BundleSave(benchmark::State& state) {
@@ -97,13 +152,8 @@ BENCHMARK(BM_BundleLoad);
 // monitoring is an observer, not a tax on serving.
 void ServePredictBatch(benchmark::State& state, bool monitored) {
   ServeFixture& fixture = Fixture();
-  std::unique_ptr<ForecastService> service;
-  serialize::Status status =
-      ForecastService::Load(fixture.bundle_path, &service);
-  if (!status.ok) {
-    state.SkipWithError(status.error.c_str());
-    return;
-  }
+  std::unique_ptr<ForecastService> service = LoadService(&state);
+  if (service == nullptr) return;
   if (monitored) {
     if (!service->EnableMonitoring()) {
       state.SkipWithError("bundle carries no monitoring fingerprints");
@@ -131,7 +181,315 @@ void BM_ServePredictBatchMonitored(benchmark::State& state) {
 }
 BENCHMARK(BM_ServePredictBatchMonitored);
 
+// ---------------------------------------------------------------------------
+// Single-thread predict trajectory: classic pointer walk vs flat engine
+// ---------------------------------------------------------------------------
+
+constexpr int kTrajectoryRows = 4096;
+
+/// The engines of the predict trajectory, in presentation order.
+enum class Engine { kClassic, kFlatScalar, kFlatSimd, kFlatQuantized };
+
+const char* EngineName(Engine engine) {
+  switch (engine) {
+    case Engine::kClassic:
+      return "classic";
+    case Engine::kFlatScalar:
+      return "flat_scalar";
+    case Engine::kFlatSimd:
+      return "flat_simd";
+    case Engine::kFlatQuantized:
+      return "flat_quantized";
+  }
+  return "?";
+}
+
+/// Scores `rows` once through `engine`, single-threaded, returning the
+/// scores (doubles, so bitwise comparisons see full precision).
+std::vector<double> PredictOnce(const ForecastService& service,
+                                const Matrix<float>& rows, Engine engine) {
+  const int n = rows.rows();
+  std::vector<double> scores(static_cast<size_t>(n));
+  if (engine == Engine::kClassic) {
+    const ml::BinaryClassifier& model = *service.bundle().classifier;
+    for (int i = 0; i < n; ++i) {
+      scores[static_cast<size_t>(i)] = model.PredictProba(rows.Row(i));
+    }
+    return scores;
+  }
+  const ml::FlatForest& flat = service.flat_forest();
+  const ml::FlatKernel kernel = engine == Engine::kFlatScalar
+                                    ? ml::FlatKernel::kScalar
+                                    : ml::FlatKernel::kAvx2;
+  const ml::FlatVariant variant = engine == Engine::kFlatQuantized
+                                      ? ml::FlatVariant::kQuantized
+                                      : ml::FlatVariant::kFloat;
+  flat.PredictBatch(rows.Row(0), n, rows.cols(), scores.data(), kernel,
+                    variant);
+  return scores;
+}
+
+void PredictTrajectory(benchmark::State& state, Engine engine) {
+  ServeFixture& fixture = Fixture();
+  std::unique_ptr<ForecastService> service = LoadService(&state);
+  if (service == nullptr) return;
+  const Matrix<float> rows = fixture.PredictRows(kTrajectoryRows);
+  for (auto _ : state) {
+    std::vector<double> scores = PredictOnce(*service, rows, engine);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kTrajectoryRows);
+}
+
+void BM_PredictClassic(benchmark::State& state) {
+  PredictTrajectory(state, Engine::kClassic);
+}
+BENCHMARK(BM_PredictClassic);
+
+void BM_PredictFlatScalar(benchmark::State& state) {
+  PredictTrajectory(state, Engine::kFlatScalar);
+}
+BENCHMARK(BM_PredictFlatScalar);
+
+void BM_PredictFlatSimd(benchmark::State& state) {
+  PredictTrajectory(state, Engine::kFlatSimd);
+}
+BENCHMARK(BM_PredictFlatSimd);
+
+void BM_PredictFlatQuantized(benchmark::State& state) {
+  PredictTrajectory(state, Engine::kFlatQuantized);
+}
+BENCHMARK(BM_PredictFlatQuantized);
+
+// ---------------------------------------------------------------------------
+// Trajectory measurement + JSON export (shared by smoke and bench modes)
+// ---------------------------------------------------------------------------
+
+struct TrajectoryPoint {
+  Engine engine;
+  double ns_per_row = 0.0;
+  double rows_per_sec = 0.0;
+  double speedup_vs_classic = 1.0;
+};
+
+/// Times each engine over the same rows until ~0.2 s has accumulated,
+/// single-threaded, and verifies the scores stay bitwise identical along
+/// the way. Returns the trajectory; increments `*failures` on divergence.
+std::vector<TrajectoryPoint> MeasureTrajectory(
+    const ForecastService& service, const Matrix<float>& rows,
+    int* failures) {
+  const std::vector<double> reference =
+      PredictOnce(service, rows, Engine::kClassic);
+  std::vector<TrajectoryPoint> trajectory;
+  for (Engine engine : {Engine::kClassic, Engine::kFlatScalar,
+                        Engine::kFlatSimd, Engine::kFlatQuantized}) {
+    std::vector<double> scores = PredictOnce(service, rows, engine);
+    if (std::memcmp(scores.data(), reference.data(),
+                    reference.size() * sizeof(double)) != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %s scores diverge bitwise from classic\n",
+                   EngineName(engine));
+      ++*failures;
+    }
+    Stopwatch watch;
+    int iterations = 0;
+    double seconds = 0.0;
+    do {
+      benchmark::DoNotOptimize(PredictOnce(service, rows, engine).data());
+      ++iterations;
+      seconds = watch.ElapsedSeconds();
+    } while (seconds < 0.2);
+    TrajectoryPoint point;
+    point.engine = engine;
+    const double row_count =
+        static_cast<double>(iterations) * rows.rows();
+    point.ns_per_row = seconds * 1e9 / row_count;
+    point.rows_per_sec = row_count / seconds;
+    trajectory.push_back(point);
+  }
+  for (TrajectoryPoint& point : trajectory) {
+    point.speedup_vs_classic =
+        trajectory.front().ns_per_row / point.ns_per_row;
+  }
+  return trajectory;
+}
+
+void PrintTrajectory(const std::vector<TrajectoryPoint>& trajectory) {
+  for (const TrajectoryPoint& point : trajectory) {
+    std::printf("predict %-14s %9.1f ns/row %12.0f rows/sec %6.2fx\n",
+                EngineName(point.engine), point.ns_per_row,
+                point.rows_per_sec, point.speedup_vs_classic);
+  }
+}
+
+/// Writes the predict trajectory as BENCH_micro_serve.json-style output.
+bool WriteTrajectoryJson(const std::string& path,
+                         const ForecastService& service,
+                         const std::vector<TrajectoryPoint>& trajectory) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const ml::FlatForest& flat = service.flat_forest();
+  std::fprintf(file, "{\n");
+  std::fprintf(file, "  \"bench\": \"bench_micro_serve\",\n");
+  std::fprintf(file, "  \"trajectory\": \"single_thread_predict\",\n");
+  std::fprintf(file, "  \"rows\": %d,\n", kTrajectoryRows);
+  std::fprintf(file, "  \"features\": %d,\n", flat.num_features());
+  std::fprintf(file, "  \"trees\": %d,\n", flat.num_trees());
+  std::fprintf(file, "  \"nodes\": %d,\n", flat.num_nodes());
+  std::fprintf(file, "  \"simd_compiled\": %s,\n",
+               ml::FlatForest::SimdCompiled() ? "true" : "false");
+  std::fprintf(file, "  \"simd_supported\": %s,\n",
+               ml::FlatForest::SimdSupported() ? "true" : "false");
+  std::fprintf(file, "  \"engines\": [\n");
+  for (size_t i = 0; i < trajectory.size(); ++i) {
+    const TrajectoryPoint& point = trajectory[i];
+    std::fprintf(file,
+                 "    {\"name\": \"%s\", \"ns_per_row\": %.2f, "
+                 "\"rows_per_sec\": %.0f, \"speedup_vs_classic\": %.2f}%s\n",
+                 EngineName(point.engine), point.ns_per_row,
+                 point.rows_per_sec, point.speedup_vs_classic,
+                 i + 1 < trajectory.size() ? "," : "");
+  }
+  std::fprintf(file, "  ],\n");
+  std::fprintf(file,
+               "  \"contract\": \"all engines bitwise-identical to "
+               "classic; flat_simd target >= 5x classic\"\n");
+  std::fprintf(file, "}\n");
+  std::fclose(file);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Smoke mode
+// ---------------------------------------------------------------------------
+
+/// Seconds-scale smoke: the monitored/unmonitored x flat/classic serving
+/// quartet under a live context — all four score vectors bitwise equal,
+/// every serve/ counter tied to the batches actually served — plus the
+/// single-thread predict trajectory.
+int Smoke() {
+  obs::PipelineContext context;
+  obs::PipelineContext::ScopedInstall install(&context);
+  int failures = 0;
+
+  ServeFixture& fixture = Fixture();
+  std::unique_ptr<ForecastService> service = LoadService(nullptr);
+  if (service == nullptr) {
+    std::fprintf(stderr, "FAIL: bundle load failed\n");
+    return 1;
+  }
+  const uint64_t n = static_cast<uint64_t>(fixture.study.num_sectors());
+
+  // The quartet: {monitored, unmonitored} x {flat, classic}, all over the
+  // same study tensor. The first leg is the reference.
+  std::vector<float> reference;
+  uint64_t batches = 0;
+  for (bool monitored : {true, false}) {
+    if (monitored) {
+      if (!service->EnableMonitoring()) {
+        std::fprintf(stderr, "FAIL: monitoring unavailable\n");
+        return 1;
+      }
+    } else {
+      service->DisableMonitoring();
+    }
+    for (PredictEngine engine :
+         {PredictEngine::kFlat, PredictEngine::kClassic}) {
+      service->set_predict_engine(engine);
+      std::vector<float> scores =
+          service->PredictAtDay(fixture.study.features, fixture.config.t);
+      ++batches;
+      if (reference.empty()) {
+        reference = scores;
+      } else if (scores.size() != reference.size() ||
+                 std::memcmp(scores.data(), reference.data(),
+                             reference.size() * sizeof(float)) != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %s/%s scores diverge bitwise from the "
+                     "reference leg\n",
+                     monitored ? "monitored" : "unmonitored",
+                     engine == PredictEngine::kFlat ? "flat" : "classic");
+        ++failures;
+      }
+    }
+  }
+
+  auto expect_counter = [&](const char* name, uint64_t expected) {
+    const uint64_t actual = context.metrics().counter(name).Total();
+    if (actual != expected) {
+      std::fprintf(stderr, "FAIL: %s = %llu, expected %llu\n", name,
+                   static_cast<unsigned long long>(actual),
+                   static_cast<unsigned long long>(expected));
+      ++failures;
+    }
+  };
+  // Four served batches: every one counts a request and n windows; each
+  // engine saw exactly half the rows.
+  expect_counter("serve/requests", batches);
+  expect_counter("serve/windows", batches * n);
+  expect_counter("serve/rows_flat", batches / 2 * n);
+  expect_counter("serve/rows_classic", batches / 2 * n);
+  std::printf("quartet: %llu batches x %llu sectors, bitwise identical\n",
+              static_cast<unsigned long long>(batches),
+              static_cast<unsigned long long>(n));
+
+  // Predict trajectory (single-thread, classifier-level).
+  const Matrix<float> rows = fixture.PredictRows(kTrajectoryRows);
+  std::vector<TrajectoryPoint> trajectory =
+      MeasureTrajectory(*service, rows, &failures);
+  PrintTrajectory(trajectory);
+  if (ml::FlatForest::SimdSupported() &&
+      trajectory[2].speedup_vs_classic < 5.0) {
+    // Report-only outside the checked-in JSON: sanitizer builds and busy
+    // CI hosts distort relative timings, so the smoke does not hard-fail
+    // on the 5x target.
+    std::printf("note: flat_simd below the 5x target on this run\n");
+  }
+  if (const char* path = std::getenv("HOTSPOT_BENCH_JSON")) {
+    if (!WriteTrajectoryJson(path, *service, trajectory)) {
+      std::fprintf(stderr, "FAIL: could not write %s\n", path);
+      ++failures;
+    } else {
+      std::printf("trajectory: %s\n", path);
+    }
+  }
+  if (const char* path = std::getenv("HOTSPOT_OBS_JSON")) {
+    if (!obs::WriteSnapshotJson(obs::TakeSnapshot(context), path)) {
+      std::fprintf(stderr, "FAIL: could not write %s\n", path);
+      ++failures;
+    } else {
+      std::printf("obs snapshot: %s\n", path);
+    }
+  }
+  std::printf("result: %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace hotspot
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (std::getenv("HOTSPOT_MICRO_SMOKE") != nullptr) {
+    return hotspot::Smoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // Bench mode exports the same trajectory JSON when asked, from a fresh
+  // measurement (the BM_ numbers live in the benchmark report).
+  if (const char* path = std::getenv("HOTSPOT_BENCH_JSON")) {
+    std::unique_ptr<hotspot::ForecastService> service =
+        hotspot::LoadService(nullptr);
+    if (service != nullptr) {
+      const hotspot::Matrix<float> rows =
+          hotspot::Fixture().PredictRows(hotspot::kTrajectoryRows);
+      int failures = 0;
+      std::vector<hotspot::TrajectoryPoint> trajectory =
+          hotspot::MeasureTrajectory(*service, rows, &failures);
+      hotspot::PrintTrajectory(trajectory);
+      hotspot::WriteTrajectoryJson(path, *service, trajectory);
+      if (failures != 0) return 1;
+    }
+  }
+  return 0;
+}

@@ -1,5 +1,8 @@
 #include "core/forecast_service.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <string_view>
 #include <utility>
 
 #include "features/window.h"
@@ -35,7 +38,23 @@ ForecastService::ForecastService(
   HOTSPOT_CHECK_EQ(
       extractor_->OutputDim(bundle_->window_days, bundle_->num_channels),
       bundle_->feature_dim);
+  // Bundles written before the flat_forest section (or hand-built ones)
+  // get their flat engine compiled here; loaded sections were already
+  // verified against the classifier by the bundle decoder.
+  if (bundle_->flat == nullptr) {
+    bundle_->flat = std::make_unique<ml::FlatForest>(
+        ml::FlatForest::Compile(*bundle_->classifier));
+  }
+  HOTSPOT_CHECK_EQ(bundle_->flat->num_features(), bundle_->feature_dim);
+  engine_ = DefaultPredictEngine();
   if (bundle_->fingerprints != nullptr) EnableMonitoring();
+}
+
+PredictEngine ForecastService::DefaultPredictEngine() {
+  if (const char* env = std::getenv("HOTSPOT_PREDICT_ENGINE")) {
+    if (std::string_view(env) == "classic") return PredictEngine::kClassic;
+  }
+  return PredictEngine::kFlat;
 }
 
 bool ForecastService::EnableMonitoring(const monitor::MonitorConfig& config) {
@@ -72,6 +91,58 @@ serialize::Status ForecastService::Load(
   return serialize::Status::Ok();
 }
 
+std::vector<float> ForecastService::ScoreBatch(
+    int n, const std::function<Matrix<float>(int)>& window_of) const {
+  std::vector<float> scores(static_cast<size_t>(n));
+  if (engine_ == PredictEngine::kClassic) {
+    if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
+      ctx->metrics().counter("serve/rows_classic").Add(
+          static_cast<uint64_t>(n));
+    }
+    // Parallel over sectors; sector i only writes scores[i], so the batch
+    // is deterministic under any thread count.
+    util::ParallelFor(0, n, [&](int64_t i64) {
+      const int i = static_cast<int>(i64);
+      Matrix<float> window = window_of(i);
+      std::vector<float> row;
+      extractor_->Extract(window, &row);
+      HOTSPOT_CHECK_EQ(static_cast<int>(row.size()), bundle_->feature_dim);
+      scores[static_cast<size_t>(i)] =
+          static_cast<float>(bundle_->classifier->PredictProba(row.data()));
+    });
+    return scores;
+  }
+  if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
+    ctx->metrics().counter("serve/rows_flat").Add(static_cast<uint64_t>(n));
+  }
+  const ml::FlatForest& flat = *bundle_->flat;
+  const ml::FlatKernel kernel = ml::FlatForest::ChooseKernel();
+  const int dim = bundle_->feature_dim;
+  constexpr int kBlock = ml::flat_detail::kBlockRows;
+  const int num_blocks = (n + kBlock - 1) / kBlock;
+  // Parallel over 8-row blocks; block b only writes scores[8b..8b+7], and
+  // each row's score is independent of its block, so the result is
+  // bitwise-identical to the classic path at any thread count.
+  util::ParallelFor(0, num_blocks, [&](int64_t b64) {
+    const int begin = static_cast<int>(b64) * kBlock;
+    const int count = std::min(kBlock, n - begin);
+    Matrix<float> rows(count, dim);
+    std::vector<float> row;
+    for (int r = 0; r < count; ++r) {
+      Matrix<float> window = window_of(begin + r);
+      extractor_->Extract(window, &row);
+      HOTSPOT_CHECK_EQ(static_cast<int>(row.size()), bundle_->feature_dim);
+      std::copy(row.begin(), row.end(), rows.Row(r));
+    }
+    double out[kBlock];
+    flat.PredictBatch(rows.Row(0), count, dim, out, kernel);
+    for (int r = 0; r < count; ++r) {
+      scores[static_cast<size_t>(begin + r)] = static_cast<float>(out[r]);
+    }
+  });
+  return scores;
+}
+
 std::vector<float> ForecastService::Predict(
     const Tensor3<float>& windows) const {
   HOTSPOT_CHECK_EQ(windows.dim1(), window_hours());
@@ -83,17 +154,8 @@ std::vector<float> ForecastService::Predict(
     ctx->metrics().counter("serve/requests").Increment();
     ctx->metrics().counter("serve/windows").Add(static_cast<uint64_t>(n));
   }
-  std::vector<float> scores(static_cast<size_t>(n));
-  // Parallel over sectors; sector i only writes scores[i], so the batch is
-  // deterministic under any thread count.
-  util::ParallelFor(0, n, [&](int64_t i64) {
-    const int i = static_cast<int>(i64);
-    Matrix<float> window = windows.SectorSlab(i, 0, windows.dim1());
-    std::vector<float> row;
-    extractor_->Extract(window, &row);
-    HOTSPOT_CHECK_EQ(static_cast<int>(row.size()), bundle_->feature_dim);
-    scores[static_cast<size_t>(i)] =
-        static_cast<float>(bundle_->classifier->PredictProba(row.data()));
+  std::vector<float> scores = ScoreBatch(n, [&](int i) {
+    return windows.SectorSlab(i, 0, windows.dim1());
   });
   const double seconds = watch.ElapsedSeconds();
   if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
@@ -117,16 +179,9 @@ std::vector<float> ForecastService::PredictAtDay(
     ctx->metrics().counter("serve/requests").Increment();
     ctx->metrics().counter("serve/windows").Add(static_cast<uint64_t>(n));
   }
-  std::vector<float> scores(static_cast<size_t>(n));
-  util::ParallelFor(0, n, [&](int64_t i64) {
-    const int i = static_cast<int>(i64);
-    Matrix<float> window = features::ExtractWindow(
-        features, i, end_day, bundle_->window_days);
-    std::vector<float> row;
-    extractor_->Extract(window, &row);
-    HOTSPOT_CHECK_EQ(static_cast<int>(row.size()), bundle_->feature_dim);
-    scores[static_cast<size_t>(i)] =
-        static_cast<float>(bundle_->classifier->PredictProba(row.data()));
+  std::vector<float> scores = ScoreBatch(n, [&](int i) {
+    return features::ExtractWindow(features, i, end_day,
+                                   bundle_->window_days);
   });
   const double seconds = watch.ElapsedSeconds();
   if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {

@@ -1,15 +1,24 @@
 #ifndef HOTSPOT_CORE_FORECAST_SERVICE_H_
 #define HOTSPOT_CORE_FORECAST_SERVICE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "ml/flat_tree.h"
 #include "monitor/monitor.h"
 #include "serialize/bundle.h"
 #include "tensor/tensor3.h"
 
 namespace hotspot {
+
+/// Which predict engine ForecastService runs a batch through. kFlat is the
+/// default: the classifier re-compiled into SoA arrays (ml::FlatForest) and
+/// traversed in 8-row blocks — bitwise identical to kClassic, the original
+/// pointer-walking BinaryClassifier::PredictProba path, which remains
+/// available as a runtime opt-out (HOTSPOT_PREDICT_ENGINE=classic).
+enum class PredictEngine { kFlat, kClassic };
 
 /// Warm-start forecast serving: loads a ForecastBundle once and answers
 /// batched predictions over incoming KPI windows for the rest of its
@@ -83,8 +92,28 @@ class ForecastService {
   const serialize::ForecastBundle& bundle() const { return *bundle_; }
   int window_hours() const { return 24 * bundle_->window_days; }
 
+  /// Predict-engine selection. The service starts on DefaultPredictEngine()
+  /// — kFlat unless the HOTSPOT_PREDICT_ENGINE=classic opt-out is set — and
+  /// can be switched at any time; scores are bitwise identical either way
+  /// (enforced by tests/flat_tree_test.cc).
+  static PredictEngine DefaultPredictEngine();
+  void set_predict_engine(PredictEngine engine) { engine_ = engine; }
+  PredictEngine predict_engine() const { return engine_; }
+  /// The compiled flat forest the kFlat engine runs (never null).
+  const ml::FlatForest& flat_forest() const { return *bundle_->flat; }
+
  private:
+  /// Shared batch core: extracts the feature row of each of `n` sectors
+  /// with `window_of` and scores them through the selected engine. The
+  /// flat path works in 8-row blocks (extract + PredictBatch per block,
+  /// one block per thread-pool task); the classic path is one sector per
+  /// task. Both write scores[i] from sector i only, so results are
+  /// bitwise-independent of HOTSPOT_NUM_THREADS and of the engine.
+  std::vector<float> ScoreBatch(
+      int n, const std::function<Matrix<float>(int)>& window_of) const;
+
   std::unique_ptr<serialize::ForecastBundle> bundle_;
+  PredictEngine engine_ = PredictEngine::kFlat;
   /// Mutable so the const Predict paths can record observations; the
   /// monitor itself is internally synchronized.
   mutable std::unique_ptr<monitor::ServingMonitor> monitor_;

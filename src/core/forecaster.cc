@@ -313,6 +313,8 @@ std::unique_ptr<serialize::ForecastBundle> Forecaster::TrainBundle(
                             ->OutputDim(config.w, features_->num_channels());
   bundle->classifier = TrainClassifier(config);
   bundle->fingerprints = BuildFingerprints(config, *bundle->classifier);
+  bundle->flat =
+      std::make_unique<ml::FlatForest>(ml::FlatForest::Compile(*bundle->classifier));
   return bundle;
 }
 

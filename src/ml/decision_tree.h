@@ -52,6 +52,7 @@ class DecisionTree : public BinaryClassifier {
 
  private:
   friend struct ::hotspot::serialize::ModelAccess;
+  friend class FlatForest;  ///< compiles nodes_ into SoA arrays
 
   struct Node {
     int feature = -1;        ///< -1 for leaves

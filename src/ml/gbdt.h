@@ -73,6 +73,7 @@ class Gbdt : public BinaryClassifier {
 
  private:
   friend struct ::hotspot::serialize::ModelAccess;
+  friend class FlatForest;  ///< compiles trees_ + binner_ into SoA arrays
 
   struct Node {
     int feature = -1;     ///< -1 for leaves

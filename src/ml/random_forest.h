@@ -43,6 +43,7 @@ class RandomForest : public BinaryClassifier {
 
  private:
   friend struct ::hotspot::serialize::ModelAccess;
+  friend class FlatForest;  ///< compiles trees_ into SoA arrays
 
   ForestConfig config_;
   std::vector<std::unique_ptr<DecisionTree>> trees_;

@@ -114,6 +114,17 @@ class ByteReader {
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }
 
+  /// Current read position (valid for `remaining()` bytes). Together with
+  /// Skip() this lets section-table decoders hand a sub-reader bounded to
+  /// exactly one section body, so a corrupt section can neither read into
+  /// its neighbours nor fail with an unattributed end-of-payload error.
+  const uint8_t* Cursor() const { return data_ + pos_; }
+  /// Advances past `count` bytes (trips the failure flag when fewer
+  /// remain).
+  void Skip(size_t count) {
+    if (Consume(count)) pos_ += count;
+  }
+
  private:
   /// True when `count` more bytes may be consumed; trips Fail otherwise.
   bool Consume(size_t count);

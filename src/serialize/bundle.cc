@@ -31,6 +31,7 @@ enum BundleSection : uint32_t {
   kNormalizationSection = 2,
   kClassifierSection = 3,
   kFingerprintsSection = 4,
+  kFlatForestSection = 5,
 };
 
 const char* SectionName(uint32_t id) {
@@ -43,6 +44,8 @@ const char* SectionName(uint32_t id) {
       return "classifier";
     case kFingerprintsSection:
       return "fingerprints";
+    case kFlatForestSection:
+      return "flat_forest";
   }
   return "unknown";
 }
@@ -54,6 +57,7 @@ uint32_t SupportedSectionVersion(uint32_t id) {
     case kNormalizationSection:
     case kClassifierSection:
     case kFingerprintsSection:
+    case kFlatForestSection:
       return 1;
   }
   return 0;  // unknown section id
@@ -138,7 +142,7 @@ bool DecodeSectioned(ByteReader* reader, ForecastBundle* bundle) {
     reader->Fail("bundle section count out of range");
     return false;
   }
-  bool seen[5] = {};
+  bool seen[kFlatForestSection + 1] = {};
   for (uint32_t s = 0; s < section_count; ++s) {
     uint32_t id = reader->ReadU32();
     uint32_t version = reader->ReadU32();
@@ -190,6 +194,29 @@ bool DecodeSectioned(ByteReader* reader, ForecastBundle* bundle) {
         bundle->fingerprints = std::move(fingerprints);
         break;
       }
+      case kFlatForestSection: {
+        // Decoded through a sub-reader bounded to exactly this section's
+        // body: a corrupt flat section can neither read into a
+        // neighbouring section nor fail with an unattributed
+        // end-of-payload error — every truncation, byte flip, or bad
+        // child offset surfaces as a 'flat_forest' error.
+        ByteReader section(reader->Cursor(), static_cast<size_t>(size));
+        bundle->flat = ModelAccess::DecodeFlatForest(&section);
+        if (bundle->flat == nullptr || !section.ok()) {
+          reader->Fail("bundle 'flat_forest' section is malformed: " +
+                       (section.error().empty() ? "unreadable"
+                                                : section.error()));
+          return false;
+        }
+        if (!section.AtEnd()) {
+          reader->Fail(
+              "bundle 'flat_forest' section has trailing bytes after its "
+              "contents");
+          return false;
+        }
+        reader->Skip(size);
+        break;
+      }
     }
     if (before - reader->remaining() != size) {
       reader->Fail("bundle '" + std::string(SectionName(id)) +
@@ -202,6 +229,25 @@ bool DecodeSectioned(ByteReader* reader, ForecastBundle* bundle) {
     if (!seen[id]) {
       reader->Fail("bundle is missing its required '" +
                    std::string(SectionName(id)) + "' section");
+      return false;
+    }
+  }
+  if (bundle->flat != nullptr) {
+    // The flat forest is a derived artifact: a stored section must be
+    // byte-identical to a fresh compile of the classifier it shipped with
+    // (Encode∘Compile is a pure function of the model, pinned by the
+    // property tests). This makes every flat-section corruption that
+    // survives the structural checks — e.g. a flipped leaf value —
+    // detectable, and guarantees the flat engine cannot diverge from the
+    // pointer-walking model it stands in for.
+    ByteWriter stored;
+    ModelAccess::EncodeFlatForest(*bundle->flat, &stored);
+    ByteWriter rebuilt;
+    ModelAccess::EncodeFlatForest(ml::FlatForest::Compile(*bundle->classifier),
+                                  &rebuilt);
+    if (stored.bytes() != rebuilt.bytes()) {
+      reader->Fail(
+          "bundle 'flat_forest' section does not match its classifier");
       return false;
     }
   }
@@ -220,7 +266,8 @@ void EncodeBundle(const ForecastBundle& bundle, ByteWriter* writer) {
   writer->WriteI32(bundle.num_channels);
   writer->WriteI32(bundle.feature_dim);
 
-  writer->WriteU32(bundle.fingerprints != nullptr ? 4 : 3);
+  writer->WriteU32(3u + (bundle.fingerprints != nullptr ? 1u : 0u) +
+                   (bundle.flat != nullptr ? 1u : 0u));
   ByteWriter score;
   EncodeScoreConfig(bundle.score, &score);
   WriteSection(kScoreSection, score, writer);
@@ -234,6 +281,11 @@ void EncodeBundle(const ForecastBundle& bundle, ByteWriter* writer) {
     ByteWriter fingerprints;
     monitor::EncodeFingerprints(*bundle.fingerprints, &fingerprints);
     WriteSection(kFingerprintsSection, fingerprints, writer);
+  }
+  if (bundle.flat != nullptr) {
+    ByteWriter flat;
+    ModelAccess::EncodeFlatForest(*bundle.flat, &flat);
+    WriteSection(kFlatForestSection, flat, writer);
   }
 }
 

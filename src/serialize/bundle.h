@@ -22,6 +22,13 @@ namespace hotspot::serialize {
 /// states Save/Load produce. `fingerprints` may be null: v1 files predate
 /// the monitoring section, and such bundles serve with monitoring
 /// gracefully disabled.
+///
+/// `flat` is the classifier re-compiled into the SoA predict engine
+/// (ml::FlatForest). It is a derived artifact: when the optional
+/// 'flat_forest' section is present on load it must byte-match a fresh
+/// compile of the classifier (the loader rejects the file otherwise), and
+/// when absent (files written before the section existed) ForecastService
+/// simply rebuilds it, so older bundles stay loadable.
 struct ForecastBundle {
   ModelKind model = ModelKind::kGbdt;
   int window_days = 7;   ///< w of Eq. 6: the classifier reads 24·w hours
@@ -32,6 +39,7 @@ struct ForecastBundle {
   NormalizationStats normalization;
   std::unique_ptr<ml::BinaryClassifier> classifier;
   std::unique_ptr<monitor::BundleFingerprints> fingerprints;
+  std::unique_ptr<ml::FlatForest> flat;
 };
 
 /// Payload codec; Decode returns null with the reason in reader->error().

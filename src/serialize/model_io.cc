@@ -321,6 +321,170 @@ std::unique_ptr<ml::RandomForest> ModelAccess::DecodeForest(
   return model;
 }
 
+void ModelAccess::EncodeFlatForest(const ml::FlatForest& forest,
+                                   ByteWriter* writer) {
+  writer->WriteU32(static_cast<uint32_t>(forest.agg_));
+  writer->WriteI32(forest.num_features_);
+  writer->WriteF64(forest.base_score_);
+  writer->WriteU64(forest.feature_.size());
+  for (size_t i = 0; i < forest.feature_.size(); ++i) {
+    writer->WriteI32(forest.feature_[i]);
+    writer->WriteF32(forest.threshold_[i]);
+    writer->WriteBool(forest.miss_left_[i] != 0);
+    writer->WriteI32(forest.left_[i]);
+    writer->WriteI32(forest.right_[i]);
+    writer->WriteF64(forest.leaf_value_[i]);
+  }
+  writer->WriteU64(forest.roots_.size());
+  for (int32_t root : forest.roots_) writer->WriteI32(root);
+  writer->WriteBool(forest.quantized_);
+  if (forest.quantized_) {
+    for (int32_t bt : forest.quant_threshold_) writer->WriteI32(bt);
+    // quant_slot_ and used_features_ are re-derived on decode from the
+    // node features (the derivation is deterministic, so the byte stream
+    // stays a pure function of the source model); only the per-slot
+    // binner cuts need storing.
+    writer->WriteU64(forest.used_features_.size());
+    for (const std::vector<float>& cuts : forest.cuts_) {
+      writer->WriteF32Vector(cuts);
+    }
+  }
+}
+
+std::unique_ptr<ml::FlatForest> ModelAccess::DecodeFlatForest(
+    ByteReader* reader) {
+  auto forest = std::make_unique<ml::FlatForest>();
+  uint32_t aggregation = reader->ReadU32();
+  forest->num_features_ = reader->ReadI32();
+  forest->base_score_ = reader->ReadF64();
+  if (!reader->ok() ||
+      aggregation >
+          static_cast<uint32_t>(ml::FlatForest::Aggregation::kGbdtSigmoid)) {
+    reader->Fail("flat_forest aggregation out of range");
+    return nullptr;
+  }
+  forest->agg_ = static_cast<ml::FlatForest::Aggregation>(aggregation);
+  if (forest->num_features_ <= 0) {
+    reader->Fail("flat_forest feature count out of range");
+    return nullptr;
+  }
+  uint64_t num_nodes = reader->ReadU64();
+  if (!reader->ok() || num_nodes == 0 || num_nodes > kMaxNodes) {
+    reader->Fail("flat_forest node count out of range");
+    return nullptr;
+  }
+  const size_t count = static_cast<size_t>(num_nodes);
+  forest->feature_.resize(count);
+  forest->threshold_.resize(count);
+  forest->miss_left_.resize(count);
+  forest->left_.resize(count);
+  forest->right_.resize(count);
+  forest->leaf_value_.resize(count);
+  for (size_t index = 0; index < count; ++index) {
+    forest->feature_[index] = reader->ReadI32();
+    forest->threshold_[index] = reader->ReadF32();
+    // Booleans must be canonical (0/1): ReadBool would accept any nonzero
+    // byte and re-encode it as 1, which would let a flipped bool byte
+    // slip past the load-time byte comparison against the recompiled
+    // classifier.
+    const uint8_t miss = reader->ReadU8();
+    if (reader->ok() && miss > 1) {
+      reader->Fail("flat_forest boolean field not canonical");
+      return nullptr;
+    }
+    forest->miss_left_[index] = miss != 0 ? -1 : 0;
+    forest->left_[index] = reader->ReadI32();
+    forest->right_[index] = reader->ReadI32();
+    forest->leaf_value_[index] = reader->ReadF64();
+    if (!reader->ok()) return nullptr;
+    const int32_t size = static_cast<int32_t>(num_nodes);
+    const int32_t self = static_cast<int32_t>(index);
+    if (forest->feature_[index] >= 0) {
+      // Same guarantee as the pointer-walking decoders: features in range
+      // and children strictly forward-pointing, so the branchless kernels
+      // can never loop or gather out of bounds. The compiler lays sibling
+      // pairs adjacently (right == left + 1) and the AVX2 kernel derives
+      // the right child from that invariant, so it is structural here.
+      if (forest->feature_[index] >= forest->num_features_ ||
+          forest->left_[index] <= self || forest->left_[index] >= size ||
+          forest->right_[index] != forest->left_[index] + 1 ||
+          forest->right_[index] >= size) {
+        reader->Fail("flat_forest node graph invalid");
+        return nullptr;
+      }
+    } else if (forest->feature_[index] != -1 || forest->left_[index] != 0 ||
+               forest->right_[index] != 0) {
+      reader->Fail("flat_forest leaf node not canonical");
+      return nullptr;
+    }
+  }
+  uint64_t num_trees = reader->ReadU64();
+  if (!reader->ok() || num_trees == 0 || num_trees > kMaxTrees) {
+    reader->Fail("flat_forest tree count out of range");
+    return nullptr;
+  }
+  forest->roots_.resize(static_cast<size_t>(num_trees));
+  for (int32_t& root : forest->roots_) {
+    root = reader->ReadI32();
+    if (!reader->ok()) return nullptr;
+    if (root < 0 || root >= static_cast<int32_t>(num_nodes)) {
+      reader->Fail("flat_forest root index out of range");
+      return nullptr;
+    }
+  }
+  const uint8_t quantized = reader->ReadU8();
+  if (!reader->ok()) return nullptr;
+  if (quantized > 1) {
+    reader->Fail("flat_forest boolean field not canonical");
+    return nullptr;
+  }
+  forest->quantized_ = quantized != 0;
+  if (forest->quantized_) {
+    forest->quant_threshold_.resize(count);
+    for (int32_t& bt : forest->quant_threshold_) bt = reader->ReadI32();
+    if (!reader->ok()) return nullptr;
+    // Re-derive the used-feature slot table exactly the way the compiler
+    // builds it: sorted unique split features.
+    std::vector<int32_t> slot_of(
+        static_cast<size_t>(forest->num_features_), -1);
+    for (size_t index = 0; index < count; ++index) {
+      if (forest->feature_[index] >= 0) {
+        slot_of[static_cast<size_t>(forest->feature_[index])] = 0;
+      }
+    }
+    for (int f = 0; f < forest->num_features_; ++f) {
+      if (slot_of[static_cast<size_t>(f)] < 0) continue;
+      slot_of[static_cast<size_t>(f)] =
+          static_cast<int32_t>(forest->used_features_.size());
+      forest->used_features_.push_back(f);
+    }
+    forest->quant_slot_.resize(count, 0);
+    for (size_t index = 0; index < count; ++index) {
+      if (forest->feature_[index] >= 0) {
+        forest->quant_slot_[index] =
+            slot_of[static_cast<size_t>(forest->feature_[index])];
+      } else if (forest->quant_threshold_[index] != 0) {
+        reader->Fail("flat_forest leaf node not canonical");
+        return nullptr;
+      }
+    }
+    uint64_t used = reader->ReadU64();
+    if (!reader->ok() || used != forest->used_features_.size()) {
+      reader->Fail("flat_forest quantized slots do not match node features");
+      return nullptr;
+    }
+    forest->cuts_.resize(static_cast<size_t>(used));
+    for (std::vector<float>& cuts : forest->cuts_) {
+      cuts = reader->ReadF32Vector();
+      if (!reader->ok()) return nullptr;
+    }
+  }
+  // packed_ is a derived array (never serialized); the kernels expect it
+  // in sync with feature_/miss_left_.
+  forest->RebuildPacked();
+  return forest;
+}
+
 void ModelAccess::EncodeImputer(const nn::KpiImputer& imputer,
                                 ByteWriter* writer) {
   EncodeImputerConfig(imputer.config_, writer);

@@ -7,6 +7,7 @@
 
 #include "core/config.h"
 #include "ml/decision_tree.h"
+#include "ml/flat_tree.h"
 #include "ml/gbdt.h"
 #include "ml/random_forest.h"
 #include "nn/imputer.h"
@@ -49,6 +50,18 @@ struct ModelAccess {
   static void EncodeImputer(const nn::KpiImputer& imputer,
                             ByteWriter* writer);
   static std::unique_ptr<nn::KpiImputer> DecodeImputer(ByteReader* reader);
+
+  /// FlatForest payload codec (the bundle's 'flat_forest' section). Decode
+  /// re-validates the node graph (features in range, children strictly
+  /// forward-pointing, roots valid) so a loaded flat forest can never loop
+  /// or index out of bounds, and re-derives the quantized slot table from
+  /// the node features. Encode(Compile(model)) is a pure function of the
+  /// model, which is what lets the bundle loader byte-compare a stored
+  /// flat section against a recompile of the classifier it rode in with.
+  static void EncodeFlatForest(const ml::FlatForest& forest,
+                               ByteWriter* writer);
+  static std::unique_ptr<ml::FlatForest> DecodeFlatForest(
+      ByteReader* reader);
 };
 
 /// ScoreConfig / NormalizationStats payload codecs (no private state).

@@ -2,7 +2,9 @@
 // parallel site must produce bitwise-identical output at any thread count
 // (the serial path at HOTSPOT_NUM_THREADS=1 is the reference). These tests
 // run the GBDT, the random forest, feature extraction, a small end-to-end
-// study and an evaluation sweep at 1, 2 and 8 threads and compare exactly.
+// study and an evaluation sweep over the shared thread-count matrix
+// (tests/thread_matrix.h; override with HOTSPOT_TEST_THREAD_MATRIX) and
+// compare exactly.
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -17,12 +19,11 @@
 #include "ml/gbdt.h"
 #include "ml/random_forest.h"
 #include "scoped_num_threads.h"
+#include "thread_matrix.h"
 #include "util/rng.h"
 
 namespace hotspot {
 namespace {
-
-const char* const kThreadCounts[] = {"1", "2", "8"};
 
 /// Exact comparison that treats NaN == NaN as equal (empty-label days can
 /// legitimately yield NaN average precision).
@@ -83,8 +84,7 @@ TEST(ParallelDeterminism, GbdtBitwiseIdenticalAcrossThreadCounts) {
   ml::Dataset data = MakeDataset(400, 12, 2024);
   ScopedNumThreads serial("1");
   GbdtOutputs reference = FitGbdt(data);
-  for (const char* threads : kThreadCounts) {
-    ScopedNumThreads env(threads);
+  testing_util::ForEachThreadCount([&](const std::string& threads) {
     GbdtOutputs outputs = FitGbdt(data);
     // Exact (==) comparisons throughout: the contract is bitwise identity.
     EXPECT_EQ(outputs.losses, reference.losses) << threads << " threads";
@@ -92,7 +92,7 @@ TEST(ParallelDeterminism, GbdtBitwiseIdenticalAcrossThreadCounts) {
         << threads << " threads";
     EXPECT_EQ(outputs.predictions, reference.predictions)
         << threads << " threads";
-  }
+  });
 }
 
 TEST(ParallelDeterminism, FeatureBinnerIdenticalAcrossThreadCounts) {
@@ -106,15 +106,14 @@ TEST(ParallelDeterminism, FeatureBinnerIdenticalAcrossThreadCounts) {
       reference.push_back(binner.Thresholds(f));
     }
   }
-  for (const char* threads : kThreadCounts) {
-    ScopedNumThreads env(threads);
+  testing_util::ForEachThreadCount([&](const std::string& threads) {
     ml::FeatureBinner binner;
     binner.Fit(data.features, 32);
     for (int f = 0; f < data.num_features(); ++f) {
       EXPECT_EQ(binner.Thresholds(f), reference[static_cast<size_t>(f)])
           << "feature " << f << " at " << threads << " threads";
     }
-  }
+  });
 }
 
 std::vector<double> FitForest(const ml::Dataset& data) {
@@ -136,14 +135,15 @@ TEST(ParallelDeterminism, RandomForestBitwiseIdenticalAcrossThreadCounts) {
   ml::Dataset data = MakeDataset(250, 10, 11);
   ScopedNumThreads serial("1");
   std::vector<double> reference = FitForest(data);
-  for (const char* threads : kThreadCounts) {
-    ScopedNumThreads env(threads);
+  testing_util::ForEachThreadCount([&](const std::string& threads) {
     EXPECT_EQ(FitForest(data), reference) << threads << " threads";
-  }
+  });
 }
 
 // Per-unit RNG audit: refitting with the same seed must be bit-identical,
-// which fails if any parallel unit shared a mutable Rng with another.
+// which fails if any parallel unit shared a mutable Rng with another. The
+// count is intentionally pinned high (not the shared matrix): the audit
+// needs real parallelism, not a sweep.
 TEST(ParallelDeterminism, RefitSameSeedIsBitIdentical) {
   ml::Dataset data = MakeDataset(250, 10, 13);
   ScopedNumThreads env("8");
@@ -185,8 +185,7 @@ TEST(ParallelDeterminism, StudyPipelineIdenticalAcrossThreadCounts) {
       simnet::GenerateNetwork(SmallNetworkConfig());
   ScopedNumThreads serial("1");
   StudyOutputs reference = BuildSmallStudy(network);
-  for (const char* threads : kThreadCounts) {
-    ScopedNumThreads env(threads);
+  testing_util::ForEachThreadCount([&](const std::string& threads) {
     StudyOutputs outputs = BuildSmallStudy(network);
     EXPECT_EQ(outputs.hourly_scores, reference.hourly_scores)
         << threads << " threads";
@@ -195,7 +194,7 @@ TEST(ParallelDeterminism, StudyPipelineIdenticalAcrossThreadCounts) {
     EXPECT_EQ(outputs.become_labels, reference.become_labels)
         << threads << " threads";
     EXPECT_EQ(outputs.features, reference.features) << threads << " threads";
-  }
+  });
 }
 
 std::vector<CellResult> RunSmallSweep(const Study& study,
@@ -242,12 +241,10 @@ TEST(ParallelDeterminism, EvaluationSweepIdenticalAcrossThreadCounts) {
   Study study = BuildStudy(StudyInput(std::move(network)), StudyOptions{});
   ScopedNumThreads serial("1");
   std::vector<CellResult> reference = RunSmallSweep(study);
-  for (const char* threads : kThreadCounts) {
-    ScopedNumThreads env(threads);
+  testing_util::ForEachThreadCount([&](const std::string& threads) {
     std::vector<CellResult> cells = RunSmallSweep(study);
-    ExpectSameCells(cells, reference,
-                    std::string("at ") + threads + " threads");
-  }
+    ExpectSameCells(cells, reference, "at " + threads + " threads");
+  });
 }
 
 // Observability is read-only with respect to the computation: attaching a
@@ -259,18 +256,17 @@ TEST(ParallelDeterminism, SweepIdenticalWithLivePipelineContext) {
   Study study = BuildStudy(StudyInput(std::move(network)), StudyOptions{});
   ScopedNumThreads serial("1");
   std::vector<CellResult> reference = RunSmallSweep(study);
-  for (const char* threads : kThreadCounts) {
-    ScopedNumThreads env(threads);
+  testing_util::ForEachThreadCount([&](const std::string& threads) {
     obs::PipelineContext context;
     std::vector<CellResult> cells = RunSmallSweep(study, &context);
     ExpectSameCells(cells, reference,
-                    std::string("with context at ") + threads + " threads");
+                    "with context at " + threads + " threads");
     // The context actually observed the sweep (it was not a no-op).
     EXPECT_GT(context.metrics().counter("eval/cells").Total(), 0u)
         << threads << " threads";
     EXPECT_FALSE(context.trace().Aggregate().empty())
         << threads << " threads";
-  }
+  });
 }
 
 }  // namespace

@@ -8,7 +8,11 @@
 #include "features/raw_features.h"
 #include "ml/dataset.h"
 #include "ml/decision_tree.h"
+#include "ml/flat_tree.h"
 #include "ml/gbdt.h"
+#include "ml/random_forest.h"
+#include "serialize/binary_format.h"
+#include "serialize/model_io.h"
 #include "stats/average_precision.h"
 #include "stats/ks_test.h"
 #include "stats/percentile.h"
@@ -205,6 +209,79 @@ TEST_P(SeededProperty, GbdtBinnerPartitionsDomain) {
       EXPECT_LT(cuts[c - 1], cuts[c]);
     }
   }
+}
+
+TEST_P(SeededProperty, FlatForestCompileIsAPureFunctionOfTheModel) {
+  // FlatForest::Compile must be a pure function of the source model: no
+  // pointer-derived ordering, no uninitialized padding, no global state.
+  // Two independent compiles of the same trained model (and of a
+  // serialize round-trip copy, which shares no memory with the original)
+  // must produce byte-identical encodings.
+  Rng rng(GetParam() + 1000);
+  ml::Dataset data;
+  const int n = 150;
+  const int d = 6;
+  data.features = Matrix<float>(n, d);
+  data.labels.resize(n);
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < d; ++k) {
+      data.features(i, k) = rng.Bernoulli(0.05)
+                                ? MissingValue()
+                                : static_cast<float>(rng.Gaussian());
+    }
+    data.labels[static_cast<size_t>(i)] = rng.Bernoulli(0.4) ? 1.0f : 0.0f;
+  }
+  data.weights = ml::BalancedWeights(data.labels);
+
+  auto encode = [](const ml::FlatForest& flat) {
+    serialize::ByteWriter writer;
+    serialize::ModelAccess::EncodeFlatForest(flat, &writer);
+    return writer.bytes();
+  };
+  auto expect_pure = [&](const ml::BinaryClassifier& model,
+                         const char* what) {
+    std::vector<uint8_t> first = encode(ml::FlatForest::Compile(model));
+    std::vector<uint8_t> second = encode(ml::FlatForest::Compile(model));
+    EXPECT_EQ(first, second) << what << ": two compiles differ";
+    EXPECT_FALSE(first.empty()) << what;
+    return first;
+  };
+
+  ml::GbdtConfig gbdt_config;
+  gbdt_config.num_iterations = 6;
+  gbdt_config.num_leaves = 5;
+  gbdt_config.max_bins = 16;
+  gbdt_config.seed = GetParam();
+  ml::Gbdt gbdt(gbdt_config);
+  gbdt.Fit(data);
+  std::vector<uint8_t> gbdt_bytes = expect_pure(gbdt, "gbdt");
+  // A round-trip copy shares no heap state with the original; compiling
+  // it must still produce the same bytes.
+  {
+    serialize::ByteWriter writer;
+    serialize::ModelAccess::EncodeGbdt(gbdt, &writer);
+    serialize::ByteReader reader(writer.bytes().data(),
+                                 writer.bytes().size());
+    std::unique_ptr<ml::Gbdt> copy =
+        serialize::ModelAccess::DecodeGbdt(&reader);
+    ASSERT_NE(copy, nullptr) << reader.error();
+    EXPECT_EQ(encode(ml::FlatForest::Compile(*copy)), gbdt_bytes)
+        << "gbdt: round-trip copy compiles differently";
+  }
+
+  ml::ForestConfig forest_config;
+  forest_config.num_trees = 5;
+  forest_config.seed = GetParam();
+  ml::RandomForest forest(forest_config);
+  forest.Fit(data);
+  expect_pure(forest, "forest");
+
+  ml::TreeConfig tree_config;
+  tree_config.min_weight_fraction = 0.05;
+  tree_config.seed = GetParam();
+  ml::DecisionTree tree(tree_config);
+  tree.Fit(data);
+  expect_pure(tree, "tree");
 }
 
 TEST_P(SeededProperty, RngUniformIntIsUnbiasedAcrossRange) {

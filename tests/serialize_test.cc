@@ -23,10 +23,10 @@
 #include "ml/gbdt.h"
 #include "ml/random_forest.h"
 #include "nn/imputer.h"
-#include "scoped_num_threads.h"
 #include "serialize/bundle.h"
 #include "serialize/model_io.h"
 #include "serialize_golden.h"
+#include "thread_matrix.h"
 #include "util/rng.h"
 
 #ifndef HOTSPOT_TEST_DATA_DIR
@@ -36,8 +36,8 @@
 namespace hotspot {
 namespace {
 
-/// The ISSUE's lockdown points: the serial reference and one parallel run.
-const char* const kThreadCounts[] = {"1", "4"};
+// Thread sweeps below use the shared matrix from tests/thread_matrix.h
+// (serial reference first; override with HOTSPOT_TEST_THREAD_MATRIX).
 
 class SerializeTest : public ::testing::Test {
  protected:
@@ -93,8 +93,7 @@ std::vector<double> Predictions(const ml::BinaryClassifier& model,
 
 TEST_F(SerializeTest, GbdtRoundTripBitwiseIdentical) {
   ml::Dataset data = MakeDataset(300, 10, 99);
-  for (const char* threads : kThreadCounts) {
-    ScopedNumThreads env(threads);
+  testing_util::ForEachThreadCount([&](const std::string& threads) {
     ml::GbdtConfig config;
     config.num_iterations = 20;
     config.num_leaves = 9;
@@ -123,13 +122,12 @@ TEST_F(SerializeTest, GbdtRoundTripBitwiseIdentical) {
       EXPECT_EQ(loaded->PredictRaw(data.features.Row(i)),
                 model.PredictRaw(data.features.Row(i)));
     }
-  }
+  });
 }
 
 TEST_F(SerializeTest, RandomForestRoundTripBitwiseIdentical) {
   ml::Dataset data = MakeDataset(250, 8, 11);
-  for (const char* threads : kThreadCounts) {
-    ScopedNumThreads env(threads);
+  testing_util::ForEachThreadCount([&](const std::string& threads) {
     ml::ForestConfig config;
     config.num_trees = 10;
     config.seed = 3;
@@ -147,13 +145,12 @@ TEST_F(SerializeTest, RandomForestRoundTripBitwiseIdentical) {
         << threads << " threads";
     EXPECT_EQ(loaded->FeatureImportances(), model.FeatureImportances())
         << threads << " threads";
-  }
+  });
 }
 
 TEST_F(SerializeTest, DecisionTreeRoundTripBitwiseIdentical) {
   ml::Dataset data = MakeDataset(200, 6, 23);
-  for (const char* threads : kThreadCounts) {
-    ScopedNumThreads env(threads);
+  testing_util::ForEachThreadCount([&](const std::string& threads) {
     ml::TreeConfig config;
     config.seed = 9;
     ml::DecisionTree model(config);
@@ -170,7 +167,7 @@ TEST_F(SerializeTest, DecisionTreeRoundTripBitwiseIdentical) {
         << threads << " threads";
     EXPECT_EQ(loaded->FeatureImportances(), model.FeatureImportances())
         << threads << " threads";
-  }
+  });
 }
 
 Tensor3<float> MakeKpis(int sectors, int hours, int kpis, uint64_t seed) {
@@ -185,8 +182,7 @@ Tensor3<float> MakeKpis(int sectors, int hours, int kpis, uint64_t seed) {
 
 TEST_F(SerializeTest, ImputerRoundTripBitwiseIdentical) {
   Tensor3<float> kpis = MakeKpis(4, 24 * 7, 3, 61);
-  for (const char* threads : kThreadCounts) {
-    ScopedNumThreads env(threads);
+  testing_util::ForEachThreadCount([&](const std::string& threads) {
     nn::ImputerConfig config;
     config.slice_hours = 24;
     config.encoder_layers = 2;
@@ -209,7 +205,7 @@ TEST_F(SerializeTest, ImputerRoundTripBitwiseIdentical) {
     Tensor3<float> imputed = kpis;
     loaded->Impute(&imputed);
     EXPECT_EQ(imputed.data(), reference.data()) << threads << " threads";
-  }
+  });
 }
 
 TEST_F(SerializeTest, ScoreConfigRoundTrip) {
@@ -262,8 +258,7 @@ TEST_F(SerializeTest, BundleServingMatchesForecasterRun) {
   Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
   ForecastConfig config = testing::GoldenForecastConfig();
 
-  for (const char* threads : kThreadCounts) {
-    ScopedNumThreads env(threads);
+  testing_util::ForEachThreadCount([&](const std::string& threads) {
     ForecastResult reference = forecaster.Run(config);
 
     std::unique_ptr<serialize::ForecastBundle> bundle =
@@ -306,7 +301,7 @@ TEST_F(SerializeTest, BundleServingMatchesForecasterRun) {
               study.score_config.hot_threshold);
     EXPECT_EQ(service->bundle().window_days, config.w);
     EXPECT_EQ(service->bundle().horizon_days, config.h);
-  }
+  });
 }
 
 TEST_F(SerializeTest, BundleRoundTripForEveryClassifierKind) {
@@ -608,8 +603,8 @@ class SerializeSectionTest : public SerializeTest {
   std::vector<uint8_t> payload_;
 };
 
-TEST_F(SerializeSectionTest, UnpatchedPayloadHasAllFourSections) {
-  for (uint32_t id : {1u, 2u, 3u, 4u}) {
+TEST_F(SerializeSectionTest, UnpatchedPayloadHasAllFiveSections) {
+  for (uint32_t id : {1u, 2u, 3u, 4u, 5u}) {
     EXPECT_NE(SectionOffset(id), std::string::npos) << "section " << id;
   }
   EXPECT_EQ(LoadPatched(), "");
@@ -624,7 +619,8 @@ TEST_F(SerializeSectionTest, SkewErrorNamesTheExactSection) {
   } kSections[] = {{1, "score_config"},
                    {2, "normalization"},
                    {3, "classifier"},
-                   {4, "fingerprints"}};
+                   {4, "fingerprints"},
+                   {5, "flat_forest"}};
   for (const auto& section : kSections) {
     std::vector<uint8_t> pristine = payload_;
     size_t off = SectionOffset(section.id);
@@ -646,6 +642,182 @@ TEST_F(SerializeSectionTest, UnknownSectionIdIsRejectedByNumber) {
   WriteU32At(&payload_, off, 77);  // an id this binary has never heard of
   std::string error = LoadPatched();
   EXPECT_NE(error.find("section id 77"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Flat-forest section fuzz: the SIMD engine's serialized form is a derived
+// artifact, so ANY corruption of its section — truncation, byte flip, bad
+// child offset — must fail the load with an error naming 'flat_forest'
+// (never a generic parse error, never an out-of-bounds read; the latter is
+// what the HOTSPOT_SANITIZE builds of this suite pin).
+// ---------------------------------------------------------------------------
+
+class FlatSectionFuzzTest : public SerializeSectionTest {
+ protected:
+  static constexpr uint32_t kFlatId = 5;
+
+  void SetUp() override {
+    SerializeTest::SetUp();
+    // The golden study's hot threshold yields an all-leaf model (no
+    // positive labels to split on), which would leave the node-graph
+    // checks unexercised. A lower threshold gives the same pipeline a
+    // classifier with real internal nodes. The payload is built once and
+    // cached — the study build dominates this suite's runtime.
+    static const std::vector<uint8_t>* const cached = [] {
+      StudyOptions options;
+      options.hot_threshold_override = 0.5;
+      Study study = BuildStudy(testing::GoldenNetworkConfig(), options);
+      Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
+      std::unique_ptr<serialize::ForecastBundle> bundle =
+          forecaster.TrainBundle(testing::GoldenForecastConfig());
+      bundle->score = study.score_config;
+      serialize::ByteWriter writer;
+      serialize::EncodeBundle(*bundle, &writer);
+      return new std::vector<uint8_t>(writer.bytes());
+    }();
+    payload_ = *cached;
+  }
+
+  /// Offset of the first body byte of the flat section.
+  size_t BodyOffset() const {
+    size_t off = SectionOffset(kFlatId);
+    EXPECT_NE(off, std::string::npos);
+    return off + 16;
+  }
+  size_t BodySize() const {
+    return static_cast<size_t>(ReadU64At(payload_, SectionOffset(kFlatId) + 8));
+  }
+};
+
+TEST_F(FlatSectionFuzzTest, EveryBodyByteFlipNamesTheFlatSection) {
+  const std::vector<uint8_t> pristine = payload_;
+  const size_t body = BodyOffset();
+  const size_t size = BodySize();
+  ASSERT_GT(size, 0u);
+  // Exhaustive single-byte corruption of the whole section body: XOR-0xFF
+  // plus a single-bit flip at every position. Either the structural
+  // validation rejects the section or the recompile-and-byte-compare
+  // against the classifier does; both name flat_forest.
+  int checked = 0;
+  for (size_t pos = 0; pos < size; ++pos) {
+    for (uint8_t mask : {uint8_t{0xFF}, uint8_t{0x01}}) {
+      payload_ = pristine;
+      payload_[body + pos] ^= mask;
+      std::string error = LoadPatched();
+      ASSERT_FALSE(error.empty())
+          << "flip at body byte " << pos << " mask " << int(mask)
+          << " loaded successfully";
+      ASSERT_NE(error.find("flat_forest"), std::string::npos)
+          << "flip at body byte " << pos << " mask " << int(mask)
+          << " produced an unattributed error: " << error;
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 2 * static_cast<int>(size));
+  payload_ = pristine;
+}
+
+TEST_F(FlatSectionFuzzTest, TruncationsInsideTheFlatSectionAreNamed) {
+  const std::vector<uint8_t> pristine = payload_;
+  const size_t body = BodyOffset();
+  const size_t size = BodySize();
+  // The flat section is written last, so cutting the payload anywhere
+  // inside its body makes the declared section size exceed what remains.
+  for (size_t keep : {size_t{0}, size_t{1}, size / 2, size - 1}) {
+    payload_ = pristine;
+    payload_.resize(body + keep);
+    std::string error = LoadPatched();
+    ASSERT_FALSE(error.empty()) << "keep=" << keep;
+    EXPECT_NE(error.find("flat_forest"), std::string::npos)
+        << "keep=" << keep << ": " << error;
+    EXPECT_NE(error.find("exceeds payload"), std::string::npos)
+        << "keep=" << keep << ": " << error;
+  }
+  // Shrinking the declared size instead bounds the sub-reader short of
+  // the real contents: the decode runs out mid-field and the error still
+  // names the section.
+  payload_ = pristine;
+  const size_t frame = SectionOffset(kFlatId);
+  for (uint64_t declared : {uint64_t{0}, uint64_t{24}, uint64_t{size / 2}}) {
+    payload_ = pristine;
+    for (int i = 0; i < 8; ++i) {
+      payload_[frame + 8 + static_cast<size_t>(i)] =
+          static_cast<uint8_t>(declared >> (8 * i));
+    }
+    // Keep the overall payload well-formed by also cutting the body to
+    // the declared size (the section is last).
+    payload_.resize(frame + 16 + static_cast<size_t>(declared));
+    std::string error = LoadPatched();
+    ASSERT_FALSE(error.empty()) << "declared=" << declared;
+    EXPECT_NE(error.find("flat_forest"), std::string::npos)
+        << "declared=" << declared << ": " << error;
+  }
+  payload_ = pristine;
+}
+
+TEST_F(FlatSectionFuzzTest, ChildOffsetOutOfRangeIsStructurallyRejected) {
+  const std::vector<uint8_t> pristine = payload_;
+  const size_t body = BodyOffset();
+  // Body layout: u32 aggregation, i32 num_features, f64 base_score,
+  // u64 num_nodes, then 25-byte nodes (i32 feature, f32 threshold,
+  // u8 miss_left, i32 left, i32 right, f64 leaf_value).
+  const uint64_t num_nodes = ReadU64At(payload_, body + 16);
+  ASSERT_GT(num_nodes, 0u);
+  const size_t nodes = body + 24;
+  // Find the first internal node (feature >= 0).
+  size_t internal = std::string::npos;
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    const size_t node = nodes + static_cast<size_t>(i) * 25;
+    if (static_cast<int32_t>(ReadU32At(payload_, node)) >= 0) {
+      internal = node;
+      break;
+    }
+  }
+  ASSERT_NE(internal, std::string::npos) << "model has no internal nodes";
+  const struct {
+    size_t field_offset;  // within the node record
+    uint32_t value;
+    const char* what;
+  } kPatches[] = {
+      {9, 0x7FFFFFFFu, "left child past the node array"},
+      {13, 0x7FFFFFFFu, "right child past the node array"},
+      {9, 0u, "left child pointing backwards"},
+      {13, static_cast<uint32_t>(-1), "negative right child"},
+  };
+  for (const auto& patch : kPatches) {
+    payload_ = pristine;
+    WriteU32At(&payload_, internal + patch.field_offset, patch.value);
+    std::string error = LoadPatched();
+    ASSERT_FALSE(error.empty()) << patch.what;
+    EXPECT_NE(error.find("flat_forest"), std::string::npos)
+        << patch.what << ": " << error;
+    EXPECT_NE(error.find("node graph invalid"), std::string::npos)
+        << patch.what << ": " << error;
+  }
+  payload_ = pristine;
+}
+
+TEST_F(FlatSectionFuzzTest, LeafValueFlipIsCaughtByTheClassifierCheck) {
+  // A flipped leaf payload survives every structural check — only the
+  // recompile-and-byte-compare against the shipped classifier can catch
+  // it. Find a node with feature == -1 and flip a bit of its leaf value.
+  const size_t body = BodyOffset();
+  const uint64_t num_nodes = ReadU64At(payload_, body + 16);
+  const size_t nodes = body + 24;
+  size_t leaf = std::string::npos;
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    const size_t node = nodes + static_cast<size_t>(i) * 25;
+    if (static_cast<int32_t>(ReadU32At(payload_, node)) == -1) {
+      leaf = node;
+      break;
+    }
+  }
+  ASSERT_NE(leaf, std::string::npos);
+  payload_[leaf + 17] ^= 0x01;  // low mantissa bit of the f64 leaf value
+  std::string error = LoadPatched();
+  ASSERT_FALSE(error.empty());
+  EXPECT_NE(error.find("does not match its classifier"), std::string::npos)
+      << error;
 }
 
 TEST_F(SerializeSectionTest, MissingRequiredSectionIsNamed) {

@@ -16,7 +16,7 @@
 #include "core/study.h"
 #include "features/feature_tensor.h"
 #include "obs/pipeline_context.h"
-#include "scoped_num_threads.h"
+#include "thread_matrix.h"
 #include "simnet/calendar.h"
 #include "stream/incremental_features.h"
 #include "stream/kpi_stream.h"
@@ -380,8 +380,7 @@ TEST(StreamingForecastRunner, PredictionsBitwiseEqualBatchServiceAcrossThreads) 
     batch_scores.push_back(service->PredictAtDay(study.features, end_day));
   }
 
-  for (const char* threads : {"1", "4"}) {
-    ScopedNumThreads scoped(threads);
+  testing_util::ForEachThreadCount([&](const std::string& threads) {
     std::vector<StreamingPrediction> served =
         RunStreamingServe(study, service.get());
     ASSERT_EQ(static_cast<int>(served.size()), num_days - w + 1)
@@ -395,7 +394,7 @@ TEST(StreamingForecastRunner, PredictionsBitwiseEqualBatchServiceAcrossThreads) 
                 0)
           << "threads=" << threads << " end_day=" << served[b].end_day;
     }
-  }
+  });
 }
 
 TEST(StreamingForecastRunner, MaturedOutcomesFeedQualityMonitor) {

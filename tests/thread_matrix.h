@@ -1,0 +1,66 @@
+#ifndef HOTSPOT_TESTS_THREAD_MATRIX_H_
+#define HOTSPOT_TESTS_THREAD_MATRIX_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "scoped_num_threads.h"
+
+namespace hotspot::testing_util {
+
+/// The shared thread-count equivalence matrix: every bitwise-equivalence
+/// suite (flat_tree_test, stream_test, parallel_determinism_test, ...)
+/// sweeps the same counts instead of pinning its own ad-hoc list. The
+/// first entry is always "1" — the serial reference the parallel runs are
+/// compared against. Override with HOTSPOT_TEST_THREAD_MATRIX="1,2,8"
+/// (comma-separated; "1" is prepended when missing).
+class ThreadMatrixEnvironment : public ::testing::Environment {
+ public:
+  static const std::vector<std::string>& Counts() {
+    static const std::vector<std::string>* const counts = [] {
+      auto* list = new std::vector<std::string>();
+      if (const char* env = std::getenv("HOTSPOT_TEST_THREAD_MATRIX")) {
+        std::stringstream stream(env);
+        std::string item;
+        while (std::getline(stream, item, ',')) {
+          if (!item.empty()) list->push_back(item);
+        }
+      }
+      if (list->empty()) *list = {"1", "4"};
+      if (list->front() != "1") list->insert(list->begin(), "1");
+      return list;
+    }();
+    return *counts;
+  }
+
+  void SetUp() override {
+    std::string matrix;
+    for (const std::string& count : Counts()) {
+      if (!matrix.empty()) matrix += ",";
+      matrix += count;
+    }
+    ::testing::Test::RecordProperty("hotspot_thread_matrix", matrix);
+  }
+};
+
+/// Registers the environment once per test binary (gtest takes ownership;
+/// duplicate registrations across translation units are harmless).
+inline ::testing::Environment* const kThreadMatrixEnvironment =
+    ::testing::AddGlobalTestEnvironment(new ThreadMatrixEnvironment);
+
+/// Runs `body(threads)` once per matrix entry with HOTSPOT_NUM_THREADS
+/// pinned to it — serial reference ("1") first, then the parallel counts.
+template <typename Body>
+void ForEachThreadCount(Body&& body) {
+  for (const std::string& threads : ThreadMatrixEnvironment::Counts()) {
+    ScopedNumThreads scoped(threads);
+    body(threads);
+  }
+}
+
+}  // namespace hotspot::testing_util
+
+#endif  // HOTSPOT_TESTS_THREAD_MATRIX_H_
