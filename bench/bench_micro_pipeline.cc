@@ -1,19 +1,45 @@
-// google-benchmark microbenchmarks of the data pipeline: score
+// google-benchmark microbenchmarks of the data pipeline — score
 // computation, temporal integration, window extraction, the three feature
-// extractors, and average precision.
+// extractors, average precision — plus the staged serving runtime:
+// end-to-end rows/sec through pipeline::ServingPipeline's four
+// backpressured stages.
+//
+// HOTSPOT_MICRO_SMOKE=1 switches to a seconds-scale correctness smoke
+// (the ctest registration, label `pipeline`): streams a small study
+// through the staged runtime under a live obs::PipelineContext,
+// cross-checks the stream/ and pipeline/ counters against the run's
+// ground truth, and re-verifies the staged-vs-batch bitwise contract.
+// With HOTSPOT_BENCH_JSON=<path> the smoke exports the staged-runtime
+// trajectory (end-to-end rows/sec, per-stage p50/p99 handler latency,
+// queue occupancy) — the checked-in BENCH_micro_pipeline.json. With
+// HOTSPOT_OBS_JSON=<path> either mode exports the metrics snapshot.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "core/config.h"
+#include "core/forecast_service.h"
 #include "core/score.h"
+#include "core/study.h"
 #include "features/feature_tensor.h"
 #include "features/handcrafted_features.h"
 #include "features/percentile_features.h"
 #include "features/raw_features.h"
 #include "features/window.h"
+#include "obs/pipeline_context.h"
+#include "obs/snapshot.h"
+#include "pipeline/serving_pipeline.h"
 #include "simnet/generator.h"
 #include "stats/average_precision.h"
 #include "tensor/temporal.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace hotspot {
 namespace {
@@ -128,7 +154,317 @@ void BM_AveragePrecision(benchmark::State& state) {
 }
 BENCHMARK(BM_AveragePrecision)->Arg(1000)->Arg(20000);
 
+// ---------------------------------------------------------------------------
+// Staged serving runtime
+
+/// The end-to-end fixture: a trained GBDT service over a small synthetic
+/// study (the stream/serve bench recipe), streamed hour-major through
+/// the staged ServingPipeline.
+struct StagedFixture {
+  Study study;
+  std::unique_ptr<ForecastService> service;
+
+  StagedFixture() {
+    simnet::GeneratorConfig generator;
+    generator.topology.target_sectors = 60;
+    generator.topology.num_cities = 1;
+    generator.weeks = 9;
+    generator.seed = 11;
+    study = BuildStudy(StudyInput(generator), StudyOptions{});
+    ForecastConfig config;
+    config.model = ModelKind::kGbdt;
+    config.t = 55;
+    config.h = 1;
+    config.w = 3;
+    config.gbdt.num_iterations = 10;
+    config.gbdt.num_leaves = 15;
+    config.gbdt.max_bins = 32;
+    Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
+    std::unique_ptr<serialize::ForecastBundle> bundle =
+        forecaster.TrainBundle(config);
+    bundle->score = study.score_config;
+    service = std::make_unique<ForecastService>(std::move(bundle));
+  }
+
+  pipeline::ServingPipeline::Options Options() const {
+    pipeline::ServingPipeline::Options options;
+    options.num_sectors = study.num_sectors();
+    options.num_kpis = study.network.num_kpis();
+    options.calendar = &study.network.calendar_matrix;
+    options.score = study.score_config;
+    options.history_weeks = study.num_weeks() + 1;
+    return options;
+  }
+};
+
+StagedFixture& Staged() {
+  static StagedFixture* fixture = new StagedFixture();
+  return *fixture;
+}
+
+/// One full staged run: every KPI row hour-major through the pipeline,
+/// Finish, predictions out. Returns rows pushed.
+int64_t StagedServeOnce(StagedFixture& fixture,
+                        const pipeline::ServingPipeline::Options& options,
+                        std::vector<StreamingPrediction>* served,
+                        std::vector<pipeline::StageStats>* stages) {
+  pipeline::ServingPipeline serving(fixture.service.get(), options);
+  const Tensor3<float>& kpis = fixture.study.network.kpis;
+  int64_t rows = 0;
+  for (int j = 0; j < kpis.dim1(); ++j) {
+    for (int i = 0; i < kpis.dim0(); ++i) {
+      serving.Push(i, j, kpis.Slice(i, j), kpis.dim2());
+      ++rows;
+    }
+  }
+  serving.Finish();
+  if (served != nullptr) *served = serving.TakePredictions();
+  if (stages != nullptr) *stages = serving.StageSnapshot();
+  return rows;
+}
+
+void BM_StagedPipelineServe(benchmark::State& state) {
+  StagedFixture& fixture = Staged();
+  int64_t rows = 0, predictions = 0;
+  for (auto _ : state) {
+    std::vector<StreamingPrediction> served;
+    rows += StagedServeOnce(fixture, fixture.Options(), &served, nullptr);
+    for (const StreamingPrediction& p : served) {
+      predictions += static_cast<int64_t>(p.scores.size());
+    }
+    benchmark::DoNotOptimize(predictions);
+  }
+  state.SetItemsProcessed(rows);
+  state.counters["predictions"] =
+      benchmark::Counter(static_cast<double>(predictions),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StagedPipelineServe);
+
+/// Per-stage trajectory row assembled from the stage's own books plus the
+/// obs histograms.
+struct StageReport {
+  std::string name;
+  uint64_t items = 0;
+  double busy_seconds = 0.0;
+  double p50_latency_seconds = 0.0;
+  double p99_latency_seconds = 0.0;
+  int queue_capacity = 0;
+  int queue_high_water = 0;
+  uint64_t backpressure_waits = 0;
+  double push_blocked_seconds = 0.0;
+};
+
+std::vector<StageReport> BuildStageReports(
+    const std::vector<pipeline::StageStats>& stages,
+    const obs::Snapshot& snapshot) {
+  std::vector<StageReport> reports;
+  for (const pipeline::StageStats& stage : stages) {
+    StageReport report;
+    report.name = stage.name;
+    report.items = stage.items_in;
+    report.busy_seconds = stage.busy_seconds;
+    report.queue_capacity = stage.input.capacity;
+    report.queue_high_water = stage.input.high_water;
+    report.backpressure_waits = stage.input.push_waits;
+    report.push_blocked_seconds = stage.input.push_blocked_seconds;
+    const std::string histogram_name =
+        "pipeline/" + stage.name + "_latency_seconds";
+    for (const auto& histogram : snapshot.histograms) {
+      if (histogram.name == histogram_name) {
+        report.p50_latency_seconds = obs::HistogramQuantile(histogram, 0.5);
+        report.p99_latency_seconds = obs::HistogramQuantile(histogram, 0.99);
+      }
+    }
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+bool WriteStagedJson(const std::string& path, const StagedFixture& fixture,
+                     int64_t rows, size_t batches, double seconds,
+                     const std::vector<StageReport>& reports) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::fprintf(file, "{\n");
+  std::fprintf(file, "  \"bench\": \"bench_micro_pipeline\",\n");
+  std::fprintf(file, "  \"trajectory\": \"staged_serving_pipeline\",\n");
+  std::fprintf(file, "  \"sectors\": %d,\n", fixture.study.num_sectors());
+  std::fprintf(file, "  \"hours\": %d,\n",
+               fixture.study.network.num_hours());
+  std::fprintf(file, "  \"rows\": %lld,\n", static_cast<long long>(rows));
+  std::fprintf(file, "  \"prediction_batches\": %zu,\n", batches);
+  std::fprintf(file, "  \"end_to_end_seconds\": %.4f,\n", seconds);
+  std::fprintf(file, "  \"rows_per_sec\": %.0f,\n",
+               static_cast<double>(rows) / seconds);
+  std::fprintf(file, "  \"stages\": [\n");
+  for (size_t s = 0; s < reports.size(); ++s) {
+    const StageReport& r = reports[s];
+    std::fprintf(
+        file,
+        "    {\"name\": \"%s\", \"items\": %llu, \"busy_seconds\": %.4f, "
+        "\"p50_latency_seconds\": %.6f, \"p99_latency_seconds\": %.6f, "
+        "\"queue_capacity\": %d, \"queue_high_water\": %d, "
+        "\"backpressure_waits\": %llu, \"push_blocked_seconds\": %.4f}%s\n",
+        r.name.c_str(), static_cast<unsigned long long>(r.items),
+        r.busy_seconds, r.p50_latency_seconds, r.p99_latency_seconds,
+        r.queue_capacity, r.queue_high_water,
+        static_cast<unsigned long long>(r.backpressure_waits),
+        r.push_blocked_seconds, s + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(file, "  ],\n");
+  std::fprintf(file,
+               "  \"contract\": \"staged output bitwise-identical to batch "
+               "PredictAtDay; a full downstream queue blocks upstream Push, "
+               "never drops\"\n");
+  std::fprintf(file, "}\n");
+  std::fclose(file);
+  return true;
+}
+
+/// Seconds-scale smoke: the staged runtime end to end under a live
+/// context — counters cross-checked against ground truth, the bitwise
+/// staged-vs-batch contract re-verified, the trajectory exported.
+int Smoke() {
+  obs::PipelineContext context;
+  obs::PipelineContext::ScopedInstall install(&context);
+  StagedFixture& fixture = Staged();
+
+  std::vector<StreamingPrediction> served;
+  std::vector<pipeline::StageStats> stages;
+  Stopwatch watch;
+  const int64_t rows =
+      StagedServeOnce(fixture, fixture.Options(), &served, &stages);
+  const double seconds = watch.ElapsedSeconds();
+  std::printf("staged serve: %lld rows -> %zu batches in %.3fs "
+              "(%.0f rows/sec)\n",
+              static_cast<long long>(rows), served.size(), seconds,
+              static_cast<double>(rows) / seconds);
+
+  int failures = 0;
+  auto expect_counter = [&](const char* name, uint64_t expected) {
+    const uint64_t actual = context.metrics().counter(name).Total();
+    if (actual != expected) {
+      std::fprintf(stderr, "FAIL: %s = %llu, expected %llu\n", name,
+                   static_cast<unsigned long long>(actual),
+                   static_cast<unsigned long long>(expected));
+      ++failures;
+    }
+  };
+  expect_counter("stream/rows_offered", static_cast<uint64_t>(rows));
+  expect_counter("stream/rows_accepted", static_cast<uint64_t>(rows));
+  expect_counter("stream/rows_rejected", 0);
+  expect_counter("stream/rows_late_dropped", 0);
+  expect_counter("stream/prediction_batches",
+                 static_cast<uint64_t>(served.size()));
+  uint64_t predictions = 0;
+  for (const StreamingPrediction& p : served) {
+    predictions += static_cast<uint64_t>(p.scores.size());
+  }
+  expect_counter("stream/predictions", predictions);
+  if (stages.size() != 4) {
+    std::fprintf(stderr, "FAIL: expected 4 stages, got %zu\n",
+                 stages.size());
+    ++failures;
+  }
+  for (const pipeline::StageStats& stage : stages) {
+    if (pipeline::StageStateName(stage.state) != std::string("done")) {
+      std::fprintf(stderr, "FAIL: stage %s not drained (state %s)\n",
+                   stage.name.c_str(),
+                   pipeline::StageStateName(stage.state));
+      ++failures;
+    }
+    const uint64_t items =
+        context.metrics()
+            .counter("pipeline/" + stage.name + "_items")
+            .Total();
+    if (items != stage.items_in) {
+      std::fprintf(stderr,
+                   "FAIL: pipeline/%s_items = %llu, stage saw %llu\n",
+                   stage.name.c_str(),
+                   static_cast<unsigned long long>(items),
+                   static_cast<unsigned long long>(stage.items_in));
+      ++failures;
+    }
+  }
+
+  // The contract the whole runtime exists to preserve: staged scores ==
+  // batch scores, bit for bit.
+  const int window_days = fixture.service->bundle().window_days;
+  for (const StreamingPrediction& prediction : served) {
+    std::vector<float> batch = fixture.service->PredictAtDay(
+        fixture.study.features, prediction.end_day);
+    if (batch.size() != prediction.scores.size() ||
+        std::memcmp(batch.data(), prediction.scores.data(),
+                    batch.size() * sizeof(float)) != 0) {
+      std::fprintf(stderr, "FAIL: staged/batch mismatch at end day %d\n",
+                   prediction.end_day);
+      ++failures;
+    }
+  }
+  if (served.empty() ||
+      served.front().end_day != window_days) {
+    std::fprintf(stderr, "FAIL: staged serve produced no predictions\n");
+    ++failures;
+  }
+
+  const obs::Snapshot snapshot = obs::TakeSnapshot(context);
+  const std::vector<StageReport> reports =
+      BuildStageReports(stages, snapshot);
+  for (const StageReport& r : reports) {
+    std::printf("stage %-8s items=%llu busy=%.1fms p50=%.0fus p99=%.0fus "
+                "queue high-water %d/%d backpressure_waits=%llu\n",
+                r.name.c_str(), static_cast<unsigned long long>(r.items),
+                1e3 * r.busy_seconds, 1e6 * r.p50_latency_seconds,
+                1e6 * r.p99_latency_seconds, r.queue_high_water,
+                r.queue_capacity,
+                static_cast<unsigned long long>(r.backpressure_waits));
+  }
+
+  if (const char* path = std::getenv("HOTSPOT_BENCH_JSON")) {
+    if (!WriteStagedJson(path, fixture, rows, served.size(), seconds,
+                         reports)) {
+      std::fprintf(stderr, "FAIL: could not write %s\n", path);
+      ++failures;
+    } else {
+      std::printf("bench trajectory: %s\n", path);
+    }
+  }
+  if (const char* path = std::getenv("HOTSPOT_OBS_JSON")) {
+    if (!obs::WriteSnapshotJson(snapshot, path)) {
+      std::fprintf(stderr, "FAIL: could not write %s\n", path);
+      ++failures;
+    } else {
+      std::printf("obs snapshot: %s\n", path);
+    }
+  }
+  std::printf("result: %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace hotspot
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (std::getenv("HOTSPOT_MICRO_SMOKE") != nullptr) {
+    return hotspot::Smoke();
+  }
+  // Benchmark mode: a live context when HOTSPOT_OBS_JSON asks for the
+  // snapshot, so the measured path is the instrumented one.
+  std::unique_ptr<hotspot::obs::PipelineContext> context;
+  std::unique_ptr<hotspot::obs::PipelineContext::ScopedInstall> install;
+  const char* json_path = std::getenv("HOTSPOT_OBS_JSON");
+  if (json_path != nullptr) {
+    context = std::make_unique<hotspot::obs::PipelineContext>();
+    install = std::make_unique<hotspot::obs::PipelineContext::ScopedInstall>(
+        context.get());
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (json_path != nullptr) {
+    hotspot::obs::WriteSnapshotJson(hotspot::obs::TakeSnapshot(*context),
+                                    json_path);
+  }
+  return 0;
+}

@@ -3,9 +3,11 @@
 //   1. Train a GBDT hot-spot bundle; since format v2 the bundle carries
 //      reference fingerprints of the training distribution, so a serving
 //      process can detect drift without access to the training data.
-//   2. Serve healthy traffic: predictions plus matured ground-truth
-//      labels flow through the ForecastService monitor — the health
-//      report stays OK.
+//   2. Serve healthy traffic through a pipeline::ServingPipeline — the
+//      monitor config rides in through the pipeline Options, streamed
+//      predictions flow through the monitor stage, and matured
+//      ground-truth labels close the quality loop automatically. The
+//      health report stays OK.
 //   3. A regime change hits the network (every sector pushed into
 //      chronic overload). The rolling KS drift tests against the
 //      bundle fingerprints escalate to DRIFT, and the report is
@@ -65,29 +67,47 @@ int main() {
   bundle->score = healthy.score_config;
   auto service = std::make_unique<ForecastService>(std::move(bundle));
 
-  // Monitoring auto-enabled at construction; re-enable with a tuned
-  // config — a window wide enough to blend several served days, so the
-  // drift tests compare like with like (multi-day live traffic against
-  // the multi-week training fingerprint).
-  monitor::MonitorConfig monitoring;
-  monitoring.drift_window = 4096;
-  service->EnableMonitoring(monitoring);
+  // 2. A healthy serving stretch, end to end through the staged pipeline.
+  // The tuned monitor config — a drift window wide enough to blend
+  // several served days, so the KS tests compare like with like — is
+  // part of the pipeline Options, not a separate EnableMonitoring call.
+  {
+    monitor::MonitorConfig monitoring;
+    monitoring.drift_window = 4096;
 
-  // 2. A healthy serving week: predictions now, matured labels later.
-  for (int day = config.t - 2; day <= config.t; ++day) {
-    std::vector<float> scores = service->PredictAtDay(healthy.features, day);
-    std::vector<float> outcomes(scores.size());
-    for (size_t i = 0; i < scores.size(); ++i) {
-      outcomes[i] =
-          healthy.daily_labels.Row(static_cast<int>(i))[day + config.h];
+    pipeline::ServingPipeline::Options options;
+    options.num_sectors = healthy.num_sectors();
+    options.num_kpis = healthy.network.num_kpis();
+    options.calendar = &healthy.network.calendar_matrix;
+    options.score = healthy.score_config;
+    options.history_weeks = healthy.num_weeks() + 1;
+    options.monitor = monitoring;
+    pipeline::ServingPipeline serving(service.get(), options);
+
+    // Hour-major delivery, as live feeds do: predictions stream out as
+    // days close, and each target day's matured labels are fed back to
+    // the quality tracker by the monitor stage.
+    const int hours = healthy.network.num_hours();
+    for (int j = 0; j < hours; ++j) {
+      for (int i = 0; i < healthy.num_sectors(); ++i) {
+        serving.Push(i, j, healthy.network.kpis.Slice(i, j),
+                     healthy.network.kpis.dim2());
+      }
     }
-    service->RecordOutcomes(scores, outcomes);
+    serving.Finish();
+    std::printf("served %zu streamed batches; %d predictions still await "
+                "matured outcomes\n",
+                serving.TakePredictions().size(),
+                serving.pending_outcomes());
   }
   PrintHealth("healthy traffic", service->Health());
 
   // 3. Regime change: same topology and seed, but every sector's demand
   // is pushed into chronic overload — the live KPI distributions leave
-  // the fingerprinted training distribution.
+  // the fingerprinted training distribution. The drifted windows are
+  // replayed straight through the service (the monitor is the
+  // service's, so pipeline-served and directly-served traffic share one
+  // health state).
   simnet::GeneratorConfig shifted = generator;
   shifted.load.chronic_fraction = 1.0;
   shifted.load.chronic_min = 2.0;

@@ -1,15 +1,17 @@
-// Streaming ingest → incremental features → online forecasts.
+// Streaming serving through the staged pipeline runtime.
 //
 //   1. Train a GBDT hot-spot forecaster on a small synthetic study and
 //      wrap it in a warm ForecastService (same recipe as
 //      save_load_serve).
 //   2. Write the study's KPI tensor to a long-form CSV and stream it back
-//      row by row through the KpiStreamIngestor — the file standing in
-//      for a live hourly KPI feed, late rows, gaps and all.
-//   3. Let the IncrementalFeatureEngine maintain the paper's features
-//      on the fly and the StreamingForecastRunner serve a prediction
-//      batch every time the stream closes another day — no offline
-//      feature-tensor rebuild anywhere on the serving path.
+//      row by row — the file standing in for a live hourly KPI feed,
+//      late rows, gaps and all.
+//   3. Push every row into a pipeline::ServingPipeline: one facade that
+//      runs ingest → incremental features → predict → monitor as four
+//      concurrent, backpressured stages over bounded queues — no
+//      offline feature-tensor rebuild anywhere on the serving path, and
+//      no hand-wiring of ingestor/engine/runner (that older chain
+//      survives only as the deprecated StreamingForecastRunner).
 //
 // The streamed scores are bitwise-identical to the batch
 // PredictAtDay() answers; the example checks that at the end.
@@ -62,33 +64,39 @@ int main() {
     return 1;
   }
 
-  // 3. Stream it: ingestor → incremental features → runner → service.
+  // 3. Stream it through the staged pipeline. Options is the whole
+  // serving configuration in one place — universe, ingest policy, queue
+  // bounds, engine/kernel selection, monitoring — no env vars needed.
   obs::PipelineContext context;
   obs::PipelineContext::ScopedInstall install(&context);
 
-  stream::FeatureEngineConfig engine_config;
-  engine_config.num_sectors = study.num_sectors();
-  engine_config.num_kpis = study.network.num_kpis();
-  engine_config.calendar = &study.network.calendar_matrix;
-  engine_config.score = study.score_config;
-  engine_config.history_weeks = study.num_weeks() + 1;
-  stream::IncrementalFeatureEngine engine(engine_config);
+  pipeline::ServingPipeline::Options options;
+  options.num_sectors = study.num_sectors();
+  options.num_kpis = study.network.num_kpis();
+  options.calendar = &study.network.calendar_matrix;
+  options.score = study.score_config;
+  options.history_weeks = study.num_weeks() + 1;
+  pipeline::ServingPipeline serving(&service, options);
 
-  StreamingForecastRunner runner(&service, &engine);
-
-  stream::IngestorConfig ingest;
-  ingest.num_sectors = study.num_sectors();
-  ingest.num_kpis = study.network.num_kpis();
-  stream::KpiStreamIngestor ingestor(ingest, engine.IngestorSink());
-
-  io = stream::IngestKpiCsv(feed, &ingestor);
+  io::KpiCsvStreamReader reader;
+  io = reader.Open(feed);
   if (!io.ok) {
-    std::fprintf(stderr, "ingest failed: %s\n", io.error.c_str());
+    std::fprintf(stderr, "feed open failed: %s\n", io.error.c_str());
     return 1;
   }
-  ingestor.Flush();
+  int sector = 0;
+  int hour = 0;
+  std::vector<float> values;
+  while (reader.Next(&sector, &hour, &values)) {
+    serving.Push(sector, hour, values);  // blocks only under backpressure
+  }
+  if (!reader.status().ok) {
+    std::fprintf(stderr, "ingest failed: %s\n", reader.status().error.c_str());
+    return 1;
+  }
+  serving.Finish();  // drain every stage, join the pipeline
 
-  std::vector<StreamingPrediction> served = runner.Poll();
+  std::vector<StreamingPrediction> served = serving.TakePredictions();
   int hot_last = 0;
   for (float score : served.back().scores) {
     hot_last += service.IsHot(score) ? 1 : 0;
@@ -110,6 +118,18 @@ int main() {
               static_cast<unsigned long long>(
                   context.metrics().counter("stream/outcomes_recorded")
                       .Total()));
+
+  // Per-stage accounting: items through each stage, busy time, and how
+  // full each queue boundary ever ran.
+  for (const pipeline::StageStats& stage : serving.StageSnapshot()) {
+    std::printf("stage %-8s %-8s in=%llu out=%llu busy=%.1f ms "
+                "queue high-water %d/%d\n",
+                stage.name.c_str(), pipeline::StageStateName(stage.state),
+                static_cast<unsigned long long>(stage.items_in),
+                static_cast<unsigned long long>(stage.items_out),
+                1e3 * stage.busy_seconds, stage.input.high_water,
+                stage.input.capacity);
+  }
 
   // 4. The equivalence check: streamed scores == batch scores, bit for bit.
   for (const StreamingPrediction& prediction : served) {

@@ -47,6 +47,9 @@ ForecastService::ForecastService(
   }
   HOTSPOT_CHECK_EQ(bundle_->flat->num_features(), bundle_->feature_dim);
   engine_ = DefaultPredictEngine();
+  // Resolve the kernel once (CPUID probe + env opt-out) instead of per
+  // batch; set_flat_kernel overrides it for the service's lifetime.
+  kernel_ = ml::FlatForest::ChooseKernel();
   if (bundle_->fingerprints != nullptr) EnableMonitoring();
 }
 
@@ -116,7 +119,7 @@ std::vector<float> ForecastService::ScoreBatch(
     ctx->metrics().counter("serve/rows_flat").Add(static_cast<uint64_t>(n));
   }
   const ml::FlatForest& flat = *bundle_->flat;
-  const ml::FlatKernel kernel = ml::FlatForest::ChooseKernel();
+  const ml::FlatKernel kernel = kernel_;
   const int dim = bundle_->feature_dim;
   constexpr int kBlock = ml::flat_detail::kBlockRows;
   const int num_blocks = (n + kBlock - 1) / kBlock;

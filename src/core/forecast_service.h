@@ -99,6 +99,18 @@ class ForecastService {
   static PredictEngine DefaultPredictEngine();
   void set_predict_engine(PredictEngine engine) { engine_ = engine; }
   PredictEngine predict_engine() const { return engine_; }
+
+  /// Flat-kernel selection (scalar vs AVX2), same contract as the engine
+  /// switch: the service starts on ml::FlatForest::ChooseKernel() — the
+  /// CPUID-gated best kernel unless the HOTSPOT_FLAT_KERNEL=scalar env
+  /// opt-out is set — and can be repointed at any time. The env knob is a
+  /// process-wide *defaults layer*; these setters (and
+  /// pipeline::ServingPipeline::Options) are the primary API. Kernels are
+  /// bitwise-identical (enforced by tests/flat_tree_test.cc), so switching
+  /// never changes scores.
+  void set_flat_kernel(ml::FlatKernel kernel) { kernel_ = kernel; }
+  ml::FlatKernel flat_kernel() const { return kernel_; }
+
   /// The compiled flat forest the kFlat engine runs (never null).
   const ml::FlatForest& flat_forest() const { return *bundle_->flat; }
 
@@ -114,6 +126,7 @@ class ForecastService {
 
   std::unique_ptr<serialize::ForecastBundle> bundle_;
   PredictEngine engine_ = PredictEngine::kFlat;
+  ml::FlatKernel kernel_ = ml::FlatKernel::kScalar;
   /// Mutable so the const Predict paths can record observations; the
   /// monitor itself is internally synchronized.
   mutable std::unique_ptr<monitor::ServingMonitor> monitor_;

@@ -1,0 +1,37 @@
+#include "core/serving_ops.h"
+
+#include "tensor/temporal.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace hotspot {
+
+Tensor3<float> AssembleServingWindows(
+    const stream::IncrementalFeatureEngine& engine, int window_hours,
+    int end_day) {
+  const int n = engine.config().num_sectors;
+  const int ch = engine.channels();
+  const int first_hour = kHoursPerDay * end_day - window_hours;
+  HOTSPOT_CHECK_GE(first_hour, 0);
+  Tensor3<float> windows(n, window_hours, ch);
+  // Parallel over sectors; sector i only writes its own slab, so the
+  // assembled tensor is bitwise-independent of the thread count.
+  util::ParallelFor(0, n, [&](int64_t i64) {
+    const int i = static_cast<int>(i64);
+    engine.CopyFeatureRows(i, first_hour, window_hours,
+                           windows.Slice(i, 0));
+  });
+  return windows;
+}
+
+std::vector<float> GatherDayLabels(
+    const stream::IncrementalFeatureEngine& engine, int day) {
+  const int n = engine.config().num_sectors;
+  std::vector<float> labels(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    labels[static_cast<size_t>(i)] = engine.DailyLabel(i, day);
+  }
+  return labels;
+}
+
+}  // namespace hotspot

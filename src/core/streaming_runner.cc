@@ -6,7 +6,6 @@
 #include "obs/trace.h"
 #include "tensor/temporal.h"
 #include "util/logging.h"
-#include "util/thread_pool.h"
 
 namespace hotspot {
 
@@ -28,22 +27,13 @@ std::vector<StreamingPrediction> StreamingForecastRunner::Poll() {
   std::vector<StreamingPrediction> served;
   const int n = engine_->config().num_sectors;
   const int window_hours = service_->window_hours();
-  const int ch = engine_->channels();
   while (engine_->min_finalized_hours() >= kHoursPerDay * next_end_day_) {
     HOTSPOT_SPAN("stream/predict");
     StreamingPrediction prediction;
     prediction.end_day = next_end_day_;
     prediction.target_day = next_end_day_ + service_->bundle().horizon_days;
-    const int first_hour = kHoursPerDay * next_end_day_ - window_hours;
-    Tensor3<float> windows(n, window_hours, ch);
-    // Parallel over sectors; sector i only writes its own slab, so the
-    // assembled tensor is bitwise-independent of the thread count.
-    util::ParallelFor(0, n, [&](int64_t i64) {
-      const int i = static_cast<int>(i64);
-      engine_->CopyFeatureRows(i, first_hour, window_hours,
-                               windows.Slice(i, 0));
-    });
-    prediction.scores = service_->Predict(windows);
+    prediction.scores = service_->Predict(
+        AssembleServingWindows(*engine_, window_hours, next_end_day_));
     if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
       ctx->metrics().counter("stream/prediction_batches").Increment();
       ctx->metrics().counter("stream/predictions").Add(
@@ -63,12 +53,9 @@ void StreamingForecastRunner::RecordMaturedOutcomes() {
          engine_->min_closed_days() >
              awaiting_outcomes_.front().target_day) {
     const StreamingPrediction& prediction = awaiting_outcomes_.front();
-    std::vector<float> labels(static_cast<size_t>(n));
-    for (int i = 0; i < n; ++i) {
-      labels[static_cast<size_t>(i)] =
-          engine_->DailyLabel(i, prediction.target_day);
-    }
-    service_->RecordOutcomes(prediction.scores, labels);
+    service_->RecordOutcomes(
+        prediction.scores,
+        GatherDayLabels(*engine_, prediction.target_day));
     if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
       ctx->metrics().counter("stream/outcomes_recorded").Add(
           static_cast<uint64_t>(n));

@@ -5,44 +5,37 @@
 #include <vector>
 
 #include "core/forecast_service.h"
+#include "core/serving_ops.h"
 #include "stream/incremental_features.h"
 
 namespace hotspot {
 
-/// One served streaming batch: scores for the windows ending at `end_day`
-/// (one per sector, sector-id order), forecasting day `target_day` =
-/// end_day + the bundle's horizon.
-struct StreamingPrediction {
-  int end_day = 0;
-  int target_day = 0;
-  std::vector<float> scores;
-};
-
-/// The serving tail of the streaming pipeline: watches an
-/// IncrementalFeatureEngine's finalized frontier and, whenever every
-/// sector has finalized features through another day boundary, cuts the
-/// per-sector windows (Eq. 6) out of the engine's history and batches
-/// them through ForecastService::Predict — ingest → incremental features
-/// → prediction → drift/quality monitoring in one process, no offline
-/// tensor rebuild.
+/// DEPRECATED: synchronous predecessor of pipeline::ServingPipeline.
 ///
-/// Window assembly fans out over the existing thread pool (sector i only
-/// writes its own slab) and Predict keeps its own determinism contract,
-/// so streaming scores are bitwise-identical to the batch
-/// PredictAtDay(features, end_day) at every HOTSPOT_NUM_THREADS — pinned
-/// by tests/stream_test.cc.
+/// New code should construct a ServingPipeline — it owns the whole
+/// ingest → features → predict → monitor chain behind one Options struct,
+/// runs the stages concurrently with bounded queues and explicit
+/// backpressure, and exports per-stage accounting. This runner remains as
+/// a thin compatibility port for callers that already own an ingestor and
+/// feature engine and want the original single-threaded call-and-return
+/// Poll() flow; both paths share the same serving ops
+/// (AssembleServingWindows / GatherDayLabels), so their scores are
+/// bitwise-identical by construction.
 ///
-/// The runner also closes the monitoring loop: once the stream reaches a
-/// prediction's target day, that day's matured hot-spot labels are fed
-/// back via ForecastService::RecordOutcomes (the daily "is a hot spot"
-/// ground truth — the serving default; other target kinds need their own
-/// maturation rule). Counters land under `stream/` in the installed
-/// observability context.
+/// Original contract, unchanged: watches the engine's finalized frontier
+/// and, whenever every sector has finalized features through another day
+/// boundary, cuts the per-sector windows (Eq. 6) out of the engine's
+/// history, batches them through ForecastService::Predict, and — once the
+/// stream reaches a prediction's target day — feeds the matured hot-spot
+/// labels back via RecordOutcomes. Streaming scores are bitwise-identical
+/// to the batch PredictAtDay(features, end_day) at every
+/// HOTSPOT_NUM_THREADS (pinned by tests/stream_test.cc). Counters land
+/// under `stream/`.
 ///
 /// Poll from the ingest thread (or any single thread at a time), after
-/// pushing rows. Poll at least once per engine retention window —
-/// windows older than the engine's history cannot be rebuilt, which the
-/// runner enforces with a history-coverage check at construction.
+/// pushing rows, at least once per engine retention window — windows
+/// older than the engine's history cannot be rebuilt, which the runner
+/// enforces with a history-coverage check at construction.
 class StreamingForecastRunner {
  public:
   /// Neither pointer is owned; both must outlive the runner. The engine's

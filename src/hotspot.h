@@ -16,10 +16,15 @@
 ///              path (ServingMonitor, HealthReport)
 ///   stream   — streaming KPI ingestion and incremental features feeding
 ///              the serving path end to end (KpiStreamIngestor,
-///              IncrementalFeatureEngine, StreamingForecastRunner)
+///              IncrementalFeatureEngine)
+///   pipeline — the staged, backpressured serving runtime behind the
+///              unified facade (pipeline::ServingPipeline); the
+///              synchronous StreamingForecastRunner remains as a
+///              deprecated port
 
 #include "core/config.h"
 #include "core/dynamics.h"
+#include "core/serving_ops.h"
 #include "core/evaluation.h"
 #include "core/forecast_service.h"
 #include "core/forecaster.h"
@@ -37,6 +42,7 @@
 #include "obs/pipeline_context.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
+#include "pipeline/serving_pipeline.h"
 #include "serialize/bundle.h"
 #include "serialize/model_io.h"
 #include "simnet/generator.h"

@@ -209,6 +209,36 @@ double Snapshot::TopLevelSpanSeconds() const {
   return total;
 }
 
+double HistogramQuantile(const Snapshot::HistogramSample& histogram,
+                         double q) {
+  if (histogram.count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(histogram.count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < histogram.buckets.size(); ++b) {
+    const uint64_t in_bucket = histogram.buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      // The overflow bucket has no finite upper edge; clamp to the last
+      // finite bound (or the sum-mean when there are no bounds at all).
+      if (b >= histogram.bounds.size()) {
+        return histogram.bounds.empty()
+                   ? histogram.sum / static_cast<double>(histogram.count)
+                   : histogram.bounds.back();
+      }
+      const double upper = histogram.bounds[b];
+      const double lower = b == 0 ? 0.0 : histogram.bounds[b - 1];
+      const double into_bucket =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * into_bucket;
+    }
+    cumulative += in_bucket;
+  }
+  return histogram.bounds.empty() ? 0.0 : histogram.bounds.back();
+}
+
 Snapshot TakeSnapshot(const PipelineContext& context) {
   Snapshot snapshot;
   for (const auto& [name, counter] : context.metrics().Counters()) {

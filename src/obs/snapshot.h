@@ -49,6 +49,15 @@ struct Snapshot {
 /// metrics by name, spans pre-order with sorted children).
 Snapshot TakeSnapshot(const PipelineContext& context);
 
+/// Quantile estimate over a fixed-bucket histogram sample, linearly
+/// interpolated inside the covering bucket (the Prometheus
+/// histogram_quantile convention; the overflow bucket clamps to the last
+/// finite bound). `q` in [0, 1]; returns 0 for an empty histogram. Used
+/// by the bench tooling to report p50/p99 stage latencies out of the
+/// pipeline/<stage>_latency_seconds histograms.
+double HistogramQuantile(const Snapshot::HistogramSample& histogram,
+                         double q);
+
 /// JSON object with "counters"/"gauges"/"histograms"/"spans" arrays; the
 /// shape the BENCH_* trajectory tooling ingests (one self-contained file
 /// per run, no trailing commas, UTF-8).

@@ -1,0 +1,346 @@
+#include "pipeline/serving_pipeline.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "obs/pipeline_context.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace hotspot::pipeline {
+
+void ServingPipeline::Counters::Refresh() {
+  obs::PipelineContext* ctx = obs::PipelineContext::Current();
+  if (ctx == context) return;
+  context = ctx;
+  if (ctx == nullptr) {
+    rows_offered = nullptr;
+    rows_rejected = nullptr;
+    prediction_batches = nullptr;
+    predictions = nullptr;
+    outcomes_recorded = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& metrics = ctx->metrics();
+  rows_offered = &metrics.counter("stream/rows_offered");
+  rows_rejected = &metrics.counter("stream/rows_rejected");
+  prediction_batches = &metrics.counter("stream/prediction_batches");
+  predictions = &metrics.counter("stream/predictions");
+  outcomes_recorded = &metrics.counter("stream/outcomes_recorded");
+}
+
+ServingPipeline::ServingPipeline(ForecastService* service,
+                                 const Options& options)
+    : service_(service),
+      options_(options),
+      raw_queue_(std::max(1, options.row_queue_blocks)),
+      ordered_queue_(std::max(1, options.row_queue_blocks)),
+      predict_queue_(std::max(1, options.predict_queue_capacity)),
+      scored_queue_(std::max(1, options.scored_queue_capacity)) {
+  HOTSPOT_CHECK(service_ != nullptr);
+  HOTSPOT_CHECK_GT(options_.num_sectors, 0);
+  HOTSPOT_CHECK_GT(options_.num_kpis, 0);
+  HOTSPOT_CHECK(options_.calendar != nullptr);
+  HOTSPOT_CHECK_GE(options_.row_block_rows, 1);
+  window_hours_ = service_->window_hours();
+
+  // Options are the primary engine/kernel/monitoring API; the env knobs
+  // only seeded the service's defaults before we got here.
+  if (options_.predict_engine.has_value()) {
+    service_->set_predict_engine(*options_.predict_engine);
+  }
+  if (options_.flat_kernel.has_value()) {
+    service_->set_flat_kernel(*options_.flat_kernel);
+  }
+  if (options_.disable_monitoring) {
+    service_->DisableMonitoring();
+  } else if (options_.monitor.has_value()) {
+    service_->EnableMonitoring(*options_.monitor);
+  }
+
+  stream::FeatureEngineConfig feature_config;
+  feature_config.num_sectors = options_.num_sectors;
+  feature_config.num_kpis = options_.num_kpis;
+  feature_config.calendar = options_.calendar;
+  feature_config.score = options_.score.value_or(service_->bundle().score);
+  feature_config.history_weeks = options_.history_weeks;
+  engine_ =
+      std::make_unique<stream::IncrementalFeatureEngine>(feature_config);
+  HOTSPOT_CHECK_EQ(engine_->channels(), service_->bundle().num_channels);
+  // A window must still be in history when its end-day becomes servable;
+  // the frontier can run up to one week past the last served day, so
+  // retention needs the window plus that slack (the runner's check).
+  HOTSPOT_CHECK_GE(engine_->history_hours(),
+                   window_hours_ + kHoursPerWeek);
+
+  stream::IngestorConfig ingest_config;
+  ingest_config.num_sectors = options_.num_sectors;
+  ingest_config.num_kpis = options_.num_kpis;
+  ingest_config.watermark_hours = options_.watermark_hours;
+  ingest_config.ring_hours = options_.ring_hours;
+  ingestor_ = std::make_unique<stream::KpiStreamIngestor>(
+      ingest_config,
+      [this](int sector, int hour, const float* values, int num_kpis) {
+        ordered_block_.sectors.push_back(sector);
+        ordered_block_.hours.push_back(hour);
+        ordered_block_.values.insert(ordered_block_.values.end(), values,
+                                     values + num_kpis);
+        ordered_block_.num_kpis = num_kpis;
+        if (ordered_block_.rows() >= options_.row_block_rows) {
+          FlushOrderedBlock();
+        }
+      });
+
+  input_block_.num_kpis = options_.num_kpis;
+  next_end_day_.store(service_->bundle().window_days,
+                      std::memory_order_relaxed);
+  next_outcome_day_ =
+      service_->bundle().window_days + service_->bundle().horizon_days;
+
+  ingest_stage_ = std::make_unique<Stage<RowBlock>>(
+      "ingest", &raw_queue_,
+      [this](RowBlock&& block) { return IngestBlock(std::move(block)); },
+      [this] {
+        // End-of-stream: finalize the last watermark window (gap-filling
+        // interior holes), ship the partial block, close downstream.
+        ingestor_->Flush();
+        FlushOrderedBlock();
+        ordered_queue_.Close();
+      });
+  features_stage_ = std::make_unique<Stage<RowBlock>>(
+      "features", &ordered_queue_,
+      [this](RowBlock&& block) { return ConsumeBlock(std::move(block)); },
+      [this] {
+        ServeReady();  // flush-finalized rows may have opened new batches
+        predict_queue_.Close();
+      });
+  predict_stage_ = std::make_unique<Stage<FeatureWork>>(
+      "predict", &predict_queue_,
+      [this](FeatureWork&& work) { return PredictWork(std::move(work)); },
+      [this] { scored_queue_.Close(); });
+  monitor_stage_ = std::make_unique<Stage<ScoredWork>>(
+      "monitor", &scored_queue_,
+      [this](ScoredWork&& work) { return DeliverWork(std::move(work)); },
+      [] {});
+
+  // Dedicated orchestration threads, NOT pool workers: ParallelFor waits
+  // for every helper task it submitted to run, so parking these loops on
+  // pool workers could starve the nested fan-outs into deadlock. The
+  // loops spend their lives blocked on queues; compute lands on the pool.
+  threads_.reserve(4);
+  threads_.emplace_back([stage = ingest_stage_.get()] { stage->Run(); });
+  threads_.emplace_back([stage = features_stage_.get()] { stage->Run(); });
+  threads_.emplace_back([stage = predict_stage_.get()] { stage->Run(); });
+  threads_.emplace_back([stage = monitor_stage_.get()] { stage->Run(); });
+}
+
+ServingPipeline::~ServingPipeline() { Finish(); }
+
+bool ServingPipeline::Push(int sector, int hour, const float* values,
+                           int num_kpis) {
+  if (input_closed_) return false;
+  if (num_kpis != options_.num_kpis) {
+    // Pre-queue reject: the ingestor never sees this row, so account for
+    // it here (the in-contract rows are counted by the ingestor itself).
+    producer_counters_.Refresh();
+    if (producer_counters_.rows_offered != nullptr) {
+      producer_counters_.rows_offered->Increment();
+      producer_counters_.rows_rejected->Increment();
+    }
+    return false;
+  }
+  input_block_.sectors.push_back(sector);
+  input_block_.hours.push_back(hour);
+  input_block_.values.insert(input_block_.values.end(), values,
+                             values + num_kpis);
+  if (input_block_.rows() >= options_.row_block_rows) FlushInputBlock();
+  return true;
+}
+
+void ServingPipeline::FlushInput() {
+  if (input_closed_) return;
+  FlushInputBlock();
+}
+
+void ServingPipeline::FlushInputBlock() {
+  if (input_block_.rows() == 0) return;
+  RowBlock block = std::move(input_block_);
+  input_block_.Clear();
+  input_block_.num_kpis = options_.num_kpis;
+  raw_queue_.Push(std::move(block));
+}
+
+void ServingPipeline::Finish() {
+  if (input_closed_) return;
+  input_closed_ = true;
+  FlushInputBlock();
+  raw_queue_.Close();
+  for (std::thread& thread : threads_) thread.join();
+  threads_.clear();
+  PublishFinalStats();
+  finished_.store(true, std::memory_order_release);
+}
+
+std::vector<StreamingPrediction> ServingPipeline::TakePredictions() {
+  std::lock_guard<std::mutex> lock(results_mutex_);
+  std::vector<StreamingPrediction> taken = std::move(results_);
+  results_.clear();
+  return taken;
+}
+
+std::vector<StageStats> ServingPipeline::StageSnapshot() const {
+  return {ingest_stage_->Stats(), features_stage_->Stats(),
+          predict_stage_->Stats(), monitor_stage_->Stats()};
+}
+
+uint64_t ServingPipeline::IngestBlock(RowBlock&& block) {
+  const uint64_t before = ordered_blocks_pushed_;
+  const int rows = block.rows();
+  for (int r = 0; r < rows; ++r) {
+    ingestor_->Push(
+        block.sectors[static_cast<size_t>(r)],
+        block.hours[static_cast<size_t>(r)],
+        block.values.data() + static_cast<size_t>(r) * block.num_kpis,
+        block.num_kpis);
+  }
+  return ordered_blocks_pushed_ - before;
+}
+
+void ServingPipeline::FlushOrderedBlock() {
+  if (ordered_block_.rows() == 0) return;
+  RowBlock block = std::move(ordered_block_);
+  ordered_block_.Clear();
+  ordered_block_.num_kpis = options_.num_kpis;
+  ordered_queue_.Push(std::move(block));
+  ++ordered_blocks_pushed_;
+}
+
+uint64_t ServingPipeline::ConsumeBlock(RowBlock&& block) {
+  const int rows = block.rows();
+  for (int r = 0; r < rows; ++r) {
+    engine_->Consume(
+        block.sectors[static_cast<size_t>(r)],
+        block.hours[static_cast<size_t>(r)],
+        block.values.data() + static_cast<size_t>(r) * block.num_kpis,
+        block.num_kpis);
+  }
+  return ServeReady();
+}
+
+uint64_t ServingPipeline::ServeReady() {
+  uint64_t pushed = 0;
+  // Ready prediction batches first, matured outcome days second — the
+  // exact relative order Poll() produced, so the monitor stage sees the
+  // same sequence the runner's synchronous loop did.
+  int end_day = next_end_day_.load(std::memory_order_relaxed);
+  while (engine_->min_finalized_hours() >= kHoursPerDay * end_day) {
+    HOTSPOT_SPAN("pipeline/assemble");
+    FeatureWork work;
+    work.kind = FeatureWork::Kind::kPredict;
+    work.end_day = end_day;
+    work.target_day = end_day + service_->bundle().horizon_days;
+    work.windows = AssembleServingWindows(*engine_, window_hours_, end_day);
+    predict_queue_.Push(std::move(work));
+    ++pushed;
+    ++end_day;
+    next_end_day_.store(end_day, std::memory_order_relaxed);
+  }
+  // Labels are extracted here — the only stage that owns the engine — and
+  // shipped downstream, so the monitor stage never races the feature
+  // state. Shipped even with record_outcomes off, to keep the monitor's
+  // awaiting queue bounded; recording itself is gated there.
+  while (engine_->min_closed_days() > next_outcome_day_) {
+    FeatureWork work;
+    work.kind = FeatureWork::Kind::kOutcomes;
+    work.day = next_outcome_day_;
+    work.labels = GatherDayLabels(*engine_, next_outcome_day_);
+    predict_queue_.Push(std::move(work));
+    ++pushed;
+    ++next_outcome_day_;
+  }
+  return pushed;
+}
+
+uint64_t ServingPipeline::PredictWork(FeatureWork&& work) {
+  ScoredWork out;
+  if (work.kind == FeatureWork::Kind::kPredict) {
+    HOTSPOT_SPAN("pipeline/predict");
+    if (options_.predict_stall_for_test.count() > 0) {
+      std::this_thread::sleep_for(options_.predict_stall_for_test);
+    }
+    out.kind = ScoredWork::Kind::kPrediction;
+    out.prediction.end_day = work.end_day;
+    out.prediction.target_day = work.target_day;
+    out.prediction.scores = service_->Predict(work.windows);
+    predict_counters_.Refresh();
+    if (predict_counters_.prediction_batches != nullptr) {
+      predict_counters_.prediction_batches->Increment();
+      predict_counters_.predictions->Add(
+          static_cast<uint64_t>(out.prediction.scores.size()));
+    }
+  } else {
+    out.kind = ScoredWork::Kind::kOutcomes;
+    out.day = work.day;
+    out.labels = std::move(work.labels);
+  }
+  scored_queue_.Push(std::move(out));
+  return 1;
+}
+
+uint64_t ServingPipeline::DeliverWork(ScoredWork&& work) {
+  if (work.kind == ScoredWork::Kind::kPrediction) {
+    awaiting_outcomes_.push_back(work.prediction);
+    pending_outcomes_.store(
+        static_cast<int>(awaiting_outcomes_.size()),
+        std::memory_order_relaxed);
+    if (options_.on_prediction) options_.on_prediction(work.prediction);
+    {
+      std::lock_guard<std::mutex> lock(results_mutex_);
+      results_.push_back(std::move(work.prediction));
+    }
+  } else {
+    matured_labels_[work.day] = std::move(work.labels);
+  }
+  RecordReadyOutcomes();
+  return 0;
+}
+
+void ServingPipeline::RecordReadyOutcomes() {
+  while (!awaiting_outcomes_.empty()) {
+    const StreamingPrediction& front = awaiting_outcomes_.front();
+    auto labels = matured_labels_.find(front.target_day);
+    if (labels == matured_labels_.end()) break;
+    if (options_.record_outcomes) {
+      service_->RecordOutcomes(front.scores, labels->second);
+      monitor_counters_.Refresh();
+      if (monitor_counters_.outcomes_recorded != nullptr) {
+        monitor_counters_.outcomes_recorded->Add(
+            static_cast<uint64_t>(labels->second.size()));
+      }
+    }
+    matured_labels_.erase(labels);
+    awaiting_outcomes_.pop_front();
+    pending_outcomes_.store(static_cast<int>(awaiting_outcomes_.size()),
+                            std::memory_order_relaxed);
+  }
+}
+
+void ServingPipeline::PublishFinalStats() {
+  obs::PipelineContext* ctx = obs::PipelineContext::Current();
+  if (ctx == nullptr) return;
+  // Cold path (once per pipeline lifetime): the queue high-water marks,
+  // so a snapshot taken after Finish still shows how full each boundary
+  // ever ran.
+  obs::MetricsRegistry& metrics = ctx->metrics();
+  const StageStats stages[] = {ingest_stage_->Stats(),
+                               features_stage_->Stats(),
+                               predict_stage_->Stats(),
+                               monitor_stage_->Stats()};
+  for (const StageStats& stage : stages) {
+    metrics.gauge("pipeline/" + stage.name + "_queue_high_water")
+        .Set(static_cast<double>(stage.input.high_water));
+  }
+}
+
+}  // namespace hotspot::pipeline

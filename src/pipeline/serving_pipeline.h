@@ -1,0 +1,308 @@
+#ifndef HOTSPOT_PIPELINE_SERVING_PIPELINE_H_
+#define HOTSPOT_PIPELINE_SERVING_PIPELINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/forecast_service.h"
+#include "core/serving_ops.h"
+#include "ml/flat_tree.h"
+#include "monitor/monitor.h"
+#include "obs/metrics.h"
+#include "pipeline/bounded_queue.h"
+#include "pipeline/stage.h"
+#include "stream/incremental_features.h"
+#include "stream/kpi_stream.h"
+#include "tensor/matrix.h"
+#include "tensor/temporal.h"
+
+namespace hotspot::pipeline {
+
+/// A block of KPI rows in delivery order — the unit the row-granularity
+/// queues carry, so per-row hot paths amortize one lock + one clock pair
+/// over `rows()` rows instead of paying them per row.
+struct RowBlock {
+  std::vector<int> sectors;
+  std::vector<int> hours;
+  std::vector<float> values;  ///< rows() x num_kpis, row-major
+  int num_kpis = 0;
+
+  int rows() const { return static_cast<int>(sectors.size()); }
+  void Clear() {
+    sectors.clear();
+    hours.clear();
+    values.clear();
+  }
+};
+
+/// Work flowing features → predict: either one assembled prediction-window
+/// batch, or the matured daily labels of one closed day (passed through
+/// the predict stage untouched so the monitor stage sees scores and
+/// outcomes in one ordered stream).
+struct FeatureWork {
+  enum class Kind { kPredict, kOutcomes };
+  Kind kind = Kind::kPredict;
+  int end_day = 0;     ///< kPredict
+  int target_day = 0;  ///< kPredict
+  Tensor3<float> windows;
+  int day = 0;  ///< kOutcomes
+  std::vector<float> labels;
+};
+
+/// Work flowing predict → monitor: a scored batch or pass-through labels.
+struct ScoredWork {
+  enum class Kind { kPrediction, kOutcomes };
+  Kind kind = Kind::kPrediction;
+  StreamingPrediction prediction;
+  int day = 0;
+  std::vector<float> labels;
+};
+
+/// The one way to stand up a streaming serving path: ingest → incremental
+/// features → predict → monitor as four explicit, backpressured pipeline
+/// stages behind a single facade, replacing the hand-wired
+/// KpiStreamIngestor / IncrementalFeatureEngine / StreamingForecastRunner
+/// chain (the runner survives as a deprecated synchronous port).
+///
+/// Dataflow and staging:
+///
+///   Push() ─raw rows─▶ [ingest]  reorder/dedup/gap-fill (KpiStreamIngestor)
+///              │q0         │q1 ordered rows
+///              ▼           ▼
+///                      [features] incremental Eq.1/2 features, window cut,
+///              │q2         │      matured-label extraction
+///              ▼           ▼q2 windows + labels
+///                      [predict]  ForecastService::Predict (pool fan-out)
+///                          │q3 scores + labels
+///                          ▼
+///                      [monitor]  RecordOutcomes + prediction delivery
+///
+/// Every queue is a BoundedQueue: a full downstream queue blocks the
+/// upstream push — all the way back to Push(), which blocks the caller —
+/// and never drops or reorders a row. A slow predict shard therefore
+/// surfaces as backpressure (visible in the pipeline/* counters), not as
+/// silently lost late KPI rows.
+///
+/// Determinism: each stage has a single consumer and the queues are FIFO,
+/// so rows, windows and scores flow in the exact order of the direct-call
+/// path; the heavy stage work (window assembly, inference) fans out over
+/// the shared deterministic thread pool with index-owned writes. Streamed
+/// scores are bitwise-identical to StreamingForecastRunner / batch
+/// PredictAtDay at any HOTSPOT_NUM_THREADS and any queue bounds — pinned
+/// by tests/pipeline_test.cc, slow-predict injection included.
+///
+/// The four stage loops run on dedicated orchestration threads rather
+/// than pool workers: ParallelFor blocks until every helper task it
+/// submitted has run, so parking long-lived loops on pool workers could
+/// starve the nested fan-outs of the predict stage into deadlock. The
+/// orchestration threads spend their lives blocked on queues; all
+/// compute still lands on the pool.
+///
+/// Threading contract: Push / PushRow / FlushInput / Finish are
+/// single-writer (one producer thread at a time, the KpiStreamIngestor
+/// discipline). TakePredictions(), StageSnapshot() and the frontier
+/// accessors are safe from any thread at any time.
+class ServingPipeline {
+ public:
+  /// Everything a serving path is configured by, in one place. The env
+  /// knobs (HOTSPOT_PREDICT_ENGINE, HOTSPOT_FLAT_KERNEL) remain a
+  /// process-wide *defaults layer* only: they seed the service's initial
+  /// engine/kernel, and the optional fields here override them per
+  /// pipeline — the setters are the primary API.
+  struct Options {
+    // --- serving universe (must match the service's bundle) ---
+    int num_sectors = 0;
+    int num_kpis = 0;
+    /// Enriched calendar matrix C (hours x 5) covering every hour the
+    /// stream will reach. Not owned; must outlive the pipeline.
+    const Matrix<float>* calendar = nullptr;
+    /// Operator scoring config; defaults to the bundle's own ScoreConfig
+    /// when unset — the common case.
+    std::optional<ScoreConfig> score;
+    /// Finalized feature rows retained per sector, in weeks; must cover
+    /// the serving window plus one week of frontier slack (checked).
+    int history_weeks = 8;
+
+    // --- ingest policy (KpiStreamIngestor) ---
+    int watermark_hours = kHoursPerDay;
+    int ring_hours = 2 * kHoursPerDay;
+
+    // --- staging / queue bounds ---
+    /// Rows per queued block on the two row-granularity boundaries.
+    int row_block_rows = 64;
+    /// Capacity (in blocks) of the Push→ingest and ingest→features queues.
+    int row_queue_blocks = 64;
+    /// Capacity (in items) of the features→predict queue — the knob that
+    /// bounds how far feature extraction may run ahead of a slow model.
+    int predict_queue_capacity = 4;
+    /// Capacity (in items) of the predict→monitor queue.
+    int scored_queue_capacity = 4;
+
+    // --- engine / kernel selection (primary API; env = defaults) ---
+    std::optional<PredictEngine> predict_engine;
+    std::optional<ml::FlatKernel> flat_kernel;
+
+    // --- monitoring toggles ---
+    /// Feed matured daily labels back into the service's quality monitor.
+    bool record_outcomes = true;
+    /// Restart monitoring with this config at pipeline construction.
+    std::optional<monitor::MonitorConfig> monitor;
+    /// Turn the service's monitor off entirely for this serving path.
+    bool disable_monitoring = false;
+
+    // --- delivery ---
+    /// Optional push delivery: called from the monitor stage thread for
+    /// every served batch, in end-day order. Predictions are also always
+    /// collected for TakePredictions().
+    std::function<void(const StreamingPrediction&)> on_prediction;
+
+    // --- test / chaos knobs ---
+    /// Artificial stall per prediction batch in the predict stage — the
+    /// documented way to rehearse a slow predict shard and watch
+    /// backpressure engage without code changes.
+    std::chrono::microseconds predict_stall_for_test{0};
+  };
+
+  /// `service` is not owned and must outlive the pipeline. Construction
+  /// applies the Options engine/kernel/monitoring selections to the
+  /// service and starts the four stage threads; the pipeline is live
+  /// (accepting Push) when the constructor returns.
+  ServingPipeline(ForecastService* service, const Options& options);
+
+  /// Drains and joins (Finish) if the caller has not already.
+  ~ServingPipeline();
+
+  ServingPipeline(const ServingPipeline&) = delete;
+  ServingPipeline& operator=(const ServingPipeline&) = delete;
+
+  /// Offers one hourly KPI row, in any transport order; NaN marks a
+  /// missing reading. Blocks when the pipeline is backpressured. Returns
+  /// false — and drops the row — only when `num_kpis` mismatches the
+  /// configured width (counted under stream/rows_rejected) or the
+  /// pipeline is already finished; the reorder/duplicate/late verdicts
+  /// land asynchronously in the stream/rows_* counters.
+  bool Push(int sector, int hour, const float* values, int num_kpis);
+  bool Push(int sector, int hour, const std::vector<float>& values) {
+    return Push(sector, hour, values.data(),
+                static_cast<int>(values.size()));
+  }
+
+  /// Hands the producer-side partial row block to the ingest stage now
+  /// instead of waiting for it to fill — call when the feed goes quiet.
+  void FlushInput();
+
+  /// End-of-stream: flushes buffered input, finalizes the ingestor's
+  /// watermark window (gap-filling interior holes), drains every stage in
+  /// order and joins the stage threads. Idempotent; Push afterwards
+  /// returns false. Also publishes the final queue high-water gauges.
+  void Finish();
+
+  bool finished() const {
+    return finished_.load(std::memory_order_acquire);
+  }
+
+  /// Served predictions accumulated since the last call, in end-day
+  /// order. Thread-safe; call during streaming or after Finish().
+  std::vector<StreamingPrediction> TakePredictions();
+
+  /// The next window end-day the pipeline will serve once the stream
+  /// reaches it (the features stage's serving frontier).
+  int next_end_day() const {
+    return next_end_day_.load(std::memory_order_relaxed);
+  }
+  /// Served predictions whose target day has not matured in the stream.
+  int pending_outcomes() const {
+    return pending_outcomes_.load(std::memory_order_relaxed);
+  }
+
+  /// Point-in-time accounting of all four stages (ingest, features,
+  /// predict, monitor — in dataflow order).
+  std::vector<StageStats> StageSnapshot() const;
+
+  ForecastService& service() { return *service_; }
+  const Options& options() const { return options_; }
+
+ private:
+  /// Cached stream/serve counter handles (per-item hot paths must not pay
+  /// name lookups — the stream/rows_* discipline).
+  struct Counters {
+    void Refresh();
+    obs::Counter* rows_offered = nullptr;
+    obs::Counter* rows_rejected = nullptr;
+    obs::Counter* prediction_batches = nullptr;
+    obs::Counter* predictions = nullptr;
+    obs::Counter* outcomes_recorded = nullptr;
+    const void* context = nullptr;
+  };
+
+  uint64_t IngestBlock(RowBlock&& block);
+  uint64_t ConsumeBlock(RowBlock&& block);
+  /// Serves every ready window batch and ships every newly matured label
+  /// day; returns the number of items pushed to the predict queue.
+  uint64_t ServeReady();
+  uint64_t PredictWork(FeatureWork&& work);
+  uint64_t DeliverWork(ScoredWork&& work);
+  /// Records every awaiting prediction whose target-day labels arrived.
+  void RecordReadyOutcomes();
+  void FlushInputBlock();
+  void FlushOrderedBlock();
+  void PublishFinalStats();
+
+  ForecastService* service_;
+  Options options_;
+  int window_hours_ = 0;
+
+  std::unique_ptr<stream::IncrementalFeatureEngine> engine_;
+  std::unique_ptr<stream::KpiStreamIngestor> ingestor_;
+
+  BoundedQueue<RowBlock> raw_queue_;
+  BoundedQueue<RowBlock> ordered_queue_;
+  BoundedQueue<FeatureWork> predict_queue_;
+  BoundedQueue<ScoredWork> scored_queue_;
+
+  std::unique_ptr<Stage<RowBlock>> ingest_stage_;
+  std::unique_ptr<Stage<RowBlock>> features_stage_;
+  std::unique_ptr<Stage<FeatureWork>> predict_stage_;
+  std::unique_ptr<Stage<ScoredWork>> monitor_stage_;
+  std::vector<std::thread> threads_;
+
+  // Producer side (single-writer).
+  RowBlock input_block_;
+  Counters producer_counters_;
+
+  // Ingest stage state: ordered rows buffered into the next block.
+  RowBlock ordered_block_;
+  uint64_t ordered_blocks_pushed_ = 0;
+
+  // Features stage state.
+  std::atomic<int> next_end_day_{0};
+  int next_outcome_day_ = 0;
+
+  // Predict stage state.
+  Counters predict_counters_;
+
+  // Monitor stage state.
+  std::deque<StreamingPrediction> awaiting_outcomes_;
+  std::map<int, std::vector<float>> matured_labels_;
+  std::atomic<int> pending_outcomes_{0};
+  Counters monitor_counters_;
+
+  std::mutex results_mutex_;
+  std::vector<StreamingPrediction> results_;
+
+  std::atomic<bool> finished_{false};
+  bool input_closed_ = false;
+};
+
+}  // namespace hotspot::pipeline
+
+#endif  // HOTSPOT_PIPELINE_SERVING_PIPELINE_H_

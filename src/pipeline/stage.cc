@@ -1,0 +1,48 @@
+#include "pipeline/stage.h"
+
+#include "obs/pipeline_context.h"
+
+namespace hotspot::pipeline {
+
+const char* StageStateName(StageState state) {
+  switch (state) {
+    case StageState::kIdle:
+      return "idle";
+    case StageState::kDispatch:
+      return "dispatch";
+    case StageState::kDrain:
+      return "drain";
+    case StageState::kDone:
+      return "done";
+  }
+  return "unknown";
+}
+
+StageObs::StageObs(const char* stage_name)
+    : items_name_(std::string("pipeline/") + stage_name + "_items"),
+      latency_name_(std::string("pipeline/") + stage_name +
+                    "_latency_seconds"),
+      depth_name_(std::string("pipeline/") + stage_name + "_queue_depth"),
+      backpressure_name_(std::string("pipeline/") + stage_name +
+                         "_backpressure_waits") {}
+
+void StageObs::Refresh() {
+  obs::PipelineContext* ctx = obs::PipelineContext::Current();
+  if (ctx == context_) return;
+  context_ = ctx;
+  if (ctx == nullptr) {
+    items_ = nullptr;
+    latency_ = nullptr;
+    depth_ = nullptr;
+    backpressure_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& metrics = ctx->metrics();
+  items_ = &metrics.counter(items_name_);
+  latency_ =
+      &metrics.histogram(latency_name_, obs::DefaultLatencySeconds());
+  depth_ = &metrics.gauge(depth_name_);
+  backpressure_ = &metrics.counter(backpressure_name_);
+}
+
+}  // namespace hotspot::pipeline

@@ -1,0 +1,179 @@
+#ifndef HOTSPOT_PIPELINE_STAGE_H_
+#define HOTSPOT_PIPELINE_STAGE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "pipeline/bounded_queue.h"
+
+namespace hotspot::pipeline {
+
+/// The PipeStage dispatch/drain state machine every stage of the staged
+/// serving runtime walks:
+///
+///   kIdle     — constructed, loop not yet entered
+///   kDispatch — popping items from the input queue and handling them
+///   kDrain    — input closed and empty; flushing stage-local state and
+///               closing the downstream queue
+///   kDone     — loop exited, downstream closed
+///
+/// The transition kDispatch → kDrain happens exactly once, when Pop
+/// returns false (closed + drained), so shutdown ripples stage by stage
+/// from the front of the pipeline to the back and no in-flight item is
+/// ever abandoned.
+enum class StageState : int { kIdle = 0, kDispatch, kDrain, kDone };
+
+const char* StageStateName(StageState state);
+
+/// One stage's accounting, readable from any thread while the stage runs.
+struct StageStats {
+  std::string name;
+  StageState state = StageState::kIdle;
+  uint64_t items_in = 0;   ///< items popped from the input queue
+  uint64_t items_out = 0;  ///< items pushed downstream (reported by handler)
+  double busy_seconds = 0.0;  ///< wall time spent inside the handler
+  QueueStats input;  ///< the stage's input queue (depth = waiting work)
+};
+
+/// Cached observability handles of one stage — resolved once per installed
+/// PipelineContext, so the per-item hot path is pointer tests and lock-free
+/// increments, never a name lookup (the same discipline as the
+/// stream/rows_* counters). Null context = counting off.
+class StageObs {
+ public:
+  explicit StageObs(const char* stage_name);
+
+  /// Re-resolves the handles when the installed context changed. Call once
+  /// per popped item (one pointer compare when nothing changed).
+  void Refresh();
+
+  /// Records one handled item: items counter, handler latency histogram.
+  void OnItem(double handler_seconds) {
+    if (items_ != nullptr) {
+      items_->Increment();
+      latency_->Observe(handler_seconds);
+    }
+  }
+
+  /// Publishes the input-queue depth observed at pop time.
+  void SetQueueDepth(int depth) {
+    if (depth_ != nullptr) depth_->Set(static_cast<double>(depth));
+  }
+
+  /// Records upstream pushes into this stage's input that had to block —
+  /// the queue-boundary backpressure events.
+  void AddBackpressureWaits(uint64_t waits) {
+    if (backpressure_ != nullptr && waits > 0) backpressure_->Add(waits);
+  }
+
+ private:
+  std::string items_name_;
+  std::string latency_name_;
+  std::string depth_name_;
+  std::string backpressure_name_;
+  obs::Counter* items_ = nullptr;
+  obs::Histogram* latency_ = nullptr;
+  obs::Gauge* depth_ = nullptr;
+  obs::Counter* backpressure_ = nullptr;
+  const void* context_ = nullptr;
+};
+
+/// One elastic pipeline stage: a dispatch loop over a BoundedQueue input,
+/// a handler that does the stage's work (and pushes downstream — pushing
+/// is the handler's business because item types change across the stage
+/// boundary), and a drain hook that flushes stage-local state before the
+/// downstream queue is closed.
+///
+/// Run() is the stage body; the serving pipeline runs it on a dedicated
+/// orchestration thread while the heavy lifting inside the handlers
+/// (window assembly, model inference) fans out over the shared
+/// deterministic thread pool. Stats() is safe from any thread.
+template <typename In>
+class Stage {
+ public:
+  /// `handler` receives each popped item and returns the number of items
+  /// it pushed downstream (for the items_out accounting). `drain` runs
+  /// once after the input closes and drains; it must flush any buffered
+  /// state and close the downstream queue.
+  Stage(const char* name, BoundedQueue<In>* input,
+        std::function<uint64_t(In&&)> handler, std::function<void()> drain)
+      : name_(name),
+        obs_(name),
+        input_(input),
+        handler_(std::move(handler)),
+        drain_(std::move(drain)) {}
+
+  Stage(const Stage&) = delete;
+  Stage& operator=(const Stage&) = delete;
+
+  /// The stage body: dispatch until the input closes and drains, then
+  /// drain and finish. Runs to completion exactly once.
+  void Run() {
+    state_.store(static_cast<int>(StageState::kDispatch),
+                 std::memory_order_relaxed);
+    In item;
+    uint64_t seen_waits = 0;
+    while (input_->Pop(&item)) {
+      obs_.Refresh();
+      obs_.SetQueueDepth(input_->depth());
+      const auto start = std::chrono::steady_clock::now();
+      const uint64_t pushed = handler_(std::move(item));
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      items_in_.fetch_add(1, std::memory_order_relaxed);
+      items_out_.fetch_add(pushed, std::memory_order_relaxed);
+      busy_seconds_.store(busy_seconds_.load(std::memory_order_relaxed) +
+                              seconds,
+                          std::memory_order_relaxed);
+      obs_.OnItem(seconds);
+      // Backpressure events on our input since the last item: producers
+      // that had to wait for this stage to make room.
+      const uint64_t waits = input_->Stats().push_waits;
+      obs_.AddBackpressureWaits(waits - seen_waits);
+      seen_waits = waits;
+    }
+    state_.store(static_cast<int>(StageState::kDrain),
+                 std::memory_order_relaxed);
+    drain_();
+    obs_.SetQueueDepth(0);
+    state_.store(static_cast<int>(StageState::kDone),
+                 std::memory_order_relaxed);
+  }
+
+  StageState state() const {
+    return static_cast<StageState>(state_.load(std::memory_order_relaxed));
+  }
+
+  StageStats Stats() const {
+    StageStats stats;
+    stats.name = name_;
+    stats.state = state();
+    stats.items_in = items_in_.load(std::memory_order_relaxed);
+    stats.items_out = items_out_.load(std::memory_order_relaxed);
+    stats.busy_seconds = busy_seconds_.load(std::memory_order_relaxed);
+    stats.input = input_->Stats();
+    return stats;
+  }
+
+ private:
+  const std::string name_;
+  StageObs obs_;
+  BoundedQueue<In>* input_;
+  std::function<uint64_t(In&&)> handler_;
+  std::function<void()> drain_;
+  std::atomic<int> state_{static_cast<int>(StageState::kIdle)};
+  std::atomic<uint64_t> items_in_{0};
+  std::atomic<uint64_t> items_out_{0};
+  std::atomic<double> busy_seconds_{0.0};
+};
+
+}  // namespace hotspot::pipeline
+
+#endif  // HOTSPOT_PIPELINE_STAGE_H_

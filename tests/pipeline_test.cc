@@ -1,0 +1,450 @@
+// The staged serving runtime's contract tests: BoundedQueue backpressure
+// and drain semantics, the ServingPipeline facade's bitwise parity with
+// the direct-call batch path at every thread-matrix count (slow-predict
+// injection included — backpressure must engage without dropping or
+// reordering a single row), queue-bound edge cases (capacity 1 and
+// capacity beyond the stream length), drain-on-shutdown via the
+// destructor, Options-over-env engine/kernel selection, and per-stage
+// accounting landing in the obs snapshot.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/forecast_service.h"
+#include "core/study.h"
+#include "obs/pipeline_context.h"
+#include "obs/snapshot.h"
+#include "pipeline/bounded_queue.h"
+#include "pipeline/serving_pipeline.h"
+#include "pipeline/stage.h"
+#include "thread_matrix.h"
+
+namespace hotspot {
+namespace {
+
+using pipeline::BoundedQueue;
+using pipeline::QueueStats;
+using pipeline::ServingPipeline;
+using pipeline::StageStats;
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+
+TEST(BoundedQueue, FifoOrderAndStats) {
+  BoundedQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.Push(i));
+  EXPECT_EQ(queue.depth(), 4);
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.Pop(&out));
+    EXPECT_EQ(out, i);  // strict FIFO — the determinism backbone
+  }
+  QueueStats stats = queue.Stats();
+  EXPECT_EQ(stats.capacity, 4);
+  EXPECT_EQ(stats.depth, 0);
+  EXPECT_EQ(stats.high_water, 4);
+  EXPECT_EQ(stats.pushed, 4u);
+  EXPECT_EQ(stats.popped, 4u);
+  EXPECT_EQ(stats.push_waits, 0u);
+}
+
+TEST(BoundedQueue, PushBlocksOnFullUntilPopFreesASlot) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> second_push_done{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));  // must block, then succeed — never drop
+    second_push_done.store(true);
+  });
+  // Give the producer time to actually hit the full queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_push_done.load());
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  producer.join();
+  EXPECT_TRUE(second_push_done.load());
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_GE(queue.Stats().push_waits, 1u);
+  EXPECT_GT(queue.Stats().push_blocked_seconds, 0.0);
+}
+
+TEST(BoundedQueue, CloseDrainsPendingItemsThenPopReturnsFalse) {
+  BoundedQueue<int> queue(8);
+  EXPECT_TRUE(queue.Push(7));
+  EXPECT_TRUE(queue.Push(8));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(9));  // push after close is refused
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));  // pending items survive the close
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(queue.Pop(&out));  // closed and drained
+}
+
+TEST(BoundedQueue, CloseWakesABlockedConsumer) {
+  BoundedQueue<int> queue(1);
+  std::atomic<bool> pop_returned{false};
+  std::thread consumer([&] {
+    int out = 0;
+    EXPECT_FALSE(queue.Pop(&out));
+    pop_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pop_returned.load());
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(pop_returned.load());
+}
+
+// ---------------------------------------------------------------------------
+// ServingPipeline fixtures (the stream_test recipe: small single-city
+// study, GBDT bundle, complete forward-fill-imputed KPIs).
+
+simnet::GeneratorConfig SmallConfig() {
+  simnet::GeneratorConfig config;
+  config.topology.target_sectors = 60;
+  config.topology.num_cities = 1;
+  config.weeks = 9;
+  config.seed = 77;
+  return config;
+}
+
+const Study& SharedStudy() {
+  static const Study* study = new Study(BuildStudy(StudyInput(SmallConfig())));
+  return *study;
+}
+
+std::unique_ptr<ForecastService> MakeService(const Study& study) {
+  ForecastConfig config;
+  config.model = ModelKind::kGbdt;
+  config.t = 55;
+  config.h = 1;
+  config.w = 3;
+  config.gbdt.num_iterations = 10;
+  config.gbdt.num_leaves = 15;
+  config.gbdt.max_bins = 32;
+  Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
+  std::unique_ptr<serialize::ForecastBundle> bundle =
+      forecaster.TrainBundle(config);
+  bundle->score = study.score_config;
+  return std::make_unique<ForecastService>(std::move(bundle));
+}
+
+ServingPipeline::Options OptionsFor(const Study& study) {
+  ServingPipeline::Options options;
+  options.num_sectors = study.num_sectors();
+  options.num_kpis = study.network.num_kpis();
+  options.calendar = &study.network.calendar_matrix;
+  options.score = study.score_config;
+  options.history_weeks = study.num_weeks() + 1;
+  return options;
+}
+
+/// Streams the study's KPI tensor hour-major (all sectors advance
+/// together, as live feeds do) through a pipeline built from `options`,
+/// finishes it, and returns every served prediction.
+std::vector<StreamingPrediction> RunPipelineServe(
+    const Study& study, ForecastService* service,
+    const ServingPipeline::Options& options,
+    std::vector<StageStats>* final_stages = nullptr) {
+  ServingPipeline serving(service, options);
+  const int hours = study.network.num_hours();
+  for (int j = 0; j < hours; ++j) {
+    for (int i = 0; i < study.num_sectors(); ++i) {
+      EXPECT_TRUE(serving.Push(i, j, study.network.kpis.Slice(i, j),
+                               study.network.kpis.dim2()));
+    }
+  }
+  serving.Finish();
+  if (final_stages != nullptr) *final_stages = serving.StageSnapshot();
+  return serving.TakePredictions();
+}
+
+/// The batch references: PredictAtDay at every servable end day.
+std::vector<std::vector<float>> BatchScores(const Study& study,
+                                            const ForecastService& service) {
+  std::vector<std::vector<float>> scores;
+  for (int end_day = service.bundle().window_days;
+       end_day <= study.num_days(); ++end_day) {
+    scores.push_back(service.PredictAtDay(study.features, end_day));
+  }
+  return scores;
+}
+
+void ExpectBitwiseEqualToBatch(
+    const std::vector<StreamingPrediction>& served,
+    const std::vector<std::vector<float>>& batch, int window_days,
+    const std::string& tag) {
+  ASSERT_EQ(served.size(), batch.size()) << tag;
+  for (size_t b = 0; b < served.size(); ++b) {
+    EXPECT_EQ(served[b].end_day, window_days + static_cast<int>(b)) << tag;
+    ASSERT_EQ(served[b].scores.size(), batch[b].size()) << tag;
+    EXPECT_EQ(std::memcmp(served[b].scores.data(), batch[b].data(),
+                          batch[b].size() * sizeof(float)),
+              0)
+        << tag << " end_day=" << served[b].end_day;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ServingPipeline
+
+TEST(ServingPipeline, BitwiseEqualBatchPredictAtDayAcrossThreads) {
+  const Study& study = SharedStudy();
+  std::unique_ptr<ForecastService> service = MakeService(study);
+  const std::vector<std::vector<float>> batch = BatchScores(study, *service);
+  testing_util::ForEachThreadCount([&](const std::string& threads) {
+    std::vector<StreamingPrediction> served =
+        RunPipelineServe(study, service.get(), OptionsFor(study));
+    ExpectBitwiseEqualToBatch(served, batch,
+                              service->bundle().window_days,
+                              "threads=" + threads);
+  });
+}
+
+TEST(ServingPipeline, SlowPredictStageEngagesBackpressureWithoutLoss) {
+  const Study& study = SharedStudy();
+  std::unique_ptr<ForecastService> service = MakeService(study);
+  const std::vector<std::vector<float>> batch = BatchScores(study, *service);
+  testing_util::ForEachThreadCount([&](const std::string& threads) {
+    obs::PipelineContext context;
+    obs::PipelineContext::ScopedInstall install(&context);
+    ServingPipeline::Options options = OptionsFor(study);
+    // A crawling model behind a one-slot predict queue: feature
+    // extraction fills it instantly and everything upstream must wait.
+    options.predict_queue_capacity = 1;
+    options.scored_queue_capacity = 1;
+    options.row_queue_blocks = 1;
+    options.row_block_rows = 256;
+    options.predict_stall_for_test = std::chrono::milliseconds(3);
+    std::vector<StageStats> stages;
+    std::vector<StreamingPrediction> served =
+        RunPipelineServe(study, service.get(), options, &stages);
+    // Zero loss, zero reordering: every row reached the engine and the
+    // scores are still bit-for-bit the batch answers.
+    const int total_rows = study.num_sectors() * study.network.num_hours();
+    EXPECT_EQ(context.metrics().counter("stream/rows_accepted").Total(),
+              static_cast<uint64_t>(total_rows))
+        << "threads=" << threads;
+    EXPECT_EQ(context.metrics().counter("stream/rows_late_dropped").Total(),
+              0u);
+    EXPECT_EQ(context.metrics().counter("stream/rows_rejected").Total(), 0u);
+    ExpectBitwiseEqualToBatch(served, batch,
+                              service->bundle().window_days,
+                              "threads=" + threads);
+    // And the stall was actually felt as backpressure on the predict
+    // boundary (upstream pushes had to wait for the slow stage).
+    ASSERT_EQ(stages.size(), 4u);
+    const StageStats& predict = stages[2];
+    EXPECT_EQ(predict.name, "predict");
+    EXPECT_GE(predict.input.push_waits, 1u) << "threads=" << threads;
+    EXPECT_GT(predict.input.push_blocked_seconds, 0.0);
+    EXPECT_EQ(context.metrics()
+                  .counter("pipeline/predict_backpressure_waits")
+                  .Total(),
+              predict.input.push_waits);
+  });
+}
+
+TEST(ServingPipeline, QueueCapacityOneIsLosslessAndBitwiseEqual) {
+  const Study& study = SharedStudy();
+  std::unique_ptr<ForecastService> service = MakeService(study);
+  const std::vector<std::vector<float>> batch = BatchScores(study, *service);
+  ServingPipeline::Options options = OptionsFor(study);
+  // The tightest legal pipeline: every boundary one item deep, one row
+  // per block — maximum handoff pressure, same bits out.
+  options.row_queue_blocks = 1;
+  options.row_block_rows = 1;
+  options.predict_queue_capacity = 1;
+  options.scored_queue_capacity = 1;
+  std::vector<StreamingPrediction> served =
+      RunPipelineServe(study, service.get(), options);
+  ExpectBitwiseEqualToBatch(served, batch, service->bundle().window_days,
+                            "capacity=1");
+}
+
+TEST(ServingPipeline, QueueCapacityBeyondStreamLengthNeverBlocks) {
+  const Study& study = SharedStudy();
+  std::unique_ptr<ForecastService> service = MakeService(study);
+  const std::vector<std::vector<float>> batch = BatchScores(study, *service);
+  const int total_rows = study.num_sectors() * study.network.num_hours();
+  ServingPipeline::Options options = OptionsFor(study);
+  // Queues wider than the whole stream: pure pipelining, no
+  // backpressure anywhere, still the same bits.
+  options.row_block_rows = 64;
+  options.row_queue_blocks = total_rows / 64 + 2;
+  options.predict_queue_capacity = study.num_days() + 2;
+  options.scored_queue_capacity =
+      study.num_days() + 2 + study.num_days();  // predictions + outcomes
+  std::vector<StageStats> stages;
+  std::vector<StreamingPrediction> served =
+      RunPipelineServe(study, service.get(), options, &stages);
+  ExpectBitwiseEqualToBatch(served, batch, service->bundle().window_days,
+                            "capacity=stream");
+  for (const StageStats& stage : stages) {
+    EXPECT_EQ(stage.input.push_waits, 0u) << "stage " << stage.name;
+  }
+}
+
+TEST(ServingPipeline, DestructorDrainsInFlightWorkCleanly) {
+  const Study& study = SharedStudy();
+  std::unique_ptr<ForecastService> service = MakeService(study);
+  const std::vector<std::vector<float>> batch = BatchScores(study, *service);
+  std::vector<StreamingPrediction> delivered;
+  {
+    ServingPipeline::Options options = OptionsFor(study);
+    options.predict_queue_capacity = 1;
+    options.predict_stall_for_test = std::chrono::milliseconds(1);
+    options.on_prediction = [&](const StreamingPrediction& prediction) {
+      delivered.push_back(prediction);
+    };
+    ServingPipeline serving(service.get(), options);
+    const int hours = study.network.num_hours();
+    for (int j = 0; j < hours; ++j) {
+      for (int i = 0; i < study.num_sectors(); ++i) {
+        serving.Push(i, j, study.network.kpis.Slice(i, j),
+                     study.network.kpis.dim2());
+      }
+    }
+    // No Finish(): the destructor must flush the partial input block,
+    // ripple the drain through all four stages and join them — losing
+    // none of the in-flight batches.
+  }
+  ExpectBitwiseEqualToBatch(delivered, batch, service->bundle().window_days,
+                            "destructor-drain");
+}
+
+TEST(ServingPipeline, OptionsOverrideEnvDefaultsForEngineAndKernel) {
+  const Study& study = SharedStudy();
+  std::unique_ptr<ForecastService> service = MakeService(study);
+  // The service boots on the env-seeded defaults...
+  EXPECT_EQ(service->predict_engine(), ForecastService::DefaultPredictEngine());
+  EXPECT_EQ(service->flat_kernel(), ml::FlatForest::ChooseKernel());
+  // ...and the Options fields override them as the primary API.
+  ServingPipeline::Options options = OptionsFor(study);
+  options.predict_engine = PredictEngine::kClassic;
+  options.flat_kernel = ml::FlatKernel::kScalar;
+  {
+    ServingPipeline serving(service.get(), options);
+    EXPECT_EQ(service->predict_engine(), PredictEngine::kClassic);
+    EXPECT_EQ(service->flat_kernel(), ml::FlatKernel::kScalar);
+    serving.Finish();
+  }
+  // The setters are live API, not construction-only.
+  service->set_predict_engine(PredictEngine::kFlat);
+  service->set_flat_kernel(ml::FlatForest::ChooseKernel());
+  EXPECT_EQ(service->predict_engine(), PredictEngine::kFlat);
+}
+
+TEST(ServingPipeline, EngineSelectionViaOptionsKeepsScoresBitwiseEqual) {
+  const Study& study = SharedStudy();
+  std::unique_ptr<ForecastService> service = MakeService(study);
+  const std::vector<std::vector<float>> batch = BatchScores(study, *service);
+  for (PredictEngine engine :
+       {PredictEngine::kClassic, PredictEngine::kFlat}) {
+    ServingPipeline::Options options = OptionsFor(study);
+    options.predict_engine = engine;
+    options.flat_kernel = ml::FlatKernel::kScalar;
+    std::vector<StreamingPrediction> served =
+        RunPipelineServe(study, service.get(), options);
+    ExpectBitwiseEqualToBatch(served, batch, service->bundle().window_days,
+                              engine == PredictEngine::kFlat ? "flat"
+                                                             : "classic");
+  }
+}
+
+TEST(ServingPipeline, RejectsWrongWidthRowsWithoutStallingTheStream) {
+  const Study& study = SharedStudy();
+  std::unique_ptr<ForecastService> service = MakeService(study);
+  obs::PipelineContext context;
+  obs::PipelineContext::ScopedInstall install(&context);
+  ServingPipeline serving(service.get(), OptionsFor(study));
+  std::vector<float> bad_row(
+      static_cast<size_t>(study.network.num_kpis() + 1), 0.0f);
+  EXPECT_FALSE(serving.Push(0, 0, bad_row));
+  EXPECT_TRUE(serving.Push(0, 0, study.network.kpis.Slice(0, 0),
+                           study.network.kpis.dim2()));
+  serving.Finish();
+  EXPECT_FALSE(serving.Push(0, 1, study.network.kpis.Slice(0, 1),
+                            study.network.kpis.dim2()));
+  EXPECT_EQ(context.metrics().counter("stream/rows_rejected").Total(), 1u);
+  EXPECT_EQ(context.metrics().counter("stream/rows_accepted").Total(), 1u);
+}
+
+TEST(ServingPipeline, StageAccountingLandsInObsSnapshot) {
+  const Study& study = SharedStudy();
+  std::unique_ptr<ForecastService> service = MakeService(study);
+  obs::PipelineContext context;
+  obs::PipelineContext::ScopedInstall install(&context);
+  std::vector<StageStats> stages;
+  std::vector<StreamingPrediction> served =
+      RunPipelineServe(study, service.get(), OptionsFor(study), &stages);
+  ASSERT_EQ(stages.size(), 4u);
+  EXPECT_EQ(stages[0].name, "ingest");
+  EXPECT_EQ(stages[1].name, "features");
+  EXPECT_EQ(stages[2].name, "predict");
+  EXPECT_EQ(stages[3].name, "monitor");
+  const uint64_t batches = static_cast<uint64_t>(served.size());
+  for (const StageStats& stage : stages) {
+    EXPECT_EQ(pipeline::StageStateName(stage.state), std::string("done"));
+    EXPECT_GT(stage.items_in, 0u) << "stage " << stage.name;
+    // The cached-handle per-stage counters mirror the stage's own books.
+    EXPECT_EQ(context.metrics()
+                  .counter("pipeline/" + stage.name + "_items")
+                  .Total(),
+              stage.items_in)
+        << "stage " << stage.name;
+  }
+  // The predict stage saw every prediction batch plus the outcome
+  // pass-throughs; the monitor stage consumed exactly what it emitted.
+  EXPECT_GE(stages[2].items_in, batches);
+  EXPECT_EQ(stages[3].items_in, stages[2].items_out);
+  // Everything served matured in-stream except the final horizon days.
+  const obs::Snapshot snapshot = obs::TakeSnapshot(context);
+  bool found_latency = false;
+  for (const auto& histogram : snapshot.histograms) {
+    if (histogram.name == "pipeline/predict_latency_seconds") {
+      found_latency = true;
+      EXPECT_GE(histogram.count, batches);
+    }
+  }
+  EXPECT_TRUE(found_latency);
+}
+
+TEST(ServingPipeline, FrontierAccessorsAndOutcomeLoopMatchRunnerSemantics) {
+  const Study& study = SharedStudy();
+  std::unique_ptr<ForecastService> service = MakeService(study);
+  obs::PipelineContext context;
+  obs::PipelineContext::ScopedInstall install(&context);
+  ServingPipeline serving(service.get(), OptionsFor(study));
+  EXPECT_EQ(serving.next_end_day(), service->bundle().window_days);
+  const int hours = study.network.num_hours();
+  for (int j = 0; j < hours; ++j) {
+    for (int i = 0; i < study.num_sectors(); ++i) {
+      serving.Push(i, j, study.network.kpis.Slice(i, j),
+                   study.network.kpis.dim2());
+    }
+  }
+  serving.Finish();
+  EXPECT_TRUE(serving.finished());
+  EXPECT_EQ(serving.next_end_day(), study.num_days() + 1);
+  // The last horizon's predictions can never mature inside the stream.
+  EXPECT_EQ(serving.pending_outcomes(), service->bundle().horizon_days + 1);
+  const int n = study.num_sectors();
+  const int matured_batches =
+      study.num_days() - service->bundle().window_days -
+      service->bundle().horizon_days;
+  EXPECT_EQ(context.metrics().counter("stream/outcomes_recorded").Total(),
+            static_cast<uint64_t>(matured_batches * n));
+}
+
+}  // namespace
+}  // namespace hotspot
