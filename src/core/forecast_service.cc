@@ -14,43 +14,80 @@
 namespace hotspot {
 
 ForecastService::ForecastService(
-    std::unique_ptr<serialize::ForecastBundle> bundle)
-    : bundle_(std::move(bundle)) {
-  HOTSPOT_CHECK(bundle_ != nullptr);
-  HOTSPOT_CHECK(bundle_->classifier != nullptr);
-  HOTSPOT_CHECK_GE(bundle_->window_days, 1);
-  HOTSPOT_CHECK_GE(bundle_->num_channels, 1);
-  switch (bundle_->model) {
+    std::unique_ptr<serialize::ForecastBundle> bundle) {
+  HOTSPOT_CHECK(bundle != nullptr);
+  window_days_ = bundle->window_days;
+  horizon_days_ = bundle->horizon_days;
+  num_channels_ = bundle->num_channels;
+  HOTSPOT_CHECK_GE(window_days_, 1);
+  HOTSPOT_CHECK_GE(num_channels_, 1);
+  std::string error;
+  std::shared_ptr<ServingState> initial =
+      BuildState(std::shared_ptr<serialize::ForecastBundle>(std::move(bundle)),
+                 /*generation=*/0, monitor::MonitorConfig{},
+                 /*enable_monitoring=*/true, &error);
+  HOTSPOT_CHECK(initial != nullptr) << error;
+  PublishState(std::move(initial));
+  engine_.store(DefaultPredictEngine(), std::memory_order_relaxed);
+  // Resolve the kernel once (CPUID probe + env opt-out) instead of per
+  // batch; set_flat_kernel overrides it for the service's lifetime.
+  kernel_.store(ml::FlatForest::ChooseKernel(), std::memory_order_relaxed);
+}
+
+std::shared_ptr<ForecastService::ServingState> ForecastService::BuildState(
+    std::shared_ptr<serialize::ForecastBundle> bundle, uint64_t generation,
+    const monitor::MonitorConfig& monitor_config, bool enable_monitoring,
+    std::string* error) const {
+  if (bundle == nullptr || bundle->classifier == nullptr) {
+    *error = "bundle has no trained classifier";
+    return nullptr;
+  }
+  auto state = std::make_shared<ServingState>();
+  switch (bundle->model) {
     case ModelKind::kTree:
     case ModelKind::kRfRaw:
     case ModelKind::kGbdt:
-      extractor_ = &raw_extractor_;
+      state->extractor = &raw_extractor_;
       break;
     case ModelKind::kRfF1:
-      extractor_ = &percentile_extractor_;
+      state->extractor = &percentile_extractor_;
       break;
     case ModelKind::kRfF2:
-      extractor_ = &handcrafted_extractor_;
+      state->extractor = &handcrafted_extractor_;
       break;
     default:
-      HOTSPOT_CHECK(false) << "bundle model is not a servable classifier";
+      *error = "bundle model is not a servable classifier";
+      return nullptr;
   }
-  HOTSPOT_CHECK_EQ(
-      extractor_->OutputDim(bundle_->window_days, bundle_->num_channels),
-      bundle_->feature_dim);
+  if (state->extractor->OutputDim(bundle->window_days,
+                                  bundle->num_channels) !=
+      bundle->feature_dim) {
+    *error = "bundle feature_dim does not match its extractor";
+    return nullptr;
+  }
   // Bundles written before the flat_forest section (or hand-built ones)
   // get their flat engine compiled here; loaded sections were already
   // verified against the classifier by the bundle decoder.
-  if (bundle_->flat == nullptr) {
-    bundle_->flat = std::make_unique<ml::FlatForest>(
-        ml::FlatForest::Compile(*bundle_->classifier));
+  if (bundle->flat == nullptr) {
+    bundle->flat = std::make_unique<ml::FlatForest>(
+        ml::FlatForest::Compile(*bundle->classifier));
   }
-  HOTSPOT_CHECK_EQ(bundle_->flat->num_features(), bundle_->feature_dim);
-  engine_ = DefaultPredictEngine();
-  // Resolve the kernel once (CPUID probe + env opt-out) instead of per
-  // batch; set_flat_kernel overrides it for the service's lifetime.
-  kernel_ = ml::FlatForest::ChooseKernel();
-  if (bundle_->fingerprints != nullptr) EnableMonitoring();
+  if (bundle->flat->num_features() != bundle->feature_dim) {
+    *error = "flat forest feature count does not match the bundle";
+    return nullptr;
+  }
+  if (enable_monitoring && bundle->fingerprints != nullptr) {
+    if (static_cast<int>(bundle->fingerprints->channels.size()) !=
+        bundle->num_channels) {
+      *error = "bundle fingerprints do not cover every channel";
+      return nullptr;
+    }
+    state->monitor = std::make_shared<monitor::ServingMonitor>(
+        bundle->fingerprints.get(), monitor_config);
+  }
+  state->bundle = std::move(bundle);
+  state->generation = generation;
+  return state;
 }
 
 PredictEngine ForecastService::DefaultPredictEngine() {
@@ -60,24 +97,114 @@ PredictEngine ForecastService::DefaultPredictEngine() {
   return PredictEngine::kFlat;
 }
 
+serialize::Status ForecastService::PromoteBundle(
+    std::unique_ptr<serialize::ForecastBundle> bundle,
+    uint64_t* new_generation) {
+  if (bundle == nullptr) {
+    return serialize::Status::Error("promote: bundle is null");
+  }
+  std::lock_guard<std::mutex> lock(swap_mutex_);
+  std::shared_ptr<const ServingState> current = state();
+  // The serving universe is pinned at construction: callers size their
+  // windows and streams from it, so a promotion may change the model, not
+  // the shape of the traffic it serves.
+  if (bundle->window_days != window_days_) {
+    return serialize::Status::Error(
+        "promote: bundle window_days " + std::to_string(bundle->window_days) +
+        " != serving window_days " + std::to_string(window_days_));
+  }
+  if (bundle->horizon_days != horizon_days_) {
+    return serialize::Status::Error(
+        "promote: bundle horizon_days " +
+        std::to_string(bundle->horizon_days) + " != serving horizon_days " +
+        std::to_string(horizon_days_));
+  }
+  if (bundle->num_channels != num_channels_) {
+    return serialize::Status::Error(
+        "promote: bundle num_channels " +
+        std::to_string(bundle->num_channels) + " != serving num_channels " +
+        std::to_string(num_channels_));
+  }
+  // Promotion re-arms monitoring iff the incoming bundle carries
+  // fingerprints (the construction rule), reusing the tuned config of the
+  // monitor being replaced when there is one.
+  monitor::MonitorConfig config;
+  if (current->monitor != nullptr) config = current->monitor->config();
+  std::string error;
+  std::shared_ptr<ServingState> next =
+      BuildState(std::shared_ptr<serialize::ForecastBundle>(std::move(bundle)),
+                 current->generation + 1, config, /*enable_monitoring=*/true,
+                 &error);
+  if (next == nullptr) return serialize::Status::Error("promote: " + error);
+  if (new_generation != nullptr) *new_generation = next->generation;
+  // The swap itself: one pointer publish. Readers that already snapshotted
+  // the old state keep it alive through their shared_ptr until the batch
+  // ends.
+  PublishState(std::move(next));
+  if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
+    ctx->metrics().counter("serve/promotions").Increment();
+  }
+  return serialize::Status::Ok();
+}
+
+uint64_t ForecastService::generation() const { return state()->generation; }
+
+bool ForecastService::IsHot(float score) const {
+  return score >= state()->bundle->score.hot_threshold;
+}
+
 bool ForecastService::EnableMonitoring(const monitor::MonitorConfig& config) {
-  if (bundle_->fingerprints == nullptr) return false;
+  std::lock_guard<std::mutex> lock(swap_mutex_);
+  std::shared_ptr<const ServingState> current = state();
+  if (current->bundle->fingerprints == nullptr) return false;
   HOTSPOT_CHECK_EQ(
-      static_cast<int>(bundle_->fingerprints->channels.size()),
-      bundle_->num_channels);
-  monitor_ = std::make_unique<monitor::ServingMonitor>(
-      bundle_->fingerprints.get(), config);
+      static_cast<int>(current->bundle->fingerprints->channels.size()),
+      current->bundle->num_channels);
+  auto next = std::make_shared<ServingState>(*current);
+  next->monitor = std::make_shared<monitor::ServingMonitor>(
+      current->bundle->fingerprints.get(), config);
+  PublishState(std::move(next));
   return true;
+}
+
+void ForecastService::DisableMonitoring() {
+  std::lock_guard<std::mutex> lock(swap_mutex_);
+  auto next = std::make_shared<ServingState>(*state());
+  next->monitor = nullptr;
+  PublishState(std::move(next));
+}
+
+bool ForecastService::monitoring_enabled() const {
+  return state()->monitor != nullptr;
 }
 
 void ForecastService::RecordOutcomes(const std::vector<float>& scores,
                                      const std::vector<float>& labels) const {
-  if (monitor_ != nullptr) monitor_->RecordOutcomes(scores, labels);
+  std::shared_ptr<const ServingState> serving = state();
+  if (serving->monitor != nullptr) {
+    serving->monitor->RecordOutcomes(scores, labels);
+  }
 }
 
 monitor::HealthReport ForecastService::Health() const {
-  if (monitor_ == nullptr) return monitor::HealthReport{};
-  return monitor_->Report();
+  std::shared_ptr<const ServingState> serving = state();
+  if (serving->monitor == nullptr) return monitor::HealthReport{};
+  return serving->monitor->Report();
+}
+
+const serialize::ForecastBundle& ForecastService::bundle() const {
+  return *state()->bundle;
+}
+
+std::shared_ptr<const serialize::ForecastBundle>
+ForecastService::bundle_snapshot() const {
+  std::shared_ptr<const ServingState> serving = state();
+  return std::shared_ptr<const serialize::ForecastBundle>(serving,
+                                                          serving->bundle.get());
+}
+
+const ml::FlatForest& ForecastService::flat_forest() const {
+  return *state()->bundle->flat;
 }
 
 serialize::Status ForecastService::Load(
@@ -95,9 +222,11 @@ serialize::Status ForecastService::Load(
 }
 
 std::vector<float> ForecastService::ScoreBatch(
-    int n, const std::function<Matrix<float>(int)>& window_of) const {
+    const ServingState& serving, int n,
+    const std::function<Matrix<float>(int)>& window_of) const {
+  const serialize::ForecastBundle& bundle = *serving.bundle;
   std::vector<float> scores(static_cast<size_t>(n));
-  if (engine_ == PredictEngine::kClassic) {
+  if (predict_engine() == PredictEngine::kClassic) {
     if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
       ctx->metrics().counter("serve/rows_classic").Add(
           static_cast<uint64_t>(n));
@@ -108,19 +237,19 @@ std::vector<float> ForecastService::ScoreBatch(
       const int i = static_cast<int>(i64);
       Matrix<float> window = window_of(i);
       std::vector<float> row;
-      extractor_->Extract(window, &row);
-      HOTSPOT_CHECK_EQ(static_cast<int>(row.size()), bundle_->feature_dim);
+      serving.extractor->Extract(window, &row);
+      HOTSPOT_CHECK_EQ(static_cast<int>(row.size()), bundle.feature_dim);
       scores[static_cast<size_t>(i)] =
-          static_cast<float>(bundle_->classifier->PredictProba(row.data()));
+          static_cast<float>(bundle.classifier->PredictProba(row.data()));
     });
     return scores;
   }
   if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
     ctx->metrics().counter("serve/rows_flat").Add(static_cast<uint64_t>(n));
   }
-  const ml::FlatForest& flat = *bundle_->flat;
-  const ml::FlatKernel kernel = kernel_;
-  const int dim = bundle_->feature_dim;
+  const ml::FlatForest& flat = *bundle.flat;
+  const ml::FlatKernel kernel = flat_kernel();
+  const int dim = bundle.feature_dim;
   constexpr int kBlock = ml::flat_detail::kBlockRows;
   const int num_blocks = (n + kBlock - 1) / kBlock;
   // Parallel over 8-row blocks; block b only writes scores[8b..8b+7], and
@@ -133,8 +262,8 @@ std::vector<float> ForecastService::ScoreBatch(
     std::vector<float> row;
     for (int r = 0; r < count; ++r) {
       Matrix<float> window = window_of(begin + r);
-      extractor_->Extract(window, &row);
-      HOTSPOT_CHECK_EQ(static_cast<int>(row.size()), bundle_->feature_dim);
+      serving.extractor->Extract(window, &row);
+      HOTSPOT_CHECK_EQ(static_cast<int>(row.size()), bundle.feature_dim);
       std::copy(row.begin(), row.end(), rows.Row(r));
     }
     double out[kBlock];
@@ -147,17 +276,21 @@ std::vector<float> ForecastService::ScoreBatch(
 }
 
 std::vector<float> ForecastService::Predict(
-    const Tensor3<float>& windows) const {
+    const Tensor3<float>& windows, uint64_t* served_generation) const {
   HOTSPOT_CHECK_EQ(windows.dim1(), window_hours());
-  HOTSPOT_CHECK_EQ(windows.dim2(), bundle_->num_channels);
+  HOTSPOT_CHECK_EQ(windows.dim2(), num_channels_);
   HOTSPOT_SPAN("serve/predict");
   Stopwatch watch;
+  // The batch's one snapshot: everything below reads this state, so the
+  // whole batch is served by one generation even while a promotion lands.
+  std::shared_ptr<const ServingState> serving = state();
+  if (served_generation != nullptr) *served_generation = serving->generation;
   const int n = windows.dim0();
   if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
     ctx->metrics().counter("serve/requests").Increment();
     ctx->metrics().counter("serve/windows").Add(static_cast<uint64_t>(n));
   }
-  std::vector<float> scores = ScoreBatch(n, [&](int i) {
+  std::vector<float> scores = ScoreBatch(*serving, n, [&](int i) {
     return windows.SectorSlab(i, 0, windows.dim1());
   });
   const double seconds = watch.ElapsedSeconds();
@@ -166,25 +299,28 @@ std::vector<float> ForecastService::Predict(
         .histogram("serve/latency_seconds", obs::DefaultLatencySeconds())
         .Observe(seconds);
   }
-  if (monitor_ != nullptr) {
-    monitor_->ObserveBatch(windows, 0, windows.dim1(), scores, seconds);
+  if (serving->monitor != nullptr) {
+    serving->monitor->ObserveBatch(windows, 0, windows.dim1(), scores,
+                                   seconds);
   }
   return scores;
 }
 
 std::vector<float> ForecastService::PredictAtDay(
-    const features::FeatureTensor& features, int end_day) const {
-  HOTSPOT_CHECK_EQ(features.num_channels(), bundle_->num_channels);
+    const features::FeatureTensor& features, int end_day,
+    uint64_t* served_generation) const {
+  HOTSPOT_CHECK_EQ(features.num_channels(), num_channels_);
   HOTSPOT_SPAN("serve/predict");
   Stopwatch watch;
+  std::shared_ptr<const ServingState> serving = state();
+  if (served_generation != nullptr) *served_generation = serving->generation;
   const int n = features.num_sectors();
   if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
     ctx->metrics().counter("serve/requests").Increment();
     ctx->metrics().counter("serve/windows").Add(static_cast<uint64_t>(n));
   }
-  std::vector<float> scores = ScoreBatch(n, [&](int i) {
-    return features::ExtractWindow(features, i, end_day,
-                                   bundle_->window_days);
+  std::vector<float> scores = ScoreBatch(*serving, n, [&](int i) {
+    return features::ExtractWindow(features, i, end_day, window_days_);
   });
   const double seconds = watch.ElapsedSeconds();
   if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
@@ -192,10 +328,10 @@ std::vector<float> ForecastService::PredictAtDay(
         .histogram("serve/latency_seconds", obs::DefaultLatencySeconds())
         .Observe(seconds);
   }
-  if (monitor_ != nullptr) {
-    monitor_->ObserveBatch(features.tensor(),
-                           24 * (end_day - bundle_->window_days),
-                           24 * end_day, scores, seconds);
+  if (serving->monitor != nullptr) {
+    serving->monitor->ObserveBatch(features.tensor(),
+                                   24 * (end_day - window_days_),
+                                   24 * end_day, scores, seconds);
   }
   return scores;
 }

@@ -1,6 +1,7 @@
 #ifndef HOTSPOT_CORE_SERVING_OPS_H_
 #define HOTSPOT_CORE_SERVING_OPS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "stream/incremental_features.h"
@@ -15,6 +16,10 @@ struct StreamingPrediction {
   int end_day = 0;
   int target_day = 0;
   std::vector<float> scores;
+  /// Generation tag of the bundle that scored this batch
+  /// (ForecastService::generation() at serve time) — how fleet callers
+  /// prove which model served each row across RCU hot swaps.
+  uint64_t generation = 0;
 };
 
 /// Cuts the per-sector serving windows (Eq. 6) ending at `end_day` out of

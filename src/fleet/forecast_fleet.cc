@@ -1,0 +1,372 @@
+#include "fleet/forecast_fleet.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/pipeline_context.h"
+#include "util/logging.h"
+
+namespace hotspot::fleet {
+
+ForecastFleet::ForecastFleet(
+    std::unique_ptr<serialize::ForecastBundle> bundle,
+    const FleetOptions& options)
+    : options_(options) {
+  HOTSPOT_CHECK(bundle != nullptr);
+  HOTSPOT_CHECK_GT(options_.serving.num_sectors, 0);
+  HOTSPOT_CHECK_GT(options_.serving.num_kpis, 0);
+  HOTSPOT_CHECK_GE(options_.ingress_queue_blocks, 1);
+  // on_prediction is the fleet's aggregation channel; a caller-supplied
+  // delivery callback would race it on the shard pipelines.
+  HOTSPOT_CHECK(!options_.serving.on_prediction)
+      << "FleetOptions::serving.on_prediction is reserved for the fleet";
+  num_sectors_ = options_.serving.num_sectors;
+  num_kpis_ = options_.serving.num_kpis;
+  row_block_rows_ = std::max(1, options_.serving.row_block_rows);
+
+  map_ = options_.shard_map;
+  if (map_ == nullptr) {
+    map_ = std::make_shared<HashShardMap>(std::max(1, options_.num_shards));
+  }
+  std::vector<std::vector<int>> populations =
+      ShardSectors(*map_, num_sectors_);
+  const int num_shards = map_->num_shards();
+
+  // Precomputed routing tables: Push pays two vector reads per row, not a
+  // virtual hash call plus a search for the local id.
+  shard_of_sector_.resize(static_cast<size_t>(num_sectors_));
+  local_of_sector_.resize(static_cast<size_t>(num_sectors_));
+  for (int shard = 0; shard < num_shards; ++shard) {
+    const std::vector<int>& sectors = populations[static_cast<size_t>(shard)];
+    for (size_t local = 0; local < sectors.size(); ++local) {
+      shard_of_sector_[static_cast<size_t>(sectors[local])] = shard;
+      local_of_sector_[static_cast<size_t>(sectors[local])] =
+          static_cast<int>(local);
+    }
+  }
+
+  shards_.resize(static_cast<size_t>(num_shards));
+  int remaining_active = 0;
+  for (const std::vector<int>& sectors : populations) {
+    if (!sectors.empty()) ++remaining_active;
+  }
+  active_shards_ = remaining_active;
+  HOTSPOT_CHECK_GT(active_shards_, 0);
+
+  for (int shard_index = 0; shard_index < num_shards; ++shard_index) {
+    Shard& shard = shards_[static_cast<size_t>(shard_index)];
+    shard.sectors = std::move(populations[static_cast<size_t>(shard_index)]);
+    if (shard.sectors.empty()) continue;  // no service, no pipeline
+    // Every replica gets the same model: clones are codec round-trips of
+    // the source bundle; the last active shard takes the original.
+    --remaining_active;
+    std::unique_ptr<serialize::ForecastBundle> replica =
+        remaining_active == 0 ? std::move(bundle)
+                              : serialize::CloneBundle(*bundle);
+    shard.service = std::make_unique<ForecastService>(std::move(replica));
+
+    pipeline::ServingPipeline::Options serving = options_.serving;
+    serving.num_sectors = static_cast<int>(shard.sectors.size());
+    serving.on_prediction = [this, shard_index](
+                                const StreamingPrediction& prediction) {
+      OnShardPrediction(shard_index, prediction);
+    };
+    if (options_.shard_options_for_test) {
+      options_.shard_options_for_test(shard_index, &serving);
+    }
+    shard.ingress = std::make_unique<pipeline::BoundedQueue<pipeline::RowBlock>>(
+        options_.ingress_queue_blocks);
+    shard.open_block.num_kpis = num_kpis_;
+    shard.pipeline = std::make_unique<pipeline::ServingPipeline>(
+        shard.service.get(), serving);
+  }
+  // Routers start only after every shard is fully built: shards_ never
+  // reallocates again, so the captured indices stay valid.
+  for (int shard_index = 0; shard_index < num_shards; ++shard_index) {
+    if (shards_[static_cast<size_t>(shard_index)].pipeline == nullptr) {
+      continue;
+    }
+    shards_[static_cast<size_t>(shard_index)].router =
+        std::thread([this, shard_index] { RouterLoop(shard_index); });
+  }
+}
+
+ForecastFleet::~ForecastFleet() { Finish(); }
+
+void ForecastFleet::RefreshCounters() {
+  obs::PipelineContext* ctx = obs::PipelineContext::Current();
+  if (ctx == counter_context_) return;
+  counter_context_ = ctx;
+  if (ctx == nullptr) {
+    rows_offered_ = nullptr;
+    rows_routed_ = nullptr;
+    rows_rejected_overload_ = nullptr;
+    rows_rejected_width_ = nullptr;
+    rows_rejected_finished_ = nullptr;
+    for (Shard& shard : shards_) {
+      shard.rows_routed = nullptr;
+      shard.rows_rejected = nullptr;
+    }
+    return;
+  }
+  obs::MetricsRegistry& metrics = ctx->metrics();
+  rows_offered_ = &metrics.counter("fleet/rows_offered");
+  rows_routed_ = &metrics.counter("fleet/rows_routed");
+  rows_rejected_overload_ = &metrics.counter("fleet/rows_rejected_overload");
+  rows_rejected_width_ = &metrics.counter("fleet/rows_rejected_width");
+  rows_rejected_finished_ =
+      &metrics.counter("fleet/rows_rejected_finished");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].sectors.empty()) continue;
+    shards_[i].rows_routed = &metrics.counter(
+        obs::ShardMetricName(static_cast<int>(i), "rows_routed"));
+    shards_[i].rows_rejected = &metrics.counter(
+        obs::ShardMetricName(static_cast<int>(i), "rows_rejected"));
+  }
+}
+
+ForecastFleet::PushVerdict ForecastFleet::Push(int sector, int hour,
+                                               const float* values,
+                                               int num_kpis) {
+  RefreshCounters();
+  if (rows_offered_ != nullptr) rows_offered_->Increment();
+  if (input_closed_) {
+    if (rows_rejected_finished_ != nullptr) {
+      rows_rejected_finished_->Increment();
+    }
+    return PushVerdict::kRejectedFinished;
+  }
+  if (num_kpis != num_kpis_) {
+    if (rows_rejected_width_ != nullptr) rows_rejected_width_->Increment();
+    return PushVerdict::kRejectedWidth;
+  }
+  HOTSPOT_CHECK_GE(sector, 0);
+  HOTSPOT_CHECK_LT(sector, num_sectors_);
+  Shard& shard = shards_[static_cast<size_t>(
+      shard_of_sector_[static_cast<size_t>(sector)])];
+  // Admission control: make room for the new row before accepting it. A
+  // row is only ever rejected while it is still the caller's — once
+  // appended to the open block it is guaranteed to be served, so shedding
+  // never drops accepted data.
+  if (shard.open_block.rows() >= row_block_rows_ &&
+      !FlushOpenBlock(shard, /*blocking=*/false)) {
+    if (rows_rejected_overload_ != nullptr) {
+      rows_rejected_overload_->Increment();
+    }
+    if (shard.rows_rejected != nullptr) shard.rows_rejected->Increment();
+    return PushVerdict::kRejectedOverload;
+  }
+  shard.open_block.sectors.push_back(
+      local_of_sector_[static_cast<size_t>(sector)]);
+  shard.open_block.hours.push_back(hour);
+  shard.open_block.values.insert(shard.open_block.values.end(), values,
+                                 values + num_kpis);
+  if (rows_routed_ != nullptr) rows_routed_->Increment();
+  if (shard.rows_routed != nullptr) shard.rows_routed->Increment();
+  return PushVerdict::kRouted;
+}
+
+bool ForecastFleet::FlushOpenBlock(Shard& shard, bool blocking) {
+  if (shard.open_block.rows() == 0) return true;
+  if (blocking) {
+    pipeline::RowBlock block = std::move(shard.open_block);
+    shard.open_block.Clear();
+    shard.open_block.num_kpis = num_kpis_;
+    shard.ingress->Push(std::move(block));
+    return true;
+  }
+  if (!shard.ingress->TryPush(shard.open_block)) return false;
+  // TryPush moved the block in; reset the husk for the next rows.
+  shard.open_block.Clear();
+  shard.open_block.num_kpis = num_kpis_;
+  return true;
+}
+
+void ForecastFleet::FlushInput() {
+  if (input_closed_) return;
+  for (Shard& shard : shards_) {
+    if (shard.pipeline == nullptr) continue;
+    FlushOpenBlock(shard, /*blocking=*/true);
+    shard.pipeline->FlushInput();
+  }
+}
+
+void ForecastFleet::Finish() {
+  if (input_closed_) return;
+  input_closed_ = true;
+  for (Shard& shard : shards_) {
+    if (shard.pipeline == nullptr) continue;
+    FlushOpenBlock(shard, /*blocking=*/true);
+    shard.ingress->Close();
+  }
+  for (Shard& shard : shards_) {
+    if (shard.router.joinable()) shard.router.join();
+  }
+  PublishFinalStats();
+  finished_.store(true, std::memory_order_release);
+}
+
+void ForecastFleet::RouterLoop(int shard_index) {
+  Shard& shard = shards_[static_cast<size_t>(shard_index)];
+  pipeline::RowBlock block;
+  while (shard.ingress->Pop(&block)) {
+    const int rows = block.rows();
+    for (int r = 0; r < rows; ++r) {
+      // Blocking push: past admission, backpressure — never loss — is the
+      // only flow control, exactly like a single pipeline.
+      shard.pipeline->Push(
+          block.sectors[static_cast<size_t>(r)],
+          block.hours[static_cast<size_t>(r)],
+          block.values.data() + static_cast<size_t>(r) * block.num_kpis,
+          block.num_kpis);
+    }
+  }
+  // Ingress closed and drained: ripple the drain through the pipeline.
+  shard.pipeline->Finish();
+}
+
+void ForecastFleet::OnShardPrediction(int shard_index,
+                                      const StreamingPrediction& pred) {
+  const Shard& shard = shards_[static_cast<size_t>(shard_index)];
+  bool batch_completed = false;
+  {
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    PendingBatch& batch = pending_[pred.end_day];
+    if (batch.scores.empty()) {
+      batch.target_day = pred.target_day;
+      batch.scores.assign(static_cast<size_t>(num_sectors_), 0.0f);
+      batch.generations.assign(static_cast<size_t>(num_sectors_), 0);
+    }
+    HOTSPOT_CHECK_EQ(static_cast<int>(pred.scores.size()),
+                     static_cast<int>(shard.sectors.size()));
+    for (size_t local = 0; local < shard.sectors.size(); ++local) {
+      const size_t global = static_cast<size_t>(shard.sectors[local]);
+      batch.scores[global] = pred.scores[local];
+      batch.generations[global] = pred.generation;
+    }
+    if (++batch.shards_done == active_shards_) {
+      FleetPrediction done;
+      done.end_day = pred.end_day;
+      done.target_day = batch.target_day;
+      done.scores = std::move(batch.scores);
+      done.generations = std::move(batch.generations);
+      pending_.erase(pred.end_day);
+      results_.push_back(std::move(done));
+      batch_completed = true;
+    }
+  }
+  if (batch_completed) {
+    // Cold path: once per completed fleet batch.
+    if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
+      ctx->metrics().counter("fleet/prediction_batches").Increment();
+      ctx->metrics().counter("fleet/predictions").Add(
+          static_cast<uint64_t>(num_sectors_));
+    }
+  }
+}
+
+std::vector<FleetPrediction> ForecastFleet::TakePredictions() {
+  std::lock_guard<std::mutex> lock(results_mutex_);
+  std::vector<FleetPrediction> taken = std::move(results_);
+  results_.clear();
+  return taken;
+}
+
+serialize::Status ForecastFleet::PromoteBundle(
+    int shard, std::unique_ptr<serialize::ForecastBundle> bundle,
+    uint64_t* new_generation) {
+  if (shard < 0 || shard >= num_shards()) {
+    return serialize::Status::Error("promote: shard " +
+                                    std::to_string(shard) +
+                                    " is out of range");
+  }
+  Shard& target = shards_[static_cast<size_t>(shard)];
+  if (target.service == nullptr) {
+    return serialize::Status::Error("promote: shard " +
+                                    std::to_string(shard) +
+                                    " serves no sectors");
+  }
+  return target.service->PromoteBundle(std::move(bundle), new_generation);
+}
+
+serialize::Status ForecastFleet::PromoteBundleAll(
+    const serialize::ForecastBundle& bundle) {
+  for (int shard = 0; shard < num_shards(); ++shard) {
+    if (shards_[static_cast<size_t>(shard)].service == nullptr) continue;
+    serialize::Status status =
+        PromoteBundle(shard, serialize::CloneBundle(bundle));
+    if (!status.ok) return status;
+  }
+  return serialize::Status::Ok();
+}
+
+FleetHealth ForecastFleet::Health() const {
+  FleetHealth health;
+  health.shards.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = shards_[i];
+    ShardHealth entry;
+    entry.shard = static_cast<int>(i);
+    entry.num_sectors = static_cast<int>(shard.sectors.size());
+    if (shard.service != nullptr) {
+      entry.generation = shard.service->generation();
+      entry.report = shard.service->Health();
+    }
+    if (static_cast<int>(entry.report.overall) >
+        static_cast<int>(health.overall)) {
+      health.overall = entry.report.overall;
+    }
+    health.shards.push_back(std::move(entry));
+  }
+  return health;
+}
+
+const std::vector<int>& ForecastFleet::shard_sectors(int shard) const {
+  HOTSPOT_CHECK_GE(shard, 0);
+  HOTSPOT_CHECK_LT(shard, num_shards());
+  return shards_[static_cast<size_t>(shard)].sectors;
+}
+
+ForecastService* ForecastFleet::service(int shard) {
+  HOTSPOT_CHECK_GE(shard, 0);
+  HOTSPOT_CHECK_LT(shard, num_shards());
+  return shards_[static_cast<size_t>(shard)].service.get();
+}
+
+std::vector<pipeline::StageStats> ForecastFleet::StageSnapshot(
+    int shard) const {
+  HOTSPOT_CHECK_GE(shard, 0);
+  HOTSPOT_CHECK_LT(shard, num_shards());
+  const Shard& target = shards_[static_cast<size_t>(shard)];
+  if (target.pipeline == nullptr) return {};
+  return target.pipeline->StageSnapshot();
+}
+
+pipeline::QueueStats ForecastFleet::IngressStats(int shard) const {
+  HOTSPOT_CHECK_GE(shard, 0);
+  HOTSPOT_CHECK_LT(shard, num_shards());
+  const Shard& target = shards_[static_cast<size_t>(shard)];
+  if (target.ingress == nullptr) return pipeline::QueueStats{};
+  return target.ingress->Stats();
+}
+
+void ForecastFleet::PublishFinalStats() {
+  obs::PipelineContext* ctx = obs::PipelineContext::Current();
+  if (ctx == nullptr) return;
+  obs::MetricsRegistry& metrics = ctx->metrics();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].ingress == nullptr) continue;
+    metrics
+        .gauge(obs::ShardMetricName(static_cast<int>(i),
+                                    "ingress_high_water"))
+        .Set(static_cast<double>(shards_[i].ingress->Stats().high_water));
+  }
+  std::lock_guard<std::mutex> lock(results_mutex_);
+  // Batches some shard never served (its stream ended short of an end-day
+  // other shards reached) stay pending; surfaced so nothing is silently
+  // incomplete.
+  metrics.gauge("fleet/batches_incomplete")
+      .Set(static_cast<double>(pending_.size()));
+}
+
+}  // namespace hotspot::fleet

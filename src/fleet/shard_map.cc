@@ -1,0 +1,61 @@
+#include "fleet/shard_map.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace hotspot::fleet {
+
+HashShardMap::HashShardMap(int num_shards) : num_shards_(num_shards) {
+  HOTSPOT_CHECK_GE(num_shards, 1);
+}
+
+uint64_t HashShardMap::Mix(uint64_t x) {
+  // splitmix64 finalizer: full-avalanche, well studied, and cheap enough
+  // to run per routed row without a cached table.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+int HashShardMap::ShardOf(int sector) const {
+  return static_cast<int>(Mix(static_cast<uint64_t>(sector)) %
+                          static_cast<uint64_t>(num_shards_));
+}
+
+PartitionShardMap::PartitionShardMap(std::vector<int> shard_of_sector,
+                                     int num_shards)
+    : shard_of_sector_(std::move(shard_of_sector)), num_shards_(num_shards) {
+  HOTSPOT_CHECK_GE(num_shards, 1);
+  for (int shard : shard_of_sector_) {
+    HOTSPOT_CHECK_GE(shard, 0);
+    HOTSPOT_CHECK_LT(shard, num_shards);
+  }
+}
+
+int PartitionShardMap::ShardOf(int sector) const {
+  if (sector >= 0 && sector < static_cast<int>(shard_of_sector_.size())) {
+    return shard_of_sector_[static_cast<size_t>(sector)];
+  }
+  return static_cast<int>(HashShardMap::Mix(static_cast<uint64_t>(sector)) %
+                          static_cast<uint64_t>(num_shards_));
+}
+
+std::vector<std::vector<int>> ShardSectors(const ShardMap& map,
+                                           int num_sectors) {
+  HOTSPOT_CHECK_GE(num_sectors, 0);
+  std::vector<std::vector<int>> sectors(
+      static_cast<size_t>(map.num_shards()));
+  for (int s = 0; s < num_sectors; ++s) {
+    const int shard = map.ShardOf(s);
+    HOTSPOT_CHECK_GE(shard, 0);
+    HOTSPOT_CHECK_LT(shard, map.num_shards());
+    sectors[static_cast<size_t>(shard)].push_back(s);
+  }
+  // Ascending by construction (sectors visited in id order), which is the
+  // local-id contract the header documents.
+  return sectors;
+}
+
+}  // namespace hotspot::fleet

@@ -1,0 +1,77 @@
+#ifndef HOTSPOT_FLEET_SHARD_MAP_H_
+#define HOTSPOT_FLEET_SHARD_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hotspot::fleet {
+
+/// Assignment of sectors to serving shards — the pluggable policy behind
+/// ForecastFleet's routing. The contract every implementation must honor
+/// (pinned by the shard-map property tests):
+///
+///   * total:   ShardOf(sector) ∈ [0, num_shards()) for every sector the
+///              fleet serves — no sector is ever unroutable;
+///   * stable:  ShardOf is a pure function of the sector id and the map's
+///              construction parameters — the same sector always lands on
+///              the same shard, across processes and restarts, so routing
+///              state never needs to be persisted.
+///
+/// Shards do not need balanced populations (a geo partition is as skewed
+/// as the city it models); admission control handles a hot shard.
+class ShardMap {
+ public:
+  virtual ~ShardMap() = default;
+  virtual int num_shards() const = 0;
+  virtual int ShardOf(int sector) const = 0;
+};
+
+/// Default policy: stable integer hash (splitmix64 finalizer) of the
+/// sector id, mod the shard count. Spreads any contiguous id range nearly
+/// uniformly with no configuration, and is stable under everything except
+/// changing the shard count itself.
+class HashShardMap : public ShardMap {
+ public:
+  explicit HashShardMap(int num_shards);
+
+  int num_shards() const override { return num_shards_; }
+  int ShardOf(int sector) const override;
+
+  /// The underlying mix, exposed so tests can pin the exact placement.
+  static uint64_t Mix(uint64_t x);
+
+ private:
+  int num_shards_;
+};
+
+/// Explicit partition: sector → shard read from a table, the policy for
+/// geo / archetype sharding where placement is an operator decision
+/// (CellScope-style specialist bundles per region). Sectors beyond the
+/// table fall back to a stable hash so the map stays total even when the
+/// universe grows past the partition it was built from.
+class PartitionShardMap : public ShardMap {
+ public:
+  /// `shard_of_sector[s]` is sector s's shard; every entry must be in
+  /// [0, num_shards). Shards may be empty.
+  PartitionShardMap(std::vector<int> shard_of_sector, int num_shards);
+
+  int num_shards() const override { return num_shards_; }
+  int ShardOf(int sector) const override;
+
+ private:
+  std::vector<int> shard_of_sector_;
+  int num_shards_;
+};
+
+/// Materializes the map over a concrete universe: the global sector ids
+/// owned by each shard, sorted ascending. The position of a sector in its
+/// shard's list is its *local* id — the compact [0, k) space the shard's
+/// pipeline and feature engine run over — so this one function fixes both
+/// the global→local mapping and the scatter order that reassembles fleet
+/// output in global sector order.
+std::vector<std::vector<int>> ShardSectors(const ShardMap& map,
+                                           int num_sectors);
+
+}  // namespace hotspot::fleet
+
+#endif  // HOTSPOT_FLEET_SHARD_MAP_H_

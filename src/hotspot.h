@@ -21,6 +21,8 @@
 ///              unified facade (pipeline::ServingPipeline); the
 ///              synchronous StreamingForecastRunner remains as a
 ///              deprecated port
+///   fleet    — sharded multi-replica serving with admission control and
+///              RCU hot bundle swap (fleet::ForecastFleet, ShardMap)
 
 #include "core/config.h"
 #include "core/dynamics.h"
@@ -34,6 +36,8 @@
 #include "core/study.h"
 #include "core/streaming_runner.h"
 #include "core/task.h"
+#include "fleet/forecast_fleet.h"
+#include "fleet/shard_map.h"
 #include "io/csv_io.h"
 #include "monitor/health.h"
 #include "monitor/monitor.h"

@@ -102,6 +102,14 @@ std::vector<double> DefaultLatencySeconds() {
           30.0};
 }
 
+std::string ShardMetricName(int shard, std::string_view suffix) {
+  std::string name = "fleet/shard";
+  name += std::to_string(shard);
+  name += '/';
+  name.append(suffix.data(), suffix.size());
+  return name;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);

@@ -89,6 +89,12 @@ class Histogram {
 /// of the pipeline (100 µs .. 30 s).
 std::vector<double> DefaultLatencySeconds();
 
+/// Canonical per-shard metric name: "fleet/shard3/rows_routed" for
+/// (3, "rows_routed"). One naming rule keeps the fleet's per-shard
+/// counters greppable and lets tests reconstruct the exact names the
+/// routing hot path caches.
+std::string ShardMetricName(int shard, std::string_view suffix);
+
 /// Name-addressed registry of counters, gauges and histograms. Lookup by
 /// name takes a mutex; the returned references are stable for the life of
 /// the registry, so hot paths resolve once and increment lock-free.

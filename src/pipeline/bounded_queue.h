@@ -84,6 +84,24 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking Push: enqueues only when a slot is free right now.
+  /// Returns false — leaving `item` untouched — when the queue is full or
+  /// closed. This is the admission-control primitive: where Push converts
+  /// overload into upstream backpressure, TryPush converts it into an
+  /// immediate reject the caller can count and surface.
+  bool TryPush(T& item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_ || static_cast<int>(items_.size()) >= capacity_) return false;
+    items_.push_back(std::move(item));
+    ++pushed_;
+    if (static_cast<int>(items_.size()) > high_water_) {
+      high_water_ = static_cast<int>(items_.size());
+    }
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocks while the queue is empty and open. Returns true with an item,
   /// or false once the queue is closed AND drained.
   bool Pop(T* out) {

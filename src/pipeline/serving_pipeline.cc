@@ -44,6 +44,7 @@ ServingPipeline::ServingPipeline(ForecastService* service,
   HOTSPOT_CHECK(options_.calendar != nullptr);
   HOTSPOT_CHECK_GE(options_.row_block_rows, 1);
   window_hours_ = service_->window_hours();
+  horizon_days_ = service_->horizon_days();
 
   // Options are the primary engine/kernel/monitoring API; the env knobs
   // only seeded the service's defaults before we got here.
@@ -63,11 +64,12 @@ ServingPipeline::ServingPipeline(ForecastService* service,
   feature_config.num_sectors = options_.num_sectors;
   feature_config.num_kpis = options_.num_kpis;
   feature_config.calendar = options_.calendar;
-  feature_config.score = options_.score.value_or(service_->bundle().score);
+  feature_config.score =
+      options_.score.value_or(service_->bundle_snapshot()->score);
   feature_config.history_weeks = options_.history_weeks;
   engine_ =
       std::make_unique<stream::IncrementalFeatureEngine>(feature_config);
-  HOTSPOT_CHECK_EQ(engine_->channels(), service_->bundle().num_channels);
+  HOTSPOT_CHECK_EQ(engine_->channels(), service_->num_channels());
   // A window must still be in history when its end-day becomes servable;
   // the frontier can run up to one week past the last served day, so
   // retention needs the window plus that slack (the runner's check).
@@ -93,10 +95,8 @@ ServingPipeline::ServingPipeline(ForecastService* service,
       });
 
   input_block_.num_kpis = options_.num_kpis;
-  next_end_day_.store(service_->bundle().window_days,
-                      std::memory_order_relaxed);
-  next_outcome_day_ =
-      service_->bundle().window_days + service_->bundle().horizon_days;
+  next_end_day_.store(service_->window_days(), std::memory_order_relaxed);
+  next_outcome_day_ = service_->window_days() + horizon_days_;
 
   ingest_stage_ = std::make_unique<Stage<RowBlock>>(
       "ingest", &raw_queue_,
@@ -239,7 +239,7 @@ uint64_t ServingPipeline::ServeReady() {
     FeatureWork work;
     work.kind = FeatureWork::Kind::kPredict;
     work.end_day = end_day;
-    work.target_day = end_day + service_->bundle().horizon_days;
+    work.target_day = end_day + horizon_days_;
     work.windows = AssembleServingWindows(*engine_, window_hours_, end_day);
     predict_queue_.Push(std::move(work));
     ++pushed;
@@ -269,10 +269,14 @@ uint64_t ServingPipeline::PredictWork(FeatureWork&& work) {
     if (options_.predict_stall_for_test.count() > 0) {
       std::this_thread::sleep_for(options_.predict_stall_for_test);
     }
+    if (options_.predict_fault_for_test) {
+      options_.predict_fault_for_test(work.end_day);
+    }
     out.kind = ScoredWork::Kind::kPrediction;
     out.prediction.end_day = work.end_day;
     out.prediction.target_day = work.target_day;
-    out.prediction.scores = service_->Predict(work.windows);
+    out.prediction.scores =
+        service_->Predict(work.windows, &out.prediction.generation);
     predict_counters_.Refresh();
     if (predict_counters_.prediction_batches != nullptr) {
       predict_counters_.prediction_batches->Increment();

@@ -170,6 +170,13 @@ class ServingPipeline {
     /// documented way to rehearse a slow predict shard and watch
     /// backpressure engage without code changes.
     std::chrono::microseconds predict_stall_for_test{0};
+    /// General fault-injection hook: runs in the predict stage before each
+    /// prediction batch is scored (after predict_stall_for_test), with the
+    /// batch's end-day. Tests park a shard on a latch here or throw its
+    /// serving path into a controlled stall — the FaultInjectingService
+    /// seam tests/fleet_test.cc drives. Must not call back into the
+    /// pipeline.
+    std::function<void(int end_day)> predict_fault_for_test;
   };
 
   /// `service` is not owned and must outlive the pipeline. Construction
@@ -260,6 +267,9 @@ class ServingPipeline {
   ForecastService* service_;
   Options options_;
   int window_hours_ = 0;
+  // Cached serving-universe invariant (fixed across bundle promotions), so
+  // the features stage never dereferences the swappable bundle.
+  int horizon_days_ = 0;
 
   std::unique_ptr<stream::IncrementalFeatureEngine> engine_;
   std::unique_ptr<stream::KpiStreamIngestor> ingestor_;

@@ -306,6 +306,17 @@ std::unique_ptr<ForecastBundle> DecodeBundle(ByteReader* reader,
   return bundle;
 }
 
+std::unique_ptr<ForecastBundle> CloneBundle(const ForecastBundle& bundle) {
+  ByteWriter writer;
+  EncodeBundle(bundle, &writer);
+  ByteReader reader(writer.bytes().data(), writer.bytes().size());
+  std::unique_ptr<ForecastBundle> clone = DecodeBundle(&reader);
+  HOTSPOT_CHECK(clone != nullptr && reader.ok() && reader.AtEnd())
+      << "bundle failed to round-trip through its own codec: "
+      << reader.error();
+  return clone;
+}
+
 Status SaveBundle(const std::string& path, const ForecastBundle& bundle) {
   ByteWriter writer;
   EncodeBundle(bundle, &writer);

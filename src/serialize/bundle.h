@@ -56,6 +56,15 @@ Status SaveBundle(const std::string& path, const ForecastBundle& bundle);
 Status LoadBundle(const std::string& path,
                   std::unique_ptr<ForecastBundle>* bundle);
 
+/// Deep-copies a bundle by round-tripping it through the codec — the same
+/// bytes a save/load pair would produce, so the clone is exactly as
+/// equivalent to the original as a deployed bundle is to its training-run
+/// artifact (pinned by the serialize round-trip tests). This is how
+/// ForecastFleet stamps one loaded bundle onto N shard replicas, and how
+/// tests hand the same model to a fleet and a reference service without
+/// sharing mutable state.
+std::unique_ptr<ForecastBundle> CloneBundle(const ForecastBundle& bundle);
+
 }  // namespace hotspot::serialize
 
 #endif  // HOTSPOT_SERIALIZE_BUNDLE_H_

@@ -322,6 +322,52 @@ TEST(ServingPipeline, DestructorDrainsInFlightWorkCleanly) {
                             "destructor-drain");
 }
 
+TEST(ServingPipeline, DestructorMidStreamWithRowsQueuedAtEveryStage) {
+  const Study& study = SharedStudy();
+  std::unique_ptr<ForecastService> service = MakeService(study);
+  const std::vector<std::vector<float>> batch = BatchScores(study, *service);
+  std::vector<StreamingPrediction> delivered;
+  {
+    // Every stage gets a capacity-1 queue and tiny blocks, and predict is
+    // slowed, so by mid-stream there are rows buffered in the open input
+    // block, the row queue, the predict queue and the scored queue
+    // simultaneously — then the pipeline is destroyed with the feed still
+    // live: no Finish(), no quiesce. The destructor must ripple a clean
+    // drain through all of it (ASan is the judge of "clean").
+    ServingPipeline::Options options = OptionsFor(study);
+    options.row_block_rows = 8;
+    options.row_queue_blocks = 1;
+    options.predict_queue_capacity = 1;
+    options.scored_queue_capacity = 1;
+    options.predict_stall_for_test = std::chrono::milliseconds(2);
+    options.on_prediction = [&](const StreamingPrediction& prediction) {
+      delivered.push_back(prediction);
+    };
+    ServingPipeline serving(service.get(), options);
+    const int hours = study.network.num_hours() / 2;
+    for (int j = 0; j < hours; ++j) {
+      for (int i = 0; i < study.num_sectors(); ++i) {
+        serving.Push(i, j, study.network.kpis.Slice(i, j),
+                     study.network.kpis.dim2());
+      }
+    }
+  }
+  // Whatever was served is a bitwise-exact prefix of the batch answers:
+  // the abandoned pipeline dropped the un-servable tail, never a scored
+  // batch, and never tore one.
+  const int window_days = service->bundle().window_days;
+  ASSERT_GT(delivered.size(), 0u);
+  ASSERT_LE(delivered.size(), batch.size());
+  for (size_t b = 0; b < delivered.size(); ++b) {
+    EXPECT_EQ(delivered[b].end_day, window_days + static_cast<int>(b));
+    ASSERT_EQ(delivered[b].scores.size(), batch[b].size());
+    EXPECT_EQ(std::memcmp(delivered[b].scores.data(), batch[b].data(),
+                          batch[b].size() * sizeof(float)),
+              0)
+        << "end_day=" << delivered[b].end_day;
+  }
+}
+
 TEST(ServingPipeline, OptionsOverrideEnvDefaultsForEngineAndKernel) {
   const Study& study = SharedStudy();
   std::unique_ptr<ForecastService> service = MakeService(study);

@@ -465,6 +465,95 @@ TEST_F(SerializeFuzzTest, CorruptBundleRejectedByService) {
   EXPECT_EQ(service, nullptr);
 }
 
+TEST_F(SerializeFuzzTest, CorruptedBundlePromotionFailsAtomically) {
+  // The hot-swap deployment path: an operator drops a new bundle file next
+  // to a live ForecastService and promotes it. This fuzz drives that whole
+  // path with damaged files — every corrupted or truncated candidate must
+  // be refused with a real error, and the service must keep serving its
+  // old bundle bit for bit, at its old generation, after every attempt.
+  const Study& study = SharedStudy();
+  Forecaster forecaster = study.MakeForecaster(TargetKind::kBeHotSpot);
+  ForecastConfig config = testing::GoldenForecastConfig();
+  std::unique_ptr<serialize::ForecastBundle> bundle =
+      forecaster.TrainBundle(config);
+  bundle->score = study.score_config;
+  ASSERT_TRUE(serialize::SaveBundle(Path("swap.hsb"), *bundle).ok);
+  const std::vector<uint8_t> good = ReadFile(Path("swap.hsb"));
+  ASSERT_GT(good.size(), 64u);
+
+  ForecastService service(serialize::CloneBundle(*bundle));
+  const std::vector<float> before =
+      service.PredictAtDay(study.features, config.t);
+
+  // Loads `bytes` as a bundle and, if it somehow loads, promotes it —
+  // exactly what a deployment agent would do. Returns the failure text.
+  auto attempt_swap = [&](const std::vector<uint8_t>& bytes) {
+    WriteFile(Path("swap_corrupt.hsb"), bytes);
+    std::unique_ptr<serialize::ForecastBundle> next;
+    serialize::Status status =
+        serialize::LoadBundle(Path("swap_corrupt.hsb"), &next);
+    if (status.ok) {
+      status = service.PromoteBundle(std::move(next));
+    } else {
+      EXPECT_EQ(next, nullptr) << "output written despite failure";
+    }
+    EXPECT_FALSE(status.ok) << "corrupt bundle promoted";
+    EXPECT_FALSE(status.error.empty());
+    return status.error;
+  };
+
+  for (size_t len = 0; len < good.size();
+       len = len < 40 ? len + 1 : len + 211) {
+    attempt_swap(std::vector<uint8_t>(
+        good.begin(), good.begin() + static_cast<ptrdiff_t>(len)));
+  }
+  for (size_t pos = 0; pos < good.size();
+       pos = pos < 48 ? pos + 1 : pos + 307) {
+    std::vector<uint8_t> flipped = good;
+    flipped[pos] ^= 0xff;
+    attempt_swap(flipped);
+  }
+
+  // A well-framed bundle from a newer binary: re-frame the valid payload
+  // (fresh checksum) with its first section's version bumped to 99. The
+  // refusal must name the section — the operator learns which part of the
+  // bundle their serving binary is too old for, not just "bad file".
+  {
+    serialize::ByteWriter writer;
+    serialize::EncodeBundle(*bundle, &writer);
+    std::vector<uint8_t> payload = writer.TakeBytes();
+    // Sectioned payload layout: 20-byte window-spec header, u32 section
+    // count, then the first section's [id u32][version u32] at offset 24.
+    payload[28] = 99;
+    payload[29] = payload[30] = payload[31] = 0;
+    ASSERT_TRUE(serialize::WriteArtifactFile(
+                    Path("swap_future.hsb"),
+                    serialize::ArtifactKind::kForecastBundle, payload)
+                    .ok);
+    std::unique_ptr<serialize::ForecastBundle> next;
+    serialize::Status status =
+        serialize::LoadBundle(Path("swap_future.hsb"), &next);
+    ASSERT_FALSE(status.ok);
+    EXPECT_EQ(next, nullptr);
+    EXPECT_NE(status.error.find("section version 99"), std::string::npos)
+        << status.error;
+    EXPECT_NE(status.error.find("newer"), std::string::npos) << status.error;
+  }
+
+  // Atomicity, the whole point: nothing above moved the generation, and
+  // the old bundle still serves the exact same bits.
+  EXPECT_EQ(service.generation(), 0u);
+  EXPECT_EQ(service.PredictAtDay(study.features, config.t), before);
+
+  // And the swap path itself still works: the undamaged file promotes.
+  std::unique_ptr<serialize::ForecastBundle> fresh;
+  ASSERT_TRUE(serialize::LoadBundle(Path("swap.hsb"), &fresh).ok);
+  uint64_t generation = 0;
+  ASSERT_TRUE(service.PromoteBundle(std::move(fresh), &generation).ok);
+  EXPECT_EQ(generation, 1u);
+  EXPECT_EQ(service.PredictAtDay(study.features, config.t), before);
+}
+
 // ---------------------------------------------------------------------------
 // Golden file
 // ---------------------------------------------------------------------------
