@@ -85,7 +85,9 @@ int main() {
       std::unique_ptr<serialize::ForecastBundle> next =
           forecaster.TrainBundle(config);
       next->score = study.score_config;
-      serialize::Status status = fleet.PromoteBundleAll(*next);
+      // Handing ownership saves one codec round-trip: the last shard
+      // takes this bundle itself, the others get clones.
+      serialize::Status status = fleet.PromoteBundleAll(std::move(next));
       if (!status.ok) {
         std::fprintf(stderr, "promotion failed: %s\n", status.error.c_str());
         return 1;

@@ -128,9 +128,12 @@ class ForecastService {
   monitor::HealthReport Health() const;
 
   /// The currently installed bundle. The reference is only stable while
-  /// no concurrent PromoteBundle runs — swap-aware callers must use
-  /// bundle_snapshot(), which keeps the bundle alive for as long as the
-  /// returned pointer is held.
+  /// no concurrent PromoteBundle runs — once a promotion publishes a new
+  /// state it can dangle as soon as the old state's last batch reference
+  /// drops. Prefer bundle_snapshot() in new code (it keeps the bundle
+  /// alive for as long as the returned pointer is held), or the
+  /// serving-universe invariant accessors below when only the shape is
+  /// needed; bundle() remains for single-threaded tooling and tests.
   const serialize::ForecastBundle& bundle() const;
   std::shared_ptr<const serialize::ForecastBundle> bundle_snapshot() const;
 

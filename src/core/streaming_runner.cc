@@ -14,13 +14,15 @@ StreamingForecastRunner::StreamingForecastRunner(
     : service_(service), engine_(engine) {
   HOTSPOT_CHECK(service_ != nullptr);
   HOTSPOT_CHECK(engine_ != nullptr);
-  HOTSPOT_CHECK_EQ(engine_->channels(), service_->bundle().num_channels);
+  // Serving-universe invariants only (fixed across promotions): the
+  // runner stays swap-safe without ever holding a bundle reference.
+  HOTSPOT_CHECK_EQ(engine_->channels(), service_->num_channels());
   // A window must still be in history when its end-day becomes servable;
   // the frontier can run up to one week past the last served day between
   // Polls, so retention needs the window plus that slack.
   HOTSPOT_CHECK_GE(engine_->history_hours(),
                    service_->window_hours() + kHoursPerWeek);
-  next_end_day_ = service_->bundle().window_days;
+  next_end_day_ = service_->window_days();
 }
 
 std::vector<StreamingPrediction> StreamingForecastRunner::Poll() {
@@ -31,7 +33,7 @@ std::vector<StreamingPrediction> StreamingForecastRunner::Poll() {
     HOTSPOT_SPAN("stream/predict");
     StreamingPrediction prediction;
     prediction.end_day = next_end_day_;
-    prediction.target_day = next_end_day_ + service_->bundle().horizon_days;
+    prediction.target_day = next_end_day_ + service_->horizon_days();
     prediction.scores = service_->Predict(
         AssembleServingWindows(*engine_, window_hours, next_end_day_));
     if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {

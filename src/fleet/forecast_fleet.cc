@@ -103,6 +103,7 @@ void ForecastFleet::RefreshCounters() {
     rows_rejected_overload_ = nullptr;
     rows_rejected_width_ = nullptr;
     rows_rejected_finished_ = nullptr;
+    rows_rejected_sector_ = nullptr;
     for (Shard& shard : shards_) {
       shard.rows_routed = nullptr;
       shard.rows_rejected = nullptr;
@@ -116,6 +117,7 @@ void ForecastFleet::RefreshCounters() {
   rows_rejected_width_ = &metrics.counter("fleet/rows_rejected_width");
   rows_rejected_finished_ =
       &metrics.counter("fleet/rows_rejected_finished");
+  rows_rejected_sector_ = &metrics.counter("fleet/rows_rejected_sector");
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (shards_[i].sectors.empty()) continue;
     shards_[i].rows_routed = &metrics.counter(
@@ -140,8 +142,13 @@ ForecastFleet::PushVerdict ForecastFleet::Push(int sector, int hour,
     if (rows_rejected_width_ != nullptr) rows_rejected_width_->Increment();
     return PushVerdict::kRejectedWidth;
   }
-  HOTSPOT_CHECK_GE(sector, 0);
-  HOTSPOT_CHECK_LT(sector, num_sectors_);
+  if (sector < 0 || sector >= num_sectors_) {
+    // Admission-control surface: an unknown sector from an external feed
+    // is a reject verdict, not a process abort. No shard counter — no
+    // shard owns the row.
+    if (rows_rejected_sector_ != nullptr) rows_rejected_sector_->Increment();
+    return PushVerdict::kRejectedSector;
+  }
   Shard& shard = shards_[static_cast<size_t>(
       shard_of_sector_[static_cast<size_t>(sector)])];
   // Admission control: make room for the new row before accepting it. A
@@ -187,7 +194,15 @@ void ForecastFleet::FlushInput() {
   for (Shard& shard : shards_) {
     if (shard.pipeline == nullptr) continue;
     FlushOpenBlock(shard, /*blocking=*/true);
-    shard.pipeline->FlushInput();
+    // The flush request rides the ingress queue as an empty sentinel
+    // block: FIFO puts it behind every row admitted so far, and the
+    // router — the pipeline's only writer — turns it into the pipeline
+    // flush. Calling pipeline->FlushInput() from here would race the
+    // router's concurrent Push (both mutate the pipeline's input block)
+    // and would skip rows still queued ahead of it.
+    pipeline::RowBlock sentinel;
+    sentinel.num_kpis = num_kpis_;
+    shard.ingress->Push(std::move(sentinel));
   }
 }
 
@@ -211,6 +226,14 @@ void ForecastFleet::RouterLoop(int shard_index) {
   pipeline::RowBlock block;
   while (shard.ingress->Pop(&block)) {
     const int rows = block.rows();
+    if (rows == 0) {
+      // FlushInput sentinel (row blocks are never shipped empty): every
+      // row admitted before the flush request has already been pushed,
+      // so flushing here hands the pipeline's whole buffered input
+      // downstream — from the one thread allowed to write the pipeline.
+      shard.pipeline->FlushInput();
+      continue;
+    }
     for (int r = 0; r < rows; ++r) {
       // Blocking push: past admission, backpressure — never loss — is the
       // only flow control, exactly like a single pipeline.
@@ -290,14 +313,30 @@ serialize::Status ForecastFleet::PromoteBundle(
 }
 
 serialize::Status ForecastFleet::PromoteBundleAll(
-    const serialize::ForecastBundle& bundle) {
+    std::unique_ptr<serialize::ForecastBundle> bundle) {
+  HOTSPOT_CHECK(bundle != nullptr);
+  int last_active = -1;
+  for (int shard = 0; shard < num_shards(); ++shard) {
+    if (shards_[static_cast<size_t>(shard)].service != nullptr) {
+      last_active = shard;
+    }
+  }
   for (int shard = 0; shard < num_shards(); ++shard) {
     if (shards_[static_cast<size_t>(shard)].service == nullptr) continue;
-    serialize::Status status =
-        PromoteBundle(shard, serialize::CloneBundle(bundle));
+    // The constructor's one-clone saving: every shard but the last gets
+    // a codec round-trip replica, the last takes the source itself.
+    std::unique_ptr<serialize::ForecastBundle> replica =
+        shard == last_active ? std::move(bundle)
+                             : serialize::CloneBundle(*bundle);
+    serialize::Status status = PromoteBundle(shard, std::move(replica));
     if (!status.ok) return status;
   }
   return serialize::Status::Ok();
+}
+
+serialize::Status ForecastFleet::PromoteBundleAll(
+    const serialize::ForecastBundle& bundle) {
+  return PromoteBundleAll(serialize::CloneBundle(bundle));
 }
 
 FleetHealth ForecastFleet::Health() const {

@@ -126,6 +126,7 @@ class ForecastFleet {
     kRejectedOverload,  ///< owning shard's ingress is over budget
     kRejectedWidth,     ///< num_kpis does not match the configured width
     kRejectedFinished,  ///< fleet already finished
+    kRejectedSector,    ///< sector id outside [0, num_sectors)
   };
 
   /// Takes ownership of the bundle and stamps it onto every non-empty
@@ -144,14 +145,22 @@ class ForecastFleet {
 
   /// Offers one hourly KPI row for `sector` (global id); routes it to the
   /// owning shard. Never blocks — see the admission-control contract.
+  /// Malformed rows (wrong width, out-of-range sector) are rejected with
+  /// a verdict, never a crash: one bad row from an external feed must not
+  /// take the fleet down.
   PushVerdict Push(int sector, int hour, const float* values, int num_kpis);
   PushVerdict Push(int sector, int hour, const std::vector<float>& values) {
     return Push(sector, hour, values.data(),
                 static_cast<int>(values.size()));
   }
 
-  /// Hands every shard's partial row block to its ingress queue now
-  /// (blocking if a shard is saturated) — call when the feed goes quiet.
+  /// Hands every shard's partial row block to its ingress queue, followed
+  /// by a flush request (blocking if a shard is saturated) — call when
+  /// the feed goes quiet. The flush travels the queue as a sentinel, so
+  /// the shard's router — the pipeline's only writer — performs it after
+  /// serving every row admitted before the call; buffered rows then
+  /// surface through TakePredictions() as their windows become servable,
+  /// without waiting for Finish().
   void FlushInput();
 
   /// End-of-stream: flushes buffered input, closes every ingress queue,
@@ -176,9 +185,15 @@ class ForecastFleet {
       int shard, std::unique_ptr<serialize::ForecastBundle> bundle,
       uint64_t* new_generation = nullptr);
 
-  /// Clones `bundle` onto every non-empty shard in shard order, stopping
-  /// at the first failure (earlier shards keep the new bundle — per-shard
-  /// promotion is atomic, fleet-wide promotion is not transactional).
+  /// Promotes `bundle` onto every non-empty shard in shard order,
+  /// stopping at the first failure (earlier shards keep the new bundle —
+  /// per-shard promotion is atomic, fleet-wide promotion is not
+  /// transactional). The owning overload clones one replica per shard
+  /// except the last, which takes the source bundle itself — the same
+  /// one-clone saving the constructor makes; the const& overload pays
+  /// one extra clone to leave the caller's bundle untouched.
+  serialize::Status PromoteBundleAll(
+      std::unique_ptr<serialize::ForecastBundle> bundle);
   serialize::Status PromoteBundleAll(
       const serialize::ForecastBundle& bundle);
 
@@ -246,6 +261,7 @@ class ForecastFleet {
   obs::Counter* rows_rejected_overload_ = nullptr;
   obs::Counter* rows_rejected_width_ = nullptr;
   obs::Counter* rows_rejected_finished_ = nullptr;
+  obs::Counter* rows_rejected_sector_ = nullptr;
   const void* counter_context_ = nullptr;
 
   // Aggregator (called from every shard's monitor-stage thread).

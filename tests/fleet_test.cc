@@ -9,6 +9,7 @@
 // matching exactly one generation's expected output — no torn reads, no
 // drops — plus generation tags threaded through live fleet streams.
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
@@ -289,6 +290,89 @@ TEST(ForecastFleet, PartitionMapWithEmptyShardStaysBitwiseEqual) {
 }
 
 // ---------------------------------------------------------------------------
+// FlushInput: mid-stream flush of producer-side and pipeline buffers
+
+TEST(ForecastFleet, FlushInputDeliversBufferedRowsToTheShardPipelines) {
+  const Study& study = SharedStudy();
+  const std::vector<std::vector<float>> batch =
+      BatchScores(study, BaseBundle());
+  obs::PipelineContext context;
+  obs::PipelineContext::ScopedInstall install(&context);
+  FleetOptions options = FleetOptionsFor(study, 2);
+  // A block budget larger than the entire stream: no block ever fills,
+  // so without an explicit flush every row stays buffered on the
+  // producer side (fleet open blocks) or inside the pipelines' input
+  // blocks — the shard ingestors see nothing.
+  options.serving.row_block_rows =
+      study.num_sectors() * study.network.num_hours() + 1;
+  ForecastFleet fleet(serialize::CloneBundle(BaseBundle()), options);
+  const int hours = study.network.num_hours();
+  for (int j = 0; j < hours; ++j) {
+    for (int i = 0; i < study.num_sectors(); ++i) {
+      ASSERT_EQ(fleet.Push(i, j, study.network.kpis.Slice(i, j),
+                           study.network.kpis.dim2()),
+                PushVerdict::kRouted);
+    }
+  }
+  const uint64_t total_rows = static_cast<uint64_t>(hours) *
+                              static_cast<uint64_t>(study.num_sectors());
+  EXPECT_EQ(context.metrics().counter("stream/rows_accepted").Total(), 0u);
+  fleet.FlushInput();
+  // The flush request rides each ingress queue *behind* the buffered
+  // rows, so the routers first push every admitted row into their
+  // pipelines and then flush the pipelines' input blocks — every routed
+  // row must reach a shard ingestor without Finish().
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  uint64_t accepted = 0;
+  while ((accepted =
+              context.metrics().counter("stream/rows_accepted").Total()) <
+             total_rows &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(accepted, total_rows)
+      << "FlushInput left rows buffered short of the ingestors";
+  // The watermark-held serving tail drains at Finish; the whole stream
+  // must be bit-for-bit the batch answers.
+  fleet.Finish();
+  ExpectFleetBitwiseEqualToBatch(fleet.TakePredictions(), batch,
+                                 BaseBundle().window_days,
+                                 "flush-delivers-buffered");
+}
+
+TEST(ForecastFleet, FlushInputDuringLiveStreamKeepsBitwiseEquality) {
+  const Study& study = SharedStudy();
+  const std::vector<std::vector<float>> batch =
+      BatchScores(study, BaseBundle());
+  FleetOptions options = FleetOptionsFor(study, 2);
+  options.serving.row_block_rows = 8;  // many blocks in flight
+  options.ingress_queue_blocks = 4;    // flushes land while routers drain
+  ForecastFleet fleet(serialize::CloneBundle(BaseBundle()), options);
+  const int hours = study.network.num_hours();
+  for (int j = 0; j < hours; ++j) {
+    for (int i = 0; i < study.num_sectors(); ++i) {
+      PushVerdict verdict;
+      while ((verdict = fleet.Push(i, j, study.network.kpis.Slice(i, j),
+                                   study.network.kpis.dim2())) ==
+             PushVerdict::kRejectedOverload) {
+        std::this_thread::yield();
+      }
+      ASSERT_EQ(verdict, PushVerdict::kRouted);
+    }
+    // Flush while the routers are actively draining: pins (under TSan)
+    // that the flush request rides the ingress queue instead of touching
+    // the pipelines from this thread, and that it never reorders or
+    // drops rows already admitted.
+    if (j % 7 == 0) fleet.FlushInput();
+  }
+  fleet.FlushInput();
+  fleet.Finish();
+  ExpectFleetBitwiseEqualToBatch(fleet.TakePredictions(), batch,
+                                 BaseBundle().window_days, "flush-live");
+}
+
+// ---------------------------------------------------------------------------
 // Fault injection / admission control
 
 /// The fault harness: a service whose predict path can be remotely
@@ -434,7 +518,7 @@ TEST(ForecastFleet, StalledShardShedsOnlyItsLoadOthersStayBitwiseEqual) {
   }
 }
 
-TEST(ForecastFleet, AdmissionVerdictsForWidthAndFinishedRows) {
+TEST(ForecastFleet, AdmissionVerdictsForMalformedAndFinishedRows) {
   const Study& study = SharedStudy();
   obs::PipelineContext context;
   obs::PipelineContext::ScopedInstall install(&context);
@@ -443,6 +527,15 @@ TEST(ForecastFleet, AdmissionVerdictsForWidthAndFinishedRows) {
   std::vector<float> bad_row(
       static_cast<size_t>(study.network.num_kpis() + 1), 0.0f);
   EXPECT_EQ(fleet.Push(0, 0, bad_row), PushVerdict::kRejectedWidth);
+  // Out-of-range sectors are verdicts, not aborts: one bad row from an
+  // external feed must not take the fleet down.
+  EXPECT_EQ(fleet.Push(-1, 0, study.network.kpis.Slice(0, 0),
+                       study.network.kpis.dim2()),
+            PushVerdict::kRejectedSector);
+  EXPECT_EQ(fleet.Push(study.num_sectors(), 0,
+                       study.network.kpis.Slice(0, 0),
+                       study.network.kpis.dim2()),
+            PushVerdict::kRejectedSector);
   EXPECT_EQ(fleet.Push(0, 0, study.network.kpis.Slice(0, 0),
                        study.network.kpis.dim2()),
             PushVerdict::kRouted);
@@ -450,10 +543,12 @@ TEST(ForecastFleet, AdmissionVerdictsForWidthAndFinishedRows) {
   EXPECT_EQ(fleet.Push(0, 1, study.network.kpis.Slice(0, 1),
                        study.network.kpis.dim2()),
             PushVerdict::kRejectedFinished);
-  EXPECT_EQ(context.metrics().counter("fleet/rows_offered").Total(), 3u);
+  EXPECT_EQ(context.metrics().counter("fleet/rows_offered").Total(), 5u);
   EXPECT_EQ(context.metrics().counter("fleet/rows_routed").Total(), 1u);
   EXPECT_EQ(context.metrics().counter("fleet/rows_rejected_width").Total(),
             1u);
+  EXPECT_EQ(
+      context.metrics().counter("fleet/rows_rejected_sector").Total(), 2u);
   EXPECT_EQ(
       context.metrics().counter("fleet/rows_rejected_finished").Total(), 1u);
 }
