@@ -14,7 +14,12 @@
 //      in-flight batches finish on the old model, new batches pick up the
 //      new one, and every prediction carries the generation tag of the
 //      bundle that produced it.
-//   5. Read the per-shard health roll-up and the fleet/ obs counters.
+//   5. Read the per-shard health roll-up, and let a TelemetryExporter
+//      render the fleet/ obs counters as a structured frame on stderr
+//      (the "hotspot.telemetry.v1" NDJSON schema) instead of hand-printed
+//      counters. The flight recorder keeps the promotion events — one per
+//      shard, tagged with the installed generation — for the post-run
+//      audit trail.
 //
 // Early scores (generation 0) are bitwise-identical to the first
 // bundle's batch PredictAtDay() answers; the example checks that, and
@@ -60,6 +65,14 @@ int main() {
   // staged pipeline over its own slice of the universe.
   obs::PipelineContext context;
   obs::PipelineContext::ScopedInstall install(&context);
+
+  // Telemetry frames stream to stderr while the fleet serves; the final
+  // frame (emitted by Stop below) carries the fleet/ counter totals that
+  // this example used to print by hand.
+  obs::TelemetryOptions telemetry;
+  telemetry.period = std::chrono::milliseconds(250);
+  telemetry.to_stderr = true;
+  obs::TelemetryExporter exporter(&context, telemetry);
 
   fleet::FleetOptions options;
   options.num_shards = 4;
@@ -141,16 +154,19 @@ int main() {
                     ? "healthy"
                     : "degraded");
   }
-  std::printf("obs: fleet/rows_offered=%llu fleet/rows_routed=%llu "
-              "fleet/rows_rejected_overload=%llu\n",
-              static_cast<unsigned long long>(
-                  context.metrics().counter("fleet/rows_offered").Total()),
-              static_cast<unsigned long long>(
-                  context.metrics().counter("fleet/rows_routed").Total()),
-              static_cast<unsigned long long>(
-                  context.metrics()
-                      .counter("fleet/rows_rejected_overload")
-                      .Total()));
+  // Stop the exporter: its final frame on stderr is the structured
+  // replacement for the old hand-printed `obs: fleet/...` line. The
+  // flight recorder holds the audit trail of the mid-stream swap.
+  exporter.Stop();
+  std::printf("telemetry: %llu frames exported (hotspot.telemetry.v1 on "
+              "stderr)\n",
+              static_cast<unsigned long long>(exporter.frames()));
+  for (const obs::FlightEventRecord& event : context.flight().Snapshot()) {
+    if (event.kind != obs::FlightEventKind::kPromotion) continue;
+    std::printf("flight: promotion shard=%lld generation=%lld\n",
+                static_cast<long long>(event.a),
+                static_cast<long long>(event.b));
+  }
 
   // The sharding contract: pre-swap batches are bitwise-identical to the
   // single reference service over the whole universe...

@@ -13,6 +13,12 @@
 //      bundle fingerprints escalate to DRIFT, and the report is
 //      exported as the JSON document a dashboard or pager would ingest.
 //
+// Observability rides along the whole way: a TelemetryExporter streams
+// NDJSON frames (counter rates, histogram p50/p99) to stderr while the
+// pipeline serves — no hand-printed counters — and the OK→DRIFT ladder
+// transition lands in the flight recorder as a structured event, printed
+// at the end the way a post-mortem would read it.
+//
 // Build: cmake -B build -G Ninja && cmake --build build
 // Run:   ./build/examples/example_monitor_live
 #include <cstdio>
@@ -66,6 +72,16 @@ int main() {
       forecaster.TrainBundle(config);
   bundle->score = healthy.score_config;
   auto service = std::make_unique<ForecastService>(std::move(bundle));
+
+  // Live telemetry for the whole serving session: every instrumentation
+  // site below reads this context, and the exporter thread samples it
+  // into NDJSON frames on stderr (the "hotspot.telemetry.v1" schema).
+  obs::PipelineContext context;
+  obs::PipelineContext::ScopedInstall install(&context);
+  obs::TelemetryOptions telemetry;
+  telemetry.period = std::chrono::milliseconds(250);
+  telemetry.to_stderr = true;
+  obs::TelemetryExporter exporter(&context, telemetry);
 
   // 2. A healthy serving stretch, end to end through the staged pipeline.
   // The tuned monitor config — a drift window wide enough to blend
@@ -127,6 +143,22 @@ int main() {
     std::printf("\nexported health report: %s (%lld bytes)\n", path.c_str(),
                 static_cast<long long>(std::filesystem::file_size(path)));
     std::filesystem::remove(path);
+  }
+
+  // Final telemetry frame, then replay the flight recorder: the health
+  // ladder transitions recorded by ServingMonitor::Report() read like a
+  // post-mortem timeline (signal 0=overall 1=drift 2=quality 3=latency).
+  exporter.Stop();
+  std::printf("\nflight-recorder ladder transitions:\n");
+  for (const obs::FlightEventRecord& event : context.flight().Snapshot()) {
+    if (event.kind != obs::FlightEventKind::kLadderTransition) continue;
+    std::printf("  #%llu signal=%lld %s -> %s\n",
+                static_cast<unsigned long long>(event.sequence),
+                static_cast<long long>(event.a),
+                monitor::AlertStateName(
+                    static_cast<monitor::AlertState>(event.b)),
+                monitor::AlertStateName(
+                    static_cast<monitor::AlertState>(event.c)));
   }
   return report.drift_state == monitor::AlertState::kDrift ? 0 : 1;
 }

@@ -140,9 +140,14 @@ serialize::Status ForecastService::PromoteBundle(
   // The swap itself: one pointer publish. Readers that already snapshotted
   // the old state keep it alive through their shared_ptr until the batch
   // ends.
+  const uint64_t installed_generation = next->generation;
   PublishState(std::move(next));
   if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
     ctx->metrics().counter("serve/promotions").Increment();
+    // Flight-record the swap instant with its generation tag; shard -1
+    // marks a bare service (the fleet adds its own shard-tagged event).
+    ctx->flight().Record(obs::FlightEventKind::kPromotion, /*a=*/-1,
+                         static_cast<int64_t>(installed_generation));
   }
   return serialize::Status::Ok();
 }

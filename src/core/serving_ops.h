@@ -20,6 +20,14 @@ struct StreamingPrediction {
   /// (ForecastService::generation() at serve time) — how fleet callers
   /// prove which model served each row across RCU hot swaps.
   uint64_t generation = 0;
+  /// Telemetry metadata: steady-clock nanoseconds at which the oldest raw
+  /// KPI row contributing to this batch entered the serving stack
+  /// (pipeline ingress, or fleet admission when served through a fleet);
+  /// 0 when the producer did not stamp it. Feeds the
+  /// pipeline/stageK/residency_seconds and fleet/shardK/e2e_seconds
+  /// histograms; excluded from every equivalence contract — scores are
+  /// bitwise-identical whether or not blocks are stamped.
+  uint64_t born_ns = 0;
 };
 
 /// Cuts the per-sector serving windows (Eq. 6) ending at `end_day` out of

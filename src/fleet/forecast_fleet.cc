@@ -104,12 +104,14 @@ void ForecastFleet::RefreshCounters() {
     rows_rejected_width_ = nullptr;
     rows_rejected_finished_ = nullptr;
     rows_rejected_sector_ = nullptr;
+    flight_ = nullptr;
     for (Shard& shard : shards_) {
       shard.rows_routed = nullptr;
       shard.rows_rejected = nullptr;
     }
     return;
   }
+  flight_ = &ctx->flight();
   obs::MetricsRegistry& metrics = ctx->metrics();
   rows_offered_ = &metrics.counter("fleet/rows_offered");
   rows_routed_ = &metrics.counter("fleet/rows_routed");
@@ -127,6 +129,14 @@ void ForecastFleet::RefreshCounters() {
   }
 }
 
+void ForecastFleet::RecordReject(PushVerdict verdict, int sector,
+                                 int hour) {
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventKind::kAdmissionReject,
+                    static_cast<int64_t>(verdict), sector, hour);
+  }
+}
+
 ForecastFleet::PushVerdict ForecastFleet::Push(int sector, int hour,
                                                const float* values,
                                                int num_kpis) {
@@ -136,10 +146,12 @@ ForecastFleet::PushVerdict ForecastFleet::Push(int sector, int hour,
     if (rows_rejected_finished_ != nullptr) {
       rows_rejected_finished_->Increment();
     }
+    RecordReject(PushVerdict::kRejectedFinished, sector, hour);
     return PushVerdict::kRejectedFinished;
   }
   if (num_kpis != num_kpis_) {
     if (rows_rejected_width_ != nullptr) rows_rejected_width_->Increment();
+    RecordReject(PushVerdict::kRejectedWidth, sector, hour);
     return PushVerdict::kRejectedWidth;
   }
   if (sector < 0 || sector >= num_sectors_) {
@@ -147,6 +159,7 @@ ForecastFleet::PushVerdict ForecastFleet::Push(int sector, int hour,
     // is a reject verdict, not a process abort. No shard counter — no
     // shard owns the row.
     if (rows_rejected_sector_ != nullptr) rows_rejected_sector_->Increment();
+    RecordReject(PushVerdict::kRejectedSector, sector, hour);
     return PushVerdict::kRejectedSector;
   }
   Shard& shard = shards_[static_cast<size_t>(
@@ -161,7 +174,14 @@ ForecastFleet::PushVerdict ForecastFleet::Push(int sector, int hour,
       rows_rejected_overload_->Increment();
     }
     if (shard.rows_rejected != nullptr) shard.rows_rejected->Increment();
+    RecordReject(PushVerdict::kRejectedOverload, sector, hour);
     return PushVerdict::kRejectedOverload;
+  }
+  // Admission is the fleet's ingress-stamp point: residency measured from
+  // here includes the ingress-queue wait. One clock read per block, not
+  // per row — the first admitted row stamps the open block.
+  if (shard.open_block.born_ns == 0) {
+    shard.open_block.born_ns = pipeline::SteadyNowNs();
   }
   shard.open_block.sectors.push_back(
       local_of_sector_[static_cast<size_t>(sector)]);
@@ -236,12 +256,13 @@ void ForecastFleet::RouterLoop(int shard_index) {
     }
     for (int r = 0; r < rows; ++r) {
       // Blocking push: past admission, backpressure — never loss — is the
-      // only flow control, exactly like a single pipeline.
+      // only flow control, exactly like a single pipeline. The admission
+      // stamp rides along so shard residency includes the ingress wait.
       shard.pipeline->Push(
           block.sectors[static_cast<size_t>(r)],
           block.hours[static_cast<size_t>(r)],
           block.values.data() + static_cast<size_t>(r) * block.num_kpis,
-          block.num_kpis);
+          block.num_kpis, block.born_ns);
     }
   }
   // Ingress closed and drained: ripple the drain through the pipeline.
@@ -251,6 +272,22 @@ void ForecastFleet::RouterLoop(int shard_index) {
 void ForecastFleet::OnShardPrediction(int shard_index,
                                       const StreamingPrediction& pred) {
   const Shard& shard = shards_[static_cast<size_t>(shard_index)];
+  // Per-shard end-to-end residency: fleet admission → served prediction,
+  // the outermost latency a caller of this shard experiences. Cold path
+  // (once per shard batch), so the name lookup is affordable.
+  if (pred.born_ns != 0) {
+    if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
+      const uint64_t now = pipeline::SteadyNowNs();
+      const double seconds =
+          now > pred.born_ns
+              ? static_cast<double>(now - pred.born_ns) * 1e-9
+              : 0.0;
+      ctx->metrics()
+          .histogram(obs::ShardMetricName(shard_index, "e2e_seconds"),
+                     obs::DefaultLatencySeconds())
+          .ObserveWithExemplar(seconds, pred.end_day);
+    }
+  }
   bool batch_completed = false;
   {
     std::lock_guard<std::mutex> lock(results_mutex_);
@@ -309,7 +346,19 @@ serialize::Status ForecastFleet::PromoteBundle(
                                     std::to_string(shard) +
                                     " serves no sectors");
   }
-  return target.service->PromoteBundle(std::move(bundle), new_generation);
+  uint64_t generation = 0;
+  serialize::Status status =
+      target.service->PromoteBundle(std::move(bundle), &generation);
+  if (status.ok) {
+    if (new_generation != nullptr) *new_generation = generation;
+    // Shard-tagged promotion event, alongside the service's own shard=-1
+    // record — the fleet view of which replica swapped to which model.
+    if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
+      ctx->flight().Record(obs::FlightEventKind::kPromotion, shard,
+                           static_cast<int64_t>(generation));
+    }
+  }
+  return status;
 }
 
 serialize::Status ForecastFleet::PromoteBundleAll(
@@ -356,6 +405,22 @@ FleetHealth ForecastFleet::Health() const {
       health.overall = entry.report.overall;
     }
     health.shards.push_back(std::move(entry));
+  }
+  // Shard health-transition flight events: states exist only at Health()
+  // time, so diff against the previous call (shards start implicitly OK).
+  if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    last_shard_health_.resize(shards_.size(), monitor::AlertState::kOk);
+    for (const ShardHealth& entry : health.shards) {
+      monitor::AlertState& last =
+          last_shard_health_[static_cast<size_t>(entry.shard)];
+      if (last != entry.report.overall) {
+        ctx->flight().Record(obs::FlightEventKind::kShardHealth,
+                             entry.shard, static_cast<int64_t>(last),
+                             static_cast<int64_t>(entry.report.overall));
+        last = entry.report.overall;
+      }
+    }
   }
   return health;
 }

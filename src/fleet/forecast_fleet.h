@@ -13,6 +13,7 @@
 #include "core/forecast_service.h"
 #include "fleet/shard_map.h"
 #include "monitor/health.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "pipeline/bounded_queue.h"
 #include "pipeline/serving_pipeline.h"
@@ -244,6 +245,9 @@ class ForecastFleet {
   void RouterLoop(int shard_index);
   void OnShardPrediction(int shard_index, const StreamingPrediction& pred);
   void PublishFinalStats();
+  /// Flight-records one admission reject (verdict code, sector, hour)
+  /// when a context is installed.
+  void RecordReject(PushVerdict verdict, int sector, int hour);
 
   std::shared_ptr<const ShardMap> map_;
   FleetOptions options_;
@@ -262,7 +266,14 @@ class ForecastFleet {
   obs::Counter* rows_rejected_width_ = nullptr;
   obs::Counter* rows_rejected_finished_ = nullptr;
   obs::Counter* rows_rejected_sector_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   const void* counter_context_ = nullptr;
+
+  // Health-transition tracking for the flight recorder: overall state per
+  // shard as of the previous Health() call. Health() is const and
+  // thread-safe, so the diff state has its own lock.
+  mutable std::mutex health_mutex_;
+  mutable std::vector<monitor::AlertState> last_shard_health_;
 
   // Aggregator (called from every shard's monitor-stage thread).
   std::mutex results_mutex_;

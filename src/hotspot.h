@@ -45,6 +45,7 @@
 #include "obs/metrics.h"
 #include "obs/pipeline_context.h"
 #include "obs/snapshot.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "pipeline/serving_pipeline.h"
 #include "serialize/bundle.h"

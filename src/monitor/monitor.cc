@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/pipeline_context.h"
 #include "util/logging.h"
 
 namespace hotspot::monitor {
@@ -211,6 +212,35 @@ HealthReport ServingMonitor::Report() const {
   report.overall = WorstState(
       WorstState(report.drift_state, report.quality_state),
       report.latency.state);
+
+  // Ladder-transition flight events: the states are computed on demand,
+  // so a change is only observable here — diff against the previous
+  // Report() (everything starts implicitly OK) and record each signal
+  // that moved. Signal codes: 0 overall, 1 drift, 2 quality, 3 latency.
+  if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
+    const struct {
+      int signal;
+      AlertState* last;
+      AlertState now;
+    } ladders[] = {
+        {0, &last_overall_, report.overall},
+        {1, &last_drift_, report.drift_state},
+        {2, &last_quality_, report.quality_state},
+        {3, &last_latency_, report.latency.state},
+    };
+    for (const auto& ladder : ladders) {
+      if (*ladder.last != ladder.now) {
+        ctx->flight().Record(obs::FlightEventKind::kLadderTransition,
+                             ladder.signal,
+                             static_cast<int64_t>(*ladder.last),
+                             static_cast<int64_t>(ladder.now));
+      }
+    }
+  }
+  last_overall_ = report.overall;
+  last_drift_ = report.drift_state;
+  last_quality_ = report.quality_state;
+  last_latency_ = report.latency.state;
   return report;
 }
 

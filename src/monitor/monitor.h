@@ -78,6 +78,15 @@ class ServingMonitor {
  private:
   MonitorConfig config_;
   mutable std::mutex mutex_;
+  /// Ladder states as of the previous Report() — the reference the
+  /// flight-recorder ladder-transition events are diffed against. States
+  /// only exist at Report() time (they are computed, not stored), so
+  /// transitions are detected there; mutable because Report() is
+  /// logically const. Guarded by mutex_.
+  mutable AlertState last_overall_ = AlertState::kOk;
+  mutable AlertState last_drift_ = AlertState::kOk;
+  mutable AlertState last_quality_ = AlertState::kOk;
+  mutable AlertState last_latency_ = AlertState::kOk;
   /// Channels with a non-empty reference reservoir — the only ones worth
   /// observing on the serve path.
   std::vector<int> monitored_channels_;

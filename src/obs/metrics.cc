@@ -95,6 +95,9 @@ void Histogram::Reset() {
     shard.count.store(0, std::memory_order_relaxed);
     shard.sum.store(0.0, std::memory_order_relaxed);
   }
+  exemplar_count_.store(0, std::memory_order_relaxed);
+  exemplar_.store(0, std::memory_order_relaxed);
+  exemplar_value_.store(0.0, std::memory_order_relaxed);
 }
 
 std::vector<double> DefaultLatencySeconds() {

@@ -67,6 +67,30 @@ class Histogram {
 
   void Observe(double value);
 
+  /// Observe() plus a last-write-wins exemplar slot: `exemplar` is a
+  /// caller-defined tag (a row count, an end-day) identifying the
+  /// observation, the Prometheus-exemplar idea reduced to one slot. A
+  /// dashboard reading the exported p99 can jump straight to the batch
+  /// that last exercised the distribution. Exemplars are telemetry
+  /// metadata only — they never feed back into any computation.
+  void ObserveWithExemplar(double value, int64_t exemplar) {
+    Observe(value);
+    exemplar_value_.store(value, std::memory_order_relaxed);
+    exemplar_.store(exemplar, std::memory_order_relaxed);
+    exemplar_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Latest exemplar; false when ObserveWithExemplar never ran. The pair
+  /// is read without a lock, so under concurrent writers the tag and
+  /// value may belong to different (adjacent) observations — acceptable
+  /// for a diagnostics pointer, never for accounting.
+  bool LastExemplar(int64_t* exemplar, double* value) const {
+    if (exemplar_count_.load(std::memory_order_relaxed) == 0) return false;
+    *exemplar = exemplar_.load(std::memory_order_relaxed);
+    *value = exemplar_value_.load(std::memory_order_relaxed);
+    return true;
+  }
+
   /// Merged per-bucket counts (size = bounds().size() + 1).
   std::vector<uint64_t> BucketCounts() const;
   uint64_t Count() const;
@@ -83,6 +107,9 @@ class Histogram {
   };
   std::vector<double> bounds_;
   std::vector<Shard> shards_;
+  std::atomic<uint64_t> exemplar_count_{0};
+  std::atomic<int64_t> exemplar_{0};
+  std::atomic<double> exemplar_value_{0.0};
 };
 
 /// Log-spaced wall-time buckets (seconds) used by the latency histograms

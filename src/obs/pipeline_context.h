@@ -1,6 +1,7 @@
 #ifndef HOTSPOT_OBS_PIPELINE_CONTEXT_H_
 #define HOTSPOT_OBS_PIPELINE_CONTEXT_H_
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -26,6 +27,10 @@ namespace hotspot::obs {
 class PipelineContext {
  public:
   PipelineContext() = default;
+  /// Sizes the flight-recorder ring; the default keeps the newest
+  /// FlightRecorder::kDefaultCapacity events.
+  explicit PipelineContext(int flight_capacity)
+      : flight_(flight_capacity) {}
   PipelineContext(const PipelineContext&) = delete;
   PipelineContext& operator=(const PipelineContext&) = delete;
 
@@ -33,11 +38,15 @@ class PipelineContext {
   const MetricsRegistry& metrics() const { return metrics_; }
   TraceCollector& trace() { return trace_; }
   const TraceCollector& trace() const { return trace_; }
+  FlightRecorder& flight() { return flight_; }
+  const FlightRecorder& flight() const { return flight_; }
 
-  /// Zeroes metrics and drops spans; the registry's names survive.
+  /// Zeroes metrics, drops spans and flight events; the registry's names
+  /// survive. Same quiesced-writers contract as the members' own Resets.
   void Reset() {
     metrics_.Reset();
     trace_.Reset();
+    flight_.Reset();
   }
 
   /// The currently installed context, or null when observability is off.
@@ -63,6 +72,7 @@ class PipelineContext {
  private:
   MetricsRegistry metrics_;
   TraceCollector trace_;
+  FlightRecorder flight_;
 };
 
 }  // namespace hotspot::obs

@@ -1,0 +1,247 @@
+#include "obs/telemetry.h"
+
+#include <cinttypes>
+#include <sstream>
+#include <utility>
+
+#include "obs/snapshot.h"
+#include "util/logging.h"
+
+namespace hotspot::obs {
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  const char first = name[0];
+  if (!(first == '_' || (first >= 'a' && first <= 'z') ||
+        (first >= 'A' && first <= 'Z'))) {
+    return false;
+  }
+  for (size_t i = 1; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool ok = c == '_' || c == '/' || (c >= 'a' && c <= 'z') ||
+                    (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string ToPrometheusName(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    if (c == '/') c = ':';
+  }
+  return out;
+}
+
+std::string FromPrometheusName(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    if (c == ':') c = '/';
+  }
+  return out;
+}
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string FrameToJsonLine(const TelemetryFrame& frame) {
+  std::ostringstream out;
+  out << "{\"schema\":\"hotspot.telemetry.v1\",\"frame\":" << frame.index
+      << ",\"t_ms\":" << frame.t_ms
+      << ",\"interval_s\":" << FormatDouble(frame.interval_seconds)
+      << ",\"counters\":[";
+  for (size_t i = 0; i < frame.counters.size(); ++i) {
+    const TelemetryFrame::CounterSample& c = frame.counters[i];
+    if (i > 0) out << ",";
+    out << "{\"name\":\"" << c.name << "\",\"total\":" << c.total
+        << ",\"delta\":" << c.delta << ",\"rate\":" << FormatDouble(c.rate)
+        << "}";
+  }
+  out << "],\"gauges\":[";
+  for (size_t i = 0; i < frame.gauges.size(); ++i) {
+    const TelemetryFrame::GaugeSample& g = frame.gauges[i];
+    if (i > 0) out << ",";
+    out << "{\"name\":\"" << g.name
+        << "\",\"value\":" << FormatDouble(g.value) << "}";
+  }
+  out << "],\"histograms\":[";
+  for (size_t i = 0; i < frame.histograms.size(); ++i) {
+    const TelemetryFrame::HistogramSample& h = frame.histograms[i];
+    if (i > 0) out << ",";
+    out << "{\"name\":\"" << h.name << "\",\"count\":" << h.count
+        << ",\"delta\":" << h.delta << ",\"sum\":" << FormatDouble(h.sum)
+        << ",\"p50\":" << FormatDouble(h.p50)
+        << ",\"p99\":" << FormatDouble(h.p99);
+    if (h.has_exemplar) {
+      out << ",\"exemplar\":" << h.exemplar
+          << ",\"exemplar_value\":" << FormatDouble(h.exemplar_value);
+    }
+    out << "}";
+  }
+  out << "],\"flight\":{\"recorded\":" << frame.flight_recorded
+      << ",\"dropped\":" << frame.flight_dropped << "}}";
+  return out.str();
+}
+
+std::string FrameToPrometheusText(const TelemetryFrame& frame) {
+  // The text exposition needs the full bucket layout, which the frame
+  // deliberately does not carry (frames are deltas-first); histograms are
+  // exported as <name>_count / <name>_sum plus the quantile gauges the
+  // frame already computed. Counters keep their raw names — the exporter
+  // documents that rule rather than silently appending `_total`.
+  std::ostringstream out;
+  out << "# hotspot frame " << frame.index << " t_ms " << frame.t_ms << "\n";
+  for (const TelemetryFrame::CounterSample& c : frame.counters) {
+    const std::string name = ToPrometheusName(c.name);
+    out << "# TYPE " << name << " counter\n"
+        << name << " " << c.total << "\n";
+  }
+  for (const TelemetryFrame::GaugeSample& g : frame.gauges) {
+    const std::string name = ToPrometheusName(g.name);
+    out << "# TYPE " << name << " gauge\n"
+        << name << " " << FormatDouble(g.value) << "\n";
+  }
+  for (const TelemetryFrame::HistogramSample& h : frame.histograms) {
+    const std::string name = ToPrometheusName(h.name);
+    out << "# TYPE " << name << " summary\n"
+        << name << "{quantile=\"0.5\"} " << FormatDouble(h.p50) << "\n"
+        << name << "{quantile=\"0.99\"} " << FormatDouble(h.p99) << "\n"
+        << name << "_sum " << FormatDouble(h.sum) << "\n"
+        << name << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+TelemetryExporter::TelemetryExporter(const PipelineContext* context,
+                                     const TelemetryOptions& options)
+    : context_(context),
+      options_(options),
+      start_(std::chrono::steady_clock::now()),
+      last_sample_(start_) {
+  HOTSPOT_CHECK(context_ != nullptr);
+  if (!options_.json_path.empty()) {
+    json_file_ = std::fopen(options_.json_path.c_str(), "a");
+  }
+  if (!options_.prometheus_path.empty()) {
+    prometheus_file_ = std::fopen(options_.prometheus_path.c_str(), "a");
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+TelemetryExporter::~TelemetryExporter() {
+  Stop();
+  if (json_file_ != nullptr) std::fclose(json_file_);
+  if (prometheus_file_ != nullptr) std::fclose(prometheus_file_);
+}
+
+void TelemetryExporter::Loop() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  while (!stop_requested_) {
+    stop_cv_.wait_for(lock, options_.period);
+    if (stop_requested_) break;
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+  }
+}
+
+void TelemetryExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (stopped_) return;
+    stop_requested_ = true;
+    stopped_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (options_.final_frame_on_stop) SampleNow();
+}
+
+TelemetryFrame TelemetryExporter::SampleNow() {
+  std::lock_guard<std::mutex> lock(sample_mutex_);
+  TelemetryFrame frame = Sample();
+  Deliver(frame);
+  frames_.fetch_add(1, std::memory_order_acq_rel);
+  return frame;
+}
+
+TelemetryFrame TelemetryExporter::Sample() {
+  const auto now = std::chrono::steady_clock::now();
+  TelemetryFrame frame;
+  frame.index = frame_index_++;
+  frame.t_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - start_)
+          .count());
+  frame.interval_seconds =
+      std::chrono::duration<double>(now - last_sample_).count();
+  last_sample_ = now;
+  const double interval =
+      frame.interval_seconds > 0.0 ? frame.interval_seconds : 1.0;
+
+  const MetricsRegistry& metrics = context_->metrics();
+  for (const auto& [name, counter] : metrics.Counters()) {
+    TelemetryFrame::CounterSample sample;
+    sample.name = name;
+    sample.total = counter->Total();
+    uint64_t& last = last_counters_[name];
+    // Reset()-between-frames makes a total run backwards; clamp the delta
+    // to zero rather than wrapping.
+    sample.delta = sample.total >= last ? sample.total - last : 0;
+    last = sample.total;
+    sample.rate = static_cast<double>(sample.delta) / interval;
+    frame.counters.push_back(std::move(sample));
+  }
+  for (const auto& [name, gauge] : metrics.Gauges()) {
+    frame.gauges.push_back({name, gauge->Value()});
+  }
+  for (const auto& [name, histogram] : metrics.Histograms()) {
+    TelemetryFrame::HistogramSample sample;
+    sample.name = name;
+    Snapshot::HistogramSample dist;
+    dist.bounds = histogram->bounds();
+    dist.buckets = histogram->BucketCounts();
+    dist.count = histogram->Count();
+    dist.sum = histogram->Sum();
+    sample.count = dist.count;
+    sample.sum = dist.sum;
+    uint64_t& last = last_histogram_counts_[name];
+    sample.delta = sample.count >= last ? sample.count - last : 0;
+    last = sample.count;
+    sample.p50 = HistogramQuantile(dist, 0.5);
+    sample.p99 = HistogramQuantile(dist, 0.99);
+    sample.has_exemplar =
+        histogram->LastExemplar(&sample.exemplar, &sample.exemplar_value);
+    frame.histograms.push_back(std::move(sample));
+  }
+  frame.flight_recorded = context_->flight().recorded();
+  frame.flight_dropped = context_->flight().dropped();
+  return frame;
+}
+
+void TelemetryExporter::Deliver(const TelemetryFrame& frame) {
+  if (json_file_ != nullptr || options_.to_stderr) {
+    const std::string line = FrameToJsonLine(frame);
+    if (json_file_ != nullptr) {
+      std::fprintf(json_file_, "%s\n", line.c_str());
+      std::fflush(json_file_);
+    }
+    if (options_.to_stderr) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+  }
+  if (prometheus_file_ != nullptr) {
+    const std::string text = FrameToPrometheusText(frame);
+    std::fwrite(text.data(), 1, text.size(), prometheus_file_);
+    std::fflush(prometheus_file_);
+  }
+  if (options_.on_frame) options_.on_frame(frame);
+}
+
+}  // namespace hotspot::obs

@@ -1,0 +1,173 @@
+#ifndef HOTSPOT_OBS_TELEMETRY_H_
+#define HOTSPOT_OBS_TELEMETRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/pipeline_context.h"
+
+namespace hotspot::obs {
+
+/// True when `name` matches the project's metric-name charset
+/// `[a-zA-Z_][a-zA-Z0-9_/]*` — ASCII word characters with `/` as the
+/// namespace separator, which is exactly the set ToPrometheusName can
+/// mangle reversibly. Enforced by the obs_test name lint over every
+/// registered counter/gauge/histogram.
+bool IsValidMetricName(std::string_view name);
+
+/// Reversible Prometheus name mangling: `/` → `:` (colons are legal in
+/// Prometheus metric names and cannot appear in ours, so the mapping is a
+/// bijection — unlike the usual `_` flattening, which would collide
+/// "fleet/rows_routed" with a hypothetical "fleet_rows/routed").
+std::string ToPrometheusName(std::string_view name);
+/// Exact inverse of ToPrometheusName.
+std::string FromPrometheusName(std::string_view name);
+
+/// One exported metric interval — the structured form behind both rendered
+/// sinks, and what `on_frame` callbacks receive. Schema "hotspot.telemetry.v1":
+///
+///   frame      := {"schema","frame","t_ms","interval_s",
+///                  "counters":[counter…],"gauges":[gauge…],
+///                  "histograms":[histogram…],"flight":flight}
+///   counter    := {"name","total","delta","rate"}          (rate = delta/s)
+///   gauge      := {"name","value"}
+///   histogram  := {"name","count","delta","sum","p50","p99"
+///                  [,"exemplar","exemplar_value"]}
+///   flight     := {"recorded","dropped"}
+///
+/// Deltas and rates are against the previous frame from the same exporter
+/// (the first frame's deltas equal the totals); quantiles are over the
+/// cumulative distribution, the Prometheus histogram_quantile convention
+/// via obs::HistogramQuantile.
+struct TelemetryFrame {
+  struct CounterSample {
+    std::string name;
+    uint64_t total = 0;
+    uint64_t delta = 0;
+    double rate = 0.0;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t delta = 0;
+    double sum = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    bool has_exemplar = false;
+    int64_t exemplar = 0;
+    double exemplar_value = 0.0;
+  };
+
+  uint64_t index = 0;        ///< 0-based frame number from this exporter
+  uint64_t t_ms = 0;         ///< steady-clock ms since exporter start
+  double interval_seconds = 0.0;  ///< wall time since the previous frame
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+  uint64_t flight_recorded = 0;
+  uint64_t flight_dropped = 0;
+};
+
+/// One NDJSON line (no interior newlines) in the frame schema above.
+std::string FrameToJsonLine(const TelemetryFrame& frame);
+/// Prometheus text exposition (one `# TYPE`-annotated family per metric,
+/// cumulative `_bucket{le=…}` lines for histograms, names through
+/// ToPrometheusName).
+std::string FrameToPrometheusText(const TelemetryFrame& frame);
+
+/// Everything a TelemetryExporter is configured by.
+struct TelemetryOptions {
+  /// Sampling period of the background thread. The 1 s default is the
+  /// production cadence the <2 % pipeline-overhead budget is measured at;
+  /// tests shrink it to milliseconds.
+  std::chrono::milliseconds period{1000};
+  /// Append one NDJSON frame line per sample to this file (empty = off).
+  std::string json_path;
+  /// Append one Prometheus text frame per sample to this file (empty =
+  /// off). Each frame is preceded by a `# hotspot frame <n>` marker line.
+  std::string prometheus_path;
+  /// Write the NDJSON frame line to stderr as well — the quick-start sink.
+  bool to_stderr = false;
+  /// Structured delivery: called once per frame from the exporter thread.
+  std::function<void(const TelemetryFrame&)> on_frame;
+  /// Emit one final frame from Stop()/the destructor, so short-lived runs
+  /// always export their totals.
+  bool final_frame_on_stop = true;
+};
+
+/// Background telemetry exporter: a thread that periodically samples a
+/// PipelineContext's MetricsRegistry (and flight-recorder totals) into
+/// TelemetryFrames — deltas, per-second rates, histogram p50/p99 — and
+/// appends them to the configured sinks. Sampling is strictly read-only
+/// and lock-light (the registry's own per-name mutex plus merge-on-read
+/// shard sums), so a live serving stack pays for telemetry only in memory
+/// bandwidth: predictions stay bitwise identical with an exporter running
+/// (tests/telemetry_test.cc pins this across the thread matrix).
+///
+/// The context must outlive the exporter. Stop() (or the destructor)
+/// joins the thread; SampleNow() forces one synchronous frame at any
+/// time, which is how tests get deterministic frame boundaries.
+class TelemetryExporter {
+ public:
+  TelemetryExporter(const PipelineContext* context,
+                    const TelemetryOptions& options);
+  ~TelemetryExporter();
+
+  TelemetryExporter(const TelemetryExporter&) = delete;
+  TelemetryExporter& operator=(const TelemetryExporter&) = delete;
+
+  /// Samples one frame on the calling thread (serialized against the
+  /// background thread) and returns it after sink delivery.
+  TelemetryFrame SampleNow();
+
+  /// Stops the background thread, emitting the final frame when
+  /// configured. Idempotent.
+  void Stop();
+
+  /// Frames emitted so far (background + SampleNow).
+  uint64_t frames() const {
+    return frames_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void Loop();
+  TelemetryFrame Sample();
+  void Deliver(const TelemetryFrame& frame);
+
+  const PipelineContext* context_;
+  TelemetryOptions options_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_sample_;
+
+  std::mutex sample_mutex_;  ///< serializes Sample() + sink writes
+  std::map<std::string, uint64_t> last_counters_;
+  std::map<std::string, uint64_t> last_histogram_counts_;
+  uint64_t frame_index_ = 0;
+  std::atomic<uint64_t> frames_{0};
+  std::FILE* json_file_ = nullptr;
+  std::FILE* prometheus_file_ = nullptr;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace hotspot::obs
+
+#endif  // HOTSPOT_OBS_TELEMETRY_H_

@@ -10,6 +10,15 @@
 
 namespace hotspot::pipeline {
 
+namespace {
+
+/// Min-merge of ingress stamps, 0-aware (0 = unstamped, never wins).
+void MergeBorn(uint64_t* dst, uint64_t src) {
+  if (src != 0 && (*dst == 0 || src < *dst)) *dst = src;
+}
+
+}  // namespace
+
 void ServingPipeline::Counters::Refresh() {
   obs::PipelineContext* ctx = obs::PipelineContext::Current();
   if (ctx == context) return;
@@ -89,6 +98,11 @@ ServingPipeline::ServingPipeline(ForecastService* service,
         ordered_block_.values.insert(ordered_block_.values.end(), values,
                                      values + num_kpis);
         ordered_block_.num_kpis = num_kpis;
+        // The row emerging from the reorder window came from the raw
+        // block being unpacked right now (or from an earlier one the
+        // ingestor buffered — either way current block's stamp is an
+        // upper bound, and min-merge keeps the oldest).
+        MergeBorn(&ordered_block_.born_ns, current_raw_born_ns_);
         if (ordered_block_.rows() >= options_.row_block_rows) {
           FlushOrderedBlock();
         }
@@ -98,8 +112,13 @@ ServingPipeline::ServingPipeline(ForecastService* service,
   next_end_day_.store(service_->window_days(), std::memory_order_relaxed);
   next_outcome_day_ = service_->window_days() + horizon_days_;
 
+  // Each stage reads its item's ingress stamp through a trace extractor
+  // (the Stage template cannot know the item layouts), feeding the
+  // pipeline/stageK/residency_seconds histograms: cumulative time from
+  // serving-stack ingress to each stage boundary, exemplar-tagged with
+  // the block's row count or the batch's end-day.
   ingest_stage_ = std::make_unique<Stage<RowBlock>>(
-      "ingest", &raw_queue_,
+      "ingest", /*index=*/0, &raw_queue_,
       [this](RowBlock&& block) { return IngestBlock(std::move(block)); },
       [this] {
         // End-of-stream: finalize the last watermark window (gap-filling
@@ -107,22 +126,34 @@ ServingPipeline::ServingPipeline(ForecastService* service,
         ingestor_->Flush();
         FlushOrderedBlock();
         ordered_queue_.Close();
+      },
+      [](const RowBlock& block) {
+        return StageTrace{block.born_ns, block.rows()};
       });
   features_stage_ = std::make_unique<Stage<RowBlock>>(
-      "features", &ordered_queue_,
+      "features", /*index=*/1, &ordered_queue_,
       [this](RowBlock&& block) { return ConsumeBlock(std::move(block)); },
       [this] {
         ServeReady();  // flush-finalized rows may have opened new batches
         predict_queue_.Close();
+      },
+      [](const RowBlock& block) {
+        return StageTrace{block.born_ns, block.rows()};
       });
   predict_stage_ = std::make_unique<Stage<FeatureWork>>(
-      "predict", &predict_queue_,
+      "predict", /*index=*/2, &predict_queue_,
       [this](FeatureWork&& work) { return PredictWork(std::move(work)); },
-      [this] { scored_queue_.Close(); });
+      [this] { scored_queue_.Close(); },
+      [](const FeatureWork& work) {
+        return StageTrace{work.born_ns, work.end_day};
+      });
   monitor_stage_ = std::make_unique<Stage<ScoredWork>>(
-      "monitor", &scored_queue_,
+      "monitor", /*index=*/3, &scored_queue_,
       [this](ScoredWork&& work) { return DeliverWork(std::move(work)); },
-      [] {});
+      [] {},
+      [](const ScoredWork& work) {
+        return StageTrace{work.born_ns, work.prediction.end_day};
+      });
 
   // Dedicated orchestration threads, NOT pool workers: ParallelFor waits
   // for every helper task it submitted to run, so parking these loops on
@@ -138,7 +169,7 @@ ServingPipeline::ServingPipeline(ForecastService* service,
 ServingPipeline::~ServingPipeline() { Finish(); }
 
 bool ServingPipeline::Push(int sector, int hour, const float* values,
-                           int num_kpis) {
+                           int num_kpis, uint64_t born_ns) {
   if (input_closed_) return false;
   if (num_kpis != options_.num_kpis) {
     // Pre-queue reject: the ingestor never sees this row, so account for
@@ -154,6 +185,7 @@ bool ServingPipeline::Push(int sector, int hour, const float* values,
   input_block_.hours.push_back(hour);
   input_block_.values.insert(input_block_.values.end(), values,
                              values + num_kpis);
+  MergeBorn(&input_block_.born_ns, born_ns);
   if (input_block_.rows() >= options_.row_block_rows) FlushInputBlock();
   return true;
 }
@@ -168,6 +200,10 @@ void ServingPipeline::FlushInputBlock() {
   RowBlock block = std::move(input_block_);
   input_block_.Clear();
   input_block_.num_kpis = options_.num_kpis;
+  // Pipeline ingress is the default stamping point; producers that
+  // stamped earlier (the fleet's admission path) already set born_ns and
+  // keep the older stamp.
+  if (block.born_ns == 0) block.born_ns = SteadyNowNs();
   raw_queue_.Push(std::move(block));
 }
 
@@ -197,6 +233,7 @@ std::vector<StageStats> ServingPipeline::StageSnapshot() const {
 uint64_t ServingPipeline::IngestBlock(RowBlock&& block) {
   const uint64_t before = ordered_blocks_pushed_;
   const int rows = block.rows();
+  current_raw_born_ns_ = block.born_ns;
   for (int r = 0; r < rows; ++r) {
     ingestor_->Push(
         block.sectors[static_cast<size_t>(r)],
@@ -204,6 +241,7 @@ uint64_t ServingPipeline::IngestBlock(RowBlock&& block) {
         block.values.data() + static_cast<size_t>(r) * block.num_kpis,
         block.num_kpis);
   }
+  current_raw_born_ns_ = 0;
   return ordered_blocks_pushed_ - before;
 }
 
@@ -218,6 +256,7 @@ void ServingPipeline::FlushOrderedBlock() {
 
 uint64_t ServingPipeline::ConsumeBlock(RowBlock&& block) {
   const int rows = block.rows();
+  MergeBorn(&pending_serve_born_ns_, block.born_ns);
   for (int r = 0; r < rows; ++r) {
     engine_->Consume(
         block.sectors[static_cast<size_t>(r)],
@@ -240,12 +279,16 @@ uint64_t ServingPipeline::ServeReady() {
     work.kind = FeatureWork::Kind::kPredict;
     work.end_day = end_day;
     work.target_day = end_day + horizon_days_;
+    // Batches opened by the same consumed blocks share the oldest
+    // contributing stamp — residency measures worst-case row age.
+    work.born_ns = pending_serve_born_ns_;
     work.windows = AssembleServingWindows(*engine_, window_hours_, end_day);
     predict_queue_.Push(std::move(work));
     ++pushed;
     ++end_day;
     next_end_day_.store(end_day, std::memory_order_relaxed);
   }
+  if (pushed > 0) pending_serve_born_ns_ = 0;
   // Labels are extracted here — the only stage that owns the engine — and
   // shipped downstream, so the monitor stage never races the feature
   // state. Shipped even with record_outcomes off, to keep the monitor's
@@ -273,8 +316,10 @@ uint64_t ServingPipeline::PredictWork(FeatureWork&& work) {
       options_.predict_fault_for_test(work.end_day);
     }
     out.kind = ScoredWork::Kind::kPrediction;
+    out.born_ns = work.born_ns;
     out.prediction.end_day = work.end_day;
     out.prediction.target_day = work.target_day;
+    out.prediction.born_ns = work.born_ns;
     out.prediction.scores =
         service_->Predict(work.windows, &out.prediction.generation);
     predict_counters_.Refresh();

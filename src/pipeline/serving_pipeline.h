@@ -35,12 +35,18 @@ struct RowBlock {
   std::vector<int> hours;
   std::vector<float> values;  ///< rows() x num_kpis, row-major
   int num_kpis = 0;
+  /// Telemetry stamp: SteadyNowNs() when the oldest row in this block
+  /// entered the serving stack (0 = unstamped). Carried through every
+  /// stage boundary — min-merged when blocks combine — so residency
+  /// histograms measure from true ingress, not from the last re-blocking.
+  uint64_t born_ns = 0;
 
   int rows() const { return static_cast<int>(sectors.size()); }
   void Clear() {
     sectors.clear();
     hours.clear();
     values.clear();
+    born_ns = 0;
   }
 };
 
@@ -56,6 +62,8 @@ struct FeatureWork {
   Tensor3<float> windows;
   int day = 0;  ///< kOutcomes
   std::vector<float> labels;
+  /// Oldest contributing row's ingress stamp (see RowBlock::born_ns).
+  uint64_t born_ns = 0;
 };
 
 /// Work flowing predict → monitor: a scored batch or pass-through labels.
@@ -65,6 +73,8 @@ struct ScoredWork {
   StreamingPrediction prediction;
   int day = 0;
   std::vector<float> labels;
+  /// Oldest contributing row's ingress stamp (see RowBlock::born_ns).
+  uint64_t born_ns = 0;
 };
 
 /// The one way to stand up a streaming serving path: ingest → incremental
@@ -197,11 +207,20 @@ class ServingPipeline {
   /// configured width (counted under stream/rows_rejected) or the
   /// pipeline is already finished; the reorder/duplicate/late verdicts
   /// land asynchronously in the stream/rows_* counters.
-  bool Push(int sector, int hour, const float* values, int num_kpis);
+  bool Push(int sector, int hour, const float* values, int num_kpis) {
+    return Push(sector, hour, values, num_kpis, /*born_ns=*/0);
+  }
   bool Push(int sector, int hour, const std::vector<float>& values) {
     return Push(sector, hour, values.data(),
                 static_cast<int>(values.size()));
   }
+  /// Push with an explicit ingress stamp: `born_ns` is SteadyNowNs() at
+  /// the moment the row entered the serving stack upstream of this
+  /// pipeline (the fleet stamps at admission so residency includes the
+  /// ingress-queue wait). 0 means "stamp at block flush" — the plain
+  /// overloads' behavior.
+  bool Push(int sector, int hour, const float* values, int num_kpis,
+            uint64_t born_ns);
 
   /// Hands the producer-side partial row block to the ingest stage now
   /// instead of waiting for it to fill — call when the feed goes quiet.
@@ -292,10 +311,18 @@ class ServingPipeline {
   // Ingest stage state: ordered rows buffered into the next block.
   RowBlock ordered_block_;
   uint64_t ordered_blocks_pushed_ = 0;
+  /// Ingress stamp of the raw block the ingestor is currently unpacking —
+  /// min-merged into ordered_block_.born_ns by the reorder callback, so a
+  /// stamp survives the ingestor's reordering (stage-local, single
+  /// writer).
+  uint64_t current_raw_born_ns_ = 0;
 
   // Features stage state.
   std::atomic<int> next_end_day_{0};
   int next_outcome_day_ = 0;
+  /// Oldest ingress stamp among rows consumed since the last served
+  /// batch; becomes the born_ns of the next FeatureWork batch.
+  uint64_t pending_serve_born_ns_ = 0;
 
   // Predict stage state.
   Counters predict_counters_;

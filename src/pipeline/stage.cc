@@ -18,13 +18,16 @@ const char* StageStateName(StageState state) {
   return "unknown";
 }
 
-StageObs::StageObs(const char* stage_name)
-    : items_name_(std::string("pipeline/") + stage_name + "_items"),
+StageObs::StageObs(const char* stage_name, int stage_index)
+    : stage_index_(stage_index),
+      items_name_(std::string("pipeline/") + stage_name + "_items"),
       latency_name_(std::string("pipeline/") + stage_name +
                     "_latency_seconds"),
       depth_name_(std::string("pipeline/") + stage_name + "_queue_depth"),
       backpressure_name_(std::string("pipeline/") + stage_name +
-                         "_backpressure_waits") {}
+                         "_backpressure_waits"),
+      residency_name_("pipeline/stage" + std::to_string(stage_index) +
+                      "/residency_seconds") {}
 
 void StageObs::Refresh() {
   obs::PipelineContext* ctx = obs::PipelineContext::Current();
@@ -35,6 +38,8 @@ void StageObs::Refresh() {
     latency_ = nullptr;
     depth_ = nullptr;
     backpressure_ = nullptr;
+    residency_ = nullptr;
+    flight_ = nullptr;
     return;
   }
   obs::MetricsRegistry& metrics = ctx->metrics();
@@ -43,6 +48,9 @@ void StageObs::Refresh() {
       &metrics.histogram(latency_name_, obs::DefaultLatencySeconds());
   depth_ = &metrics.gauge(depth_name_);
   backpressure_ = &metrics.counter(backpressure_name_);
+  residency_ =
+      &metrics.histogram(residency_name_, obs::DefaultLatencySeconds());
+  flight_ = &ctx->flight();
 }
 
 }  // namespace hotspot::pipeline

@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "pipeline/bounded_queue.h"
 
@@ -40,13 +41,36 @@ struct StageStats {
   QueueStats input;  ///< the stage's input queue (depth = waiting work)
 };
 
+/// Steady-clock nanoseconds since an arbitrary process epoch — the
+/// timestamp base every block-residency stamp in the serving stack shares
+/// (RowBlock::born_ns, StreamingPrediction::born_ns, the fleet's
+/// admission stamps), so residencies are plain subtractions.
+inline uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The (born_ns, exemplar) pair a stage's trace extractor reads off an
+/// item: born_ns = SteadyNowNs() at the item's serving-stack ingress (0 =
+/// unstamped, residency not recorded), exemplar = a caller-meaningful tag
+/// for the residency histogram (row count, end-day).
+struct StageTrace {
+  uint64_t born_ns = 0;
+  int64_t exemplar = 0;
+};
+
 /// Cached observability handles of one stage — resolved once per installed
 /// PipelineContext, so the per-item hot path is pointer tests and lock-free
 /// increments, never a name lookup (the same discipline as the
 /// stream/rows_* counters). Null context = counting off.
 class StageObs {
  public:
-  explicit StageObs(const char* stage_name);
+  /// `stage_index` is the stage's position in dataflow order; it names the
+  /// pipeline/stageK/residency_seconds histogram and tags this stage's
+  /// flight events.
+  StageObs(const char* stage_name, int stage_index);
 
   /// Re-resolves the handles when the installed context changed. Call once
   /// per popped item (one pointer compare when nothing changed).
@@ -65,21 +89,51 @@ class StageObs {
     if (depth_ != nullptr) depth_->Set(static_cast<double>(depth));
   }
 
+  /// Records how long a stamped item had been in flight when this stage
+  /// popped it — cumulative residency from serving-stack ingress through
+  /// this stage boundary, under pipeline/stageK/residency_seconds.
+  void ObserveResidency(uint64_t born_ns, int64_t exemplar) {
+    if (residency_ == nullptr || born_ns == 0) return;
+    const uint64_t now = SteadyNowNs();
+    const double seconds =
+        now > born_ns ? static_cast<double>(now - born_ns) * 1e-9 : 0.0;
+    residency_->ObserveWithExemplar(seconds, exemplar);
+  }
+
   /// Records upstream pushes into this stage's input that had to block —
-  /// the queue-boundary backpressure events.
+  /// the queue-boundary backpressure events — and flight-records the
+  /// onset (one event per burst of new waits, not per wait).
   void AddBackpressureWaits(uint64_t waits) {
-    if (backpressure_ != nullptr && waits > 0) backpressure_->Add(waits);
+    if (backpressure_ != nullptr && waits > 0) {
+      backpressure_->Add(waits);
+      if (flight_ != nullptr) {
+        flight_->Record(obs::FlightEventKind::kBackpressure, stage_index_,
+                        static_cast<int64_t>(waits));
+      }
+    }
+  }
+
+  /// Flight-records a new input-queue high-water mark.
+  void RecordHighWater(int depth) {
+    if (flight_ != nullptr) {
+      flight_->Record(obs::FlightEventKind::kQueueHighWater, stage_index_,
+                      depth);
+    }
   }
 
  private:
+  int stage_index_ = 0;
   std::string items_name_;
   std::string latency_name_;
   std::string depth_name_;
   std::string backpressure_name_;
+  std::string residency_name_;
   obs::Counter* items_ = nullptr;
   obs::Histogram* latency_ = nullptr;
   obs::Gauge* depth_ = nullptr;
   obs::Counter* backpressure_ = nullptr;
+  obs::Histogram* residency_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   const void* context_ = nullptr;
 };
 
@@ -99,14 +153,20 @@ class Stage {
   /// `handler` receives each popped item and returns the number of items
   /// it pushed downstream (for the items_out accounting). `drain` runs
   /// once after the input closes and drains; it must flush any buffered
-  /// state and close the downstream queue.
-  Stage(const char* name, BoundedQueue<In>* input,
-        std::function<uint64_t(In&&)> handler, std::function<void()> drain)
+  /// state and close the downstream queue. `index` is the stage's
+  /// position in dataflow order (see StageObs). `trace`, when set, reads
+  /// the (born_ns, exemplar) pair off each popped item so the stage can
+  /// record cumulative residency — the template cannot know the item's
+  /// fields, the owner can.
+  Stage(const char* name, int index, BoundedQueue<In>* input,
+        std::function<uint64_t(In&&)> handler, std::function<void()> drain,
+        std::function<StageTrace(const In&)> trace = {})
       : name_(name),
-        obs_(name),
+        obs_(name, index),
         input_(input),
         handler_(std::move(handler)),
-        drain_(std::move(drain)) {}
+        drain_(std::move(drain)),
+        trace_(std::move(trace)) {}
 
   Stage(const Stage&) = delete;
   Stage& operator=(const Stage&) = delete;
@@ -118,9 +178,14 @@ class Stage {
                  std::memory_order_relaxed);
     In item;
     uint64_t seen_waits = 0;
+    int seen_high_water = 0;
     while (input_->Pop(&item)) {
       obs_.Refresh();
       obs_.SetQueueDepth(input_->depth());
+      if (trace_) {
+        const StageTrace trace = trace_(item);
+        obs_.ObserveResidency(trace.born_ns, trace.exemplar);
+      }
       const auto start = std::chrono::steady_clock::now();
       const uint64_t pushed = handler_(std::move(item));
       const double seconds =
@@ -134,10 +199,15 @@ class Stage {
                           std::memory_order_relaxed);
       obs_.OnItem(seconds);
       // Backpressure events on our input since the last item: producers
-      // that had to wait for this stage to make room.
-      const uint64_t waits = input_->Stats().push_waits;
-      obs_.AddBackpressureWaits(waits - seen_waits);
-      seen_waits = waits;
+      // that had to wait for this stage to make room. The same Stats()
+      // read feeds the high-water flight events — no extra lock.
+      const QueueStats input_stats = input_->Stats();
+      obs_.AddBackpressureWaits(input_stats.push_waits - seen_waits);
+      seen_waits = input_stats.push_waits;
+      if (input_stats.high_water > seen_high_water) {
+        seen_high_water = input_stats.high_water;
+        obs_.RecordHighWater(seen_high_water);
+      }
     }
     state_.store(static_cast<int>(StageState::kDrain),
                  std::memory_order_relaxed);
@@ -168,6 +238,7 @@ class Stage {
   BoundedQueue<In>* input_;
   std::function<uint64_t(In&&)> handler_;
   std::function<void()> drain_;
+  std::function<StageTrace(const In&)> trace_;
   std::atomic<int> state_{static_cast<int>(StageState::kIdle)};
   std::atomic<uint64_t> items_in_{0};
   std::atomic<uint64_t> items_out_{0};

@@ -771,5 +771,191 @@ TEST(ForecastFleet, HealthAggregatesEveryShard) {
   fleet.Finish();
 }
 
+// ---------------------------------------------------------------------------
+// Flight-recorder audit trail
+
+TEST(ForecastFleet, HeterogeneousBundlesPerShardWithFlightAudit) {
+  // Partition-style heterogeneous serving: two shards, each promoted to a
+  // *different* bundle before the stream. Every row must be scored by its
+  // own shard's model, and the flight recorder must hold both promotion
+  // events with the right shard and generation tags.
+  const Study& study = SharedStudy();
+  std::unique_ptr<serialize::ForecastBundle> bundle_a =
+      TrainVariant(study, 6);
+  std::unique_ptr<serialize::ForecastBundle> bundle_b =
+      TrainVariant(study, 4);
+  const std::vector<std::vector<float>> batch_a =
+      BatchScores(study, *bundle_a);
+  const std::vector<std::vector<float>> batch_b =
+      BatchScores(study, *bundle_b);
+  ASSERT_NE(std::memcmp(batch_a[0].data(), batch_b[0].data(),
+                        batch_a[0].size() * sizeof(float)),
+            0)
+      << "the two shard bundles must score differently";
+
+  obs::PipelineContext context;
+  obs::PipelineContext::ScopedInstall install(&context);
+  ForecastFleet fleet(serialize::CloneBundle(BaseBundle()),
+                      FleetOptionsFor(study, 2));
+  uint64_t generation = 0;
+  ASSERT_TRUE(
+      fleet.PromoteBundle(0, std::move(bundle_a), &generation).ok);
+  EXPECT_EQ(generation, 1u);
+  ASSERT_TRUE(
+      fleet.PromoteBundle(1, std::move(bundle_b), &generation).ok);
+  EXPECT_EQ(generation, 1u);
+
+  std::vector<FleetPrediction> served = RunFleetServe(study, &fleet);
+  ASSERT_EQ(served.size(), batch_a.size());
+  for (size_t b = 0; b < served.size(); ++b) {
+    for (int sector = 0; sector < study.num_sectors(); ++sector) {
+      const size_t s = static_cast<size_t>(sector);
+      ASSERT_EQ(served[b].generations[s], 1u);
+      const std::vector<std::vector<float>>& reference =
+          fleet.ShardOf(sector) == 0 ? batch_a : batch_b;
+      ASSERT_TRUE(SameBits(served[b].scores[s], reference[b][s]))
+          << "end_day=" << served[b].end_day << " sector=" << sector
+          << " shard=" << fleet.ShardOf(sector);
+    }
+  }
+
+  // The audit trail: one shard-tagged promotion event per shard, each
+  // carrying the generation the predictions above reported.
+  std::vector<bool> promoted(2, false);
+  for (const obs::FlightEventRecord& event : context.flight().Snapshot()) {
+    if (event.kind != obs::FlightEventKind::kPromotion) continue;
+    if (event.a < 0) continue;  // the service-level record of the same swap
+    ASSERT_GE(event.a, 0);
+    ASSERT_LT(event.a, 2);
+    EXPECT_FALSE(promoted[static_cast<size_t>(event.a)])
+        << "duplicate promotion event for shard " << event.a;
+    promoted[static_cast<size_t>(event.a)] = true;
+    EXPECT_EQ(event.b, 1) << "shard " << event.a;
+  }
+  EXPECT_TRUE(promoted[0]);
+  EXPECT_TRUE(promoted[1]);
+}
+
+TEST(ForecastFleet, SwapStormFlightLogReconcilesWithCounters) {
+  // The flight-recorder torture from the issue: writers on every fleet
+  // and pipeline thread (promotions, admission rejects, backpressure,
+  // high-water marks) while a promoter hammers shard 0 with 1000 swaps
+  // under live streaming load. With a ring big enough to retain
+  // everything, the dumped log must reconcile exactly with the fleet/
+  // counters, and the promotion events must cover exactly the generation
+  // tags observable in predictions. Runs under TSan in CI.
+  const Study& study = SharedStudy();
+  constexpr int kPromotions = 1000;
+  std::vector<std::unique_ptr<serialize::ForecastBundle>> variants;
+  variants.push_back(TrainVariant(study, 10));
+  variants.push_back(TrainVariant(study, 7));
+
+  obs::PipelineContext context(/*flight_capacity=*/1 << 17);
+  obs::PipelineContext::ScopedInstall install(&context);
+  ForecastFleet fleet(serialize::CloneBundle(BaseBundle()),
+                      FleetOptionsFor(study, 2));
+
+  std::thread promoter([&] {
+    for (int k = 1; k <= kPromotions; ++k) {
+      uint64_t generation = 0;
+      serialize::Status status = fleet.PromoteBundle(
+          0,
+          serialize::CloneBundle(*variants[static_cast<size_t>(k % 2)]),
+          &generation);
+      EXPECT_TRUE(status.ok) << status.error;
+      EXPECT_EQ(generation, static_cast<uint64_t>(k));
+    }
+  });
+  const int hours = study.network.num_hours();
+  for (int j = 0; j < hours; ++j) {
+    for (int i = 0; i < study.num_sectors(); ++i) {
+      PushVerdict verdict;
+      while ((verdict = fleet.Push(i, j, study.network.kpis.Slice(i, j),
+                                   study.network.kpis.dim2())) ==
+             PushVerdict::kRejectedOverload) {
+        std::this_thread::yield();
+      }
+      ASSERT_EQ(verdict, PushVerdict::kRouted);
+    }
+  }
+  promoter.join();
+  fleet.Finish();
+  std::vector<FleetPrediction> served = fleet.TakePredictions();
+  ASSERT_FALSE(served.empty());
+
+  // Nothing may have been overwritten at this capacity, so every
+  // reconciliation below is an exact equality, not a bound.
+  ASSERT_EQ(context.flight().dropped(), 0u)
+      << "flight ring too small for the storm; reconciliation would be "
+         "lossy";
+  uint64_t shard_promotions = 0;
+  uint64_t service_promotions = 0;
+  uint64_t admission_rejects = 0;
+  std::set<int64_t> promoted_generations;
+  uint64_t previous_sequence = 0;
+  bool first_event = true;
+  for (const obs::FlightEventRecord& event : context.flight().Snapshot()) {
+    if (!first_event) {
+      EXPECT_GT(event.sequence, previous_sequence);
+    }
+    previous_sequence = event.sequence;
+    first_event = false;
+    switch (event.kind) {
+      case obs::FlightEventKind::kPromotion:
+        if (event.a == 0) {
+          ++shard_promotions;
+          EXPECT_TRUE(promoted_generations.insert(event.b).second)
+              << "generation " << event.b << " promoted twice";
+        } else if (event.a == -1) {
+          ++service_promotions;
+        } else {
+          ADD_FAILURE() << "promotion on unexpected shard " << event.a;
+        }
+        break;
+      case obs::FlightEventKind::kAdmissionReject:
+        ++admission_rejects;
+        EXPECT_EQ(event.a,
+                  static_cast<int64_t>(PushVerdict::kRejectedOverload));
+        break;
+      default:
+        break;  // backpressure / high-water / health traffic is fine
+    }
+  }
+  EXPECT_EQ(shard_promotions, static_cast<uint64_t>(kPromotions));
+  EXPECT_EQ(service_promotions, static_cast<uint64_t>(kPromotions));
+  for (int k = 1; k <= kPromotions; ++k) {
+    EXPECT_TRUE(promoted_generations.count(k)) << "generation " << k;
+  }
+  // The log reconciles with the counters: one promotion counter tick and
+  // one reject counter tick per corresponding flight event.
+  EXPECT_EQ(context.metrics().counter("serve/promotions").Total(),
+            static_cast<uint64_t>(kPromotions));
+  EXPECT_EQ(
+      context.metrics().counter("fleet/rows_rejected_overload").Total(),
+      admission_rejects);
+  EXPECT_EQ(context.metrics().counter("fleet/rows_offered").Total(),
+            context.metrics().counter("fleet/rows_routed").Total() +
+                admission_rejects);
+
+  // Every generation tag observable in predictions names a promotion the
+  // flight log recorded (generation 0 is the construction-time bundle).
+  for (const FleetPrediction& batch : served) {
+    for (size_t s = 0; s < batch.generations.size(); ++s) {
+      const uint64_t generation = batch.generations[s];
+      if (fleet.ShardOf(static_cast<int>(s)) != 0) {
+        ASSERT_EQ(generation, 0u);
+        continue;
+      }
+      ASSERT_LE(generation, static_cast<uint64_t>(kPromotions));
+      if (generation > 0) {
+        ASSERT_TRUE(
+            promoted_generations.count(static_cast<int64_t>(generation)))
+            << "prediction tagged with unrecorded generation "
+            << generation;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hotspot

@@ -1,15 +1,28 @@
 // Unit tests for the observability layer (src/obs): sharded metrics and
 // their merge-on-snapshot semantics, trace span nesting and aggregation,
-// the process-wide PipelineContext install protocol, and the JSON/CSV
-// snapshot exporters.
+// the process-wide PipelineContext install protocol, the JSON/CSV
+// snapshot exporters, the flight recorder's MPMC ring (ordering, wrap
+// accounting, concurrent-writer torture, the dump formats), and the
+// metric-name charset lint with its reversible Prometheus mangling.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/pipeline_context.h"
 #include "obs/snapshot.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 
@@ -254,6 +267,222 @@ TEST(Snapshot, CsvHasOneRowPerInstrument) {
   EXPECT_NE(csv.find("gauge,b/gauge,"), std::string::npos);
   EXPECT_NE(csv.find("histogram,c/hist,"), std::string::npos);
   EXPECT_NE(csv.find("span,root,"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram exemplars
+
+TEST(Metrics, HistogramCarriesLastWriteWinsExemplar) {
+  Histogram histogram({0.1, 1.0});
+  int64_t exemplar = 0;
+  double value = 0.0;
+  EXPECT_FALSE(histogram.LastExemplar(&exemplar, &value));
+  histogram.ObserveWithExemplar(0.05, 7);
+  histogram.ObserveWithExemplar(0.5, 42);
+  ASSERT_TRUE(histogram.LastExemplar(&exemplar, &value));
+  EXPECT_EQ(exemplar, 42);
+  EXPECT_DOUBLE_EQ(value, 0.5);
+  // The exemplar is a diagnostics pointer riding on top of the normal
+  // accounting, not a separate observation stream.
+  EXPECT_EQ(histogram.Count(), 2u);
+  histogram.Reset();
+  EXPECT_FALSE(histogram.LastExemplar(&exemplar, &value));
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+
+TEST(FlightRecorder, RecordsInOrderWithMonotonicSequence) {
+  FlightRecorder recorder(16);
+  recorder.Record(FlightEventKind::kPromotion, -1, 1);
+  recorder.Record(FlightEventKind::kAdmissionReject, 3, 17, 54);
+  recorder.Record(FlightEventKind::kCustom, 0, 0, 0, 2.5);
+  EXPECT_EQ(recorder.recorded(), 3u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  std::vector<FlightEventRecord> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].sequence, 0u);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kPromotion);
+  EXPECT_EQ(events[0].a, -1);
+  EXPECT_EQ(events[0].b, 1);
+  EXPECT_EQ(events[1].sequence, 1u);
+  EXPECT_EQ(events[1].kind, FlightEventKind::kAdmissionReject);
+  EXPECT_EQ(events[1].c, 54);
+  EXPECT_EQ(events[2].kind, FlightEventKind::kCustom);
+  EXPECT_DOUBLE_EQ(events[2].d, 2.5);
+  // Time stamps never run backwards along the ticket order.
+  EXPECT_LE(events[0].t_ns, events[1].t_ns);
+  EXPECT_LE(events[1].t_ns, events[2].t_ns);
+}
+
+TEST(FlightRecorder, RingKeepsNewestAndCountsDropsExactly) {
+  FlightRecorder recorder(8);  // already a power of two
+  EXPECT_EQ(recorder.capacity(), 8u);
+  for (int k = 0; k < 20; ++k) {
+    recorder.Record(FlightEventKind::kCustom, k);
+  }
+  EXPECT_EQ(recorder.recorded(), 20u);
+  EXPECT_EQ(recorder.dropped(), 12u);
+  std::vector<FlightEventRecord> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    // The retained window is exactly the newest capacity() events,
+    // oldest first.
+    EXPECT_EQ(events[i].sequence, 12 + i);
+    EXPECT_EQ(events[i].a, static_cast<int64_t>(12 + i));
+  }
+  recorder.Reset();
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+}
+
+TEST(FlightRecorder, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FlightRecorder(1).capacity(), 2u);
+  EXPECT_EQ(FlightRecorder(3).capacity(), 4u);
+  EXPECT_EQ(FlightRecorder(4096).capacity(), 4096u);
+  EXPECT_EQ(FlightRecorder(4097).capacity(), 8192u);
+}
+
+TEST(FlightRecorder, ConcurrentWritersNeverFabricateEvents) {
+  // Writer torture with concurrent snapshots: every accepted event must
+  // be one some writer actually recorded (payload a encodes writer and
+  // ordinal), sequences must be unique, and the lifetime accounting must
+  // be exact. Run under TSan in CI — the ring's memory-order argument is
+  // what this pins.
+  FlightRecorder recorder(64);
+  constexpr int kWriters = 4;
+  constexpr int kEventsPerWriter = 5000;
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::vector<FlightEventRecord> events = recorder.Snapshot();
+      std::set<uint64_t> sequences;
+      for (const FlightEventRecord& event : events) {
+        EXPECT_TRUE(sequences.insert(event.sequence).second);
+        const int64_t writer = event.a / kEventsPerWriter;
+        const int64_t ordinal = event.a % kEventsPerWriter;
+        EXPECT_LT(writer, kWriters);
+        EXPECT_EQ(event.b, ordinal * 2);  // payload written atomically
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&recorder, w] {
+      for (int k = 0; k < kEventsPerWriter; ++k) {
+        const int64_t tag = static_cast<int64_t>(w) * kEventsPerWriter + k;
+        recorder.Record(FlightEventKind::kCustom, tag,
+                        (tag % kEventsPerWriter) * 2);
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(recorder.recorded(),
+            static_cast<uint64_t>(kWriters) * kEventsPerWriter);
+  EXPECT_EQ(recorder.dropped(), recorder.recorded() - recorder.capacity());
+  // Quiesced: the final snapshot retains a full, contiguous tail.
+  std::vector<FlightEventRecord> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), recorder.capacity());
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].sequence, events[i - 1].sequence + 1);
+  }
+}
+
+TEST(FlightRecorder, ToJsonNamesKindsAndCarriesTotals) {
+  FlightRecorder recorder(8);
+  recorder.Record(FlightEventKind::kPromotion, 2, 5);
+  recorder.Record(FlightEventKind::kShardHealth, 1, 0, 2);
+  std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"schema\":\"hotspot.flight.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"recorded\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"promotion\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"shard_health\""), std::string::npos);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hotspot_flight_test.json")
+          .string();
+  ASSERT_TRUE(recorder.DumpToJson(path));
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string contents(1 << 12, '\0');
+  contents.resize(std::fread(contents.data(), 1, contents.size(), file));
+  std::fclose(file);
+  std::filesystem::remove(path);
+  EXPECT_EQ(contents, json);
+}
+
+TEST(FlightRecorder, DumpRawToWritesOneLinePerEvent) {
+  FlightRecorder recorder(8);
+  recorder.Record(FlightEventKind::kPromotion, -1, 3);
+  recorder.Record(FlightEventKind::kBackpressure, 2, 11);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hotspot_flight_raw.txt")
+          .string();
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(recorder.DumpRawTo(fd), 2);
+  ::close(fd);
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string contents(1 << 12, '\0');
+  contents.resize(std::fread(contents.data(), 1, contents.size(), file));
+  std::fclose(file);
+  std::filesystem::remove(path);
+  // One line per event, the negative payload formatted correctly.
+  EXPECT_EQ(std::count(contents.begin(), contents.end(), '\n'), 2);
+  EXPECT_NE(contents.find("promotion"), std::string::npos);
+  EXPECT_NE(contents.find("-1"), std::string::npos);
+  EXPECT_NE(contents.find("backpressure"), std::string::npos);
+}
+
+TEST(PipelineContext, ResetClearsFlightRecorder) {
+  PipelineContext context(/*flight_capacity=*/16);
+  context.flight().Record(FlightEventKind::kCustom, 1);
+  EXPECT_EQ(context.flight().recorded(), 1u);
+  context.Reset();
+  EXPECT_EQ(context.flight().recorded(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Metric-name lint and Prometheus mangling
+
+TEST(Telemetry, MetricNameCharsetLint) {
+  EXPECT_TRUE(IsValidMetricName("fleet/rows_routed"));
+  EXPECT_TRUE(IsValidMetricName("pipeline/stage0/residency_seconds"));
+  EXPECT_TRUE(IsValidMetricName("_private"));
+  EXPECT_TRUE(IsValidMetricName("x"));
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("9starts_with_digit"));
+  EXPECT_FALSE(IsValidMetricName("/starts_with_slash"));
+  EXPECT_FALSE(IsValidMetricName("has space"));
+  EXPECT_FALSE(IsValidMetricName("has-dash"));
+  EXPECT_FALSE(IsValidMetricName("has:colon"));
+  EXPECT_FALSE(IsValidMetricName("unicode/µs"));
+}
+
+TEST(Telemetry, PrometheusNameManglingIsReversible) {
+  EXPECT_EQ(ToPrometheusName("fleet/rows_routed"), "fleet:rows_routed");
+  EXPECT_EQ(FromPrometheusName("fleet:rows_routed"), "fleet/rows_routed");
+  // Round trip over the names the serving stack actually registers,
+  // including the shard-scoped family — the `/` → `:` bijection must hold
+  // for every name the lint admits.
+  const std::string names[] = {
+      "serve/requests",
+      "pipeline/stage3/residency_seconds",
+      ShardMetricName(0, "e2e_seconds"),
+      ShardMetricName(12, "rows_routed"),
+      ShardMetricName(7, "ingress_high_water"),
+  };
+  for (const std::string& name : names) {
+    ASSERT_TRUE(IsValidMetricName(name)) << name;
+    EXPECT_EQ(FromPrometheusName(ToPrometheusName(name)), name);
+    // The mangled form introduces no `/` (Prometheus-illegal) characters.
+    EXPECT_EQ(ToPrometheusName(name).find('/'), std::string::npos);
+  }
 }
 
 }  // namespace
