@@ -22,8 +22,8 @@
 #include <vector>
 
 #include "core/forecast_service.h"
-#include "core/streaming_runner.h"
 #include "core/study.h"
+#include "pipeline/serving_pipeline.h"
 #include "obs/pipeline_context.h"
 #include "obs/snapshot.h"
 #include "simnet/calendar.h"
@@ -141,7 +141,7 @@ void BM_FeatureUpdateRow(benchmark::State& state) {
 BENCHMARK(BM_FeatureUpdateRow);
 
 /// The end-to-end fixture: a trained service over a small synthetic
-/// study, streamed through ingest → engine → runner (weekly Polls).
+/// study, streamed through the staged ServingPipeline.
 struct ServeFixture {
   Study study;
   std::unique_ptr<ForecastService> service;
@@ -175,30 +175,24 @@ ServeFixture& Fixture() {
 }
 
 int64_t StreamOnce(ServeFixture& fixture, int64_t* predictions) {
-  stream::FeatureEngineConfig engine_config;
-  engine_config.num_sectors = fixture.study.num_sectors();
-  engine_config.num_kpis = fixture.study.network.num_kpis();
-  engine_config.calendar = &fixture.study.network.calendar_matrix;
-  engine_config.score = fixture.study.score_config;
-  engine_config.history_weeks = fixture.study.num_weeks() + 1;
-  stream::IncrementalFeatureEngine engine(engine_config);
-  StreamingForecastRunner runner(fixture.service.get(), &engine);
-  stream::IngestorConfig ingest;
-  ingest.num_sectors = fixture.study.num_sectors();
-  ingest.num_kpis = fixture.study.network.num_kpis();
-  stream::KpiStreamIngestor ingestor(ingest, engine.IngestorSink());
+  pipeline::ServingPipeline::Options options;
+  options.num_sectors = fixture.study.num_sectors();
+  options.num_kpis = fixture.study.network.num_kpis();
+  options.calendar = &fixture.study.network.calendar_matrix;
+  options.score = fixture.study.score_config;
+  options.history_weeks = fixture.study.num_weeks() + 1;
+  pipeline::ServingPipeline serving(fixture.service.get(), options);
   const Tensor3<float>& kpis = fixture.study.network.kpis;
   int64_t rows = 0;
   for (int j = 0; j < kpis.dim1(); ++j) {
     for (int i = 0; i < kpis.dim0(); ++i) {
-      ingestor.Push(i, j, kpis.Slice(i, j), kpis.dim2());
+      serving.Push(i, j, kpis.Slice(i, j), kpis.dim2());
       ++rows;
     }
-    if ((j + 1) % kHoursPerWeek == 0) {
-      for (const StreamingPrediction& p : runner.Poll()) {
-        *predictions += static_cast<int64_t>(p.scores.size());
-      }
-    }
+  }
+  serving.Finish();
+  for (const StreamingPrediction& p : serving.TakePredictions()) {
+    *predictions += static_cast<int64_t>(p.scores.size());
   }
   return rows;
 }

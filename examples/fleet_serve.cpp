@@ -147,12 +147,24 @@ int main() {
 
   fleet::FleetHealth health = fleet.Health();
   for (const fleet::ShardHealth& shard : health.shards) {
-    std::printf("shard %d: %d sectors, generation %llu, %s\n", shard.shard,
-                shard.num_sectors,
-                static_cast<unsigned long long>(shard.generation),
-                shard.report.overall == monitor::AlertState::kOk
-                    ? "healthy"
-                    : "degraded");
+    if (shard.last_promotion_ns != 0) {
+      std::printf("shard %d: %d sectors, generation %llu (promoted %.3fs "
+                  "into the run), %s\n",
+                  shard.shard, shard.num_sectors,
+                  static_cast<unsigned long long>(shard.generation),
+                  static_cast<double>(shard.last_promotion_ns) * 1e-9,
+                  shard.report.overall == monitor::AlertState::kOk
+                      ? "healthy"
+                      : "degraded");
+    } else {
+      std::printf("shard %d: %d sectors, generation %llu (boot bundle), "
+                  "%s\n",
+                  shard.shard, shard.num_sectors,
+                  static_cast<unsigned long long>(shard.generation),
+                  shard.report.overall == monitor::AlertState::kOk
+                      ? "healthy"
+                      : "degraded");
+    }
   }
   // Stop the exporter: its final frame on stderr is the structured
   // replacement for the old hand-printed `obs: fleet/...` line. The

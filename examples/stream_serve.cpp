@@ -10,8 +10,7 @@
 //      runs ingest → incremental features → predict → monitor as four
 //      concurrent, backpressured stages over bounded queues — no
 //      offline feature-tensor rebuild anywhere on the serving path, and
-//      no hand-wiring of ingestor/engine/runner (that older chain
-//      survives only as the deprecated StreamingForecastRunner).
+//      no hand-wiring of ingestor/engine/runner.
 //
 // The streamed scores are bitwise-identical to the batch
 // PredictAtDay() answers; the example checks that at the end.

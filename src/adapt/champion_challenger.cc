@@ -1,0 +1,69 @@
+#include "adapt/champion_challenger.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/average_precision.h"
+#include "util/logging.h"
+
+namespace hotspot::adapt {
+
+namespace {
+
+/// Lift Λ of a ranking over the sample: AP / positive-rate (a random
+/// ranking's expected AP is the positive rate, the paper's Λ baseline).
+double SampleLift(const std::vector<float>& labels,
+                  const std::vector<float>& scores) {
+  double positives = 0.0;
+  for (float label : labels) positives += static_cast<double>(label);
+  if (labels.empty() || positives <= 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const double rate = positives / static_cast<double>(labels.size());
+  return Lift(AveragePrecision(labels, scores), rate);
+}
+
+}  // namespace
+
+ComparisonVerdict CompareChampionChallenger(const ComparisonSample& sample,
+                                            const ComparisonPolicy& policy) {
+  HOTSPOT_CHECK_EQ(sample.champion.size(), sample.labels.size());
+  HOTSPOT_CHECK_EQ(sample.challenger.size(), sample.labels.size());
+  ComparisonVerdict verdict;
+  verdict.days = sample.days;
+  verdict.rows = static_cast<uint64_t>(sample.rows());
+  if (sample.rows() == 0) return verdict;
+
+  verdict.champion_ap = AveragePrecision(sample.labels, sample.champion);
+  verdict.challenger_ap = AveragePrecision(sample.labels, sample.challenger);
+  verdict.champion_lift = SampleLift(sample.labels, sample.champion);
+  verdict.challenger_lift = SampleLift(sample.labels, sample.challenger);
+  verdict.lift_delta = verdict.challenger_lift - verdict.champion_lift;
+  verdict.ap_delta = verdict.challenger_ap - verdict.champion_ap;
+
+  const int n = static_cast<int>(sample.rows());
+  verdict.lift_delta_ci = BootstrapPercentileCi(
+      n, policy.bootstrap_resamples, policy.bootstrap_seed,
+      policy.bootstrap_alpha, [&](const std::vector<int>& indices) {
+        std::vector<float> champion, challenger, labels;
+        champion.reserve(indices.size());
+        challenger.reserve(indices.size());
+        labels.reserve(indices.size());
+        for (int i : indices) {
+          champion.push_back(sample.champion[static_cast<size_t>(i)]);
+          challenger.push_back(sample.challenger[static_cast<size_t>(i)]);
+          labels.push_back(sample.labels[static_cast<size_t>(i)]);
+        }
+        return SampleLift(labels, challenger) - SampleLift(labels, champion);
+      });
+
+  verdict.challenger_wins =
+      std::isfinite(verdict.lift_delta) &&
+      verdict.lift_delta > policy.min_lift_delta &&
+      (!policy.require_ci_separation ||
+       (std::isfinite(verdict.lift_delta_ci.ci_low) &&
+        verdict.lift_delta_ci.ci_low > 0.0));
+  return verdict;
+}
+
+}  // namespace hotspot::adapt

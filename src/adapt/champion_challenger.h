@@ -1,0 +1,65 @@
+#ifndef HOTSPOT_ADAPT_CHAMPION_CHALLENGER_H_
+#define HOTSPOT_ADAPT_CHAMPION_CHALLENGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/bootstrap.h"
+
+namespace hotspot::adapt {
+
+/// The joined evaluation sample of one shadow episode: index i is one
+/// (sector, target-day) observation scored by BOTH models, with its
+/// matured ground-truth label. `days` counts the distinct target days the
+/// rows came from (the minimum-sample gates count days, not rows — one
+/// day of correlated rows is not three days of evidence).
+struct ComparisonSample {
+  std::vector<float> champion;
+  std::vector<float> challenger;
+  std::vector<float> labels;
+  int days = 0;
+
+  size_t rows() const { return labels.size(); }
+};
+
+/// How the verdict is computed and when the challenger wins.
+struct ComparisonPolicy {
+  /// The challenger's lift must exceed the champion's by more than this.
+  double min_lift_delta = 0.0;
+  /// Additionally require the paired-bootstrap CI of the lift delta to
+  /// sit entirely above zero (no-overlap promotion gate).
+  bool require_ci_separation = true;
+  int bootstrap_resamples = 200;
+  uint64_t bootstrap_seed = 2026;
+  /// Equal-tailed CI coverage complement (0.05 = 95 %).
+  double bootstrap_alpha = 0.05;
+};
+
+/// Both models' ranking metrics on the shared sample, plus the paired
+/// bootstrap CI of the lift delta (challenger − champion).
+struct ComparisonVerdict {
+  int days = 0;
+  uint64_t rows = 0;
+  double champion_ap = 0.0;
+  double challenger_ap = 0.0;
+  double champion_lift = 0.0;
+  double challenger_lift = 0.0;
+  double lift_delta = 0.0;
+  double ap_delta = 0.0;
+  BootstrapCi lift_delta_ci;
+  bool challenger_wins = false;
+};
+
+/// Scores the joined sample: AP and lift Λ (AP over the positive rate)
+/// for both models on identical rows, the deltas, and the paired
+/// percentile-bootstrap CI of the lift delta — resample index i selects
+/// the same (champion score, challenger score, label) triple, so the CI
+/// measures the delta's sampling noise, not the two models' independent
+/// noise. `challenger_wins` applies the policy gates; with non-finite
+/// metrics (e.g. no positive labels in the sample) it is always false.
+ComparisonVerdict CompareChampionChallenger(const ComparisonSample& sample,
+                                            const ComparisonPolicy& policy);
+
+}  // namespace hotspot::adapt
+
+#endif  // HOTSPOT_ADAPT_CHAMPION_CHALLENGER_H_

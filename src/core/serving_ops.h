@@ -38,9 +38,9 @@ struct StreamingPrediction {
 /// [24*end_day - window_hours, 24*end_day) must be finalized and within
 /// the engine's retention for every sector.
 ///
-/// Shared by the deprecated StreamingForecastRunner and the staged
-/// pipeline::ServingPipeline — one implementation is what keeps the two
-/// serving paths bitwise-identical by construction.
+/// The staged pipeline::ServingPipeline's window-assembly primitive —
+/// one implementation shared with direct callers (tests, tools) is what
+/// keeps streamed and batch scores bitwise-identical by construction.
 Tensor3<float> AssembleServingWindows(
     const stream::IncrementalFeatureEngine& engine, int window_hours,
     int end_day);

@@ -25,6 +25,52 @@ const char* FeatureGroupName(FeatureGroup group) {
   return "unknown";
 }
 
+namespace {
+
+/// Channel names/groups of the Eq. 5 layout, shared by both factories.
+void BuildChannelMeta(int num_kpis, const std::vector<std::string>& kpi_names,
+                      std::vector<std::string>* names,
+                      std::vector<FeatureGroup>* groups) {
+  names->reserve(static_cast<size_t>(num_kpis + 9));
+  groups->reserve(static_cast<size_t>(num_kpis + 9));
+  for (int k = 0; k < num_kpis; ++k) {
+    names->push_back(kpi_names.empty() ? "kpi_" + std::to_string(k)
+                                       : kpi_names[static_cast<size_t>(k)]);
+    groups->push_back(FeatureGroup::kKpi);
+  }
+  const char* kCalendarNames[5] = {"cal_hour_of_day", "cal_day_of_week",
+                                   "cal_day_of_month", "cal_weekend",
+                                   "cal_holiday"};
+  for (const char* name : kCalendarNames) {
+    names->push_back(name);
+    groups->push_back(FeatureGroup::kCalendar);
+  }
+  names->push_back("score_hourly");
+  groups->push_back(FeatureGroup::kHourlyScore);
+  names->push_back("score_daily");
+  groups->push_back(FeatureGroup::kDailyScore);
+  names->push_back("score_weekly");
+  groups->push_back(FeatureGroup::kWeeklyScore);
+  names->push_back("label_daily");
+  groups->push_back(FeatureGroup::kDailyLabel);
+}
+
+}  // namespace
+
+FeatureTensor FeatureTensor::FromChannels(
+    Tensor3<float> tensor, int num_kpis,
+    const std::vector<std::string>& kpi_names) {
+  HOTSPOT_CHECK_GT(num_kpis, 0);
+  HOTSPOT_CHECK_EQ(tensor.dim2(), num_kpis + 9);
+  if (!kpi_names.empty()) {
+    HOTSPOT_CHECK_EQ(static_cast<int>(kpi_names.size()), num_kpis);
+  }
+  FeatureTensor built;
+  built.tensor_ = std::move(tensor);
+  BuildChannelMeta(num_kpis, kpi_names, &built.names_, &built.groups_);
+  return built;
+}
+
 FeatureTensor FeatureTensor::Build(
     const Tensor3<float>& kpis, const Matrix<float>& calendar,
     const Matrix<float>& hourly_scores, const Matrix<float>& daily_scores,
@@ -51,29 +97,7 @@ FeatureTensor FeatureTensor::Build(
   FeatureTensor built;
   const int channels = l + 5 + 3 + 1;
   built.tensor_ = Tensor3<float>(n, hours, channels);
-  built.names_.reserve(static_cast<size_t>(channels));
-  built.groups_.reserve(static_cast<size_t>(channels));
-
-  for (int k = 0; k < l; ++k) {
-    built.names_.push_back(kpi_names.empty() ? "kpi_" + std::to_string(k)
-                                             : kpi_names[static_cast<size_t>(k)]);
-    built.groups_.push_back(FeatureGroup::kKpi);
-  }
-  const char* kCalendarNames[5] = {"cal_hour_of_day", "cal_day_of_week",
-                                   "cal_day_of_month", "cal_weekend",
-                                   "cal_holiday"};
-  for (const char* name : kCalendarNames) {
-    built.names_.push_back(name);
-    built.groups_.push_back(FeatureGroup::kCalendar);
-  }
-  built.names_.push_back("score_hourly");
-  built.groups_.push_back(FeatureGroup::kHourlyScore);
-  built.names_.push_back("score_daily");
-  built.groups_.push_back(FeatureGroup::kDailyScore);
-  built.names_.push_back("score_weekly");
-  built.groups_.push_back(FeatureGroup::kWeeklyScore);
-  built.names_.push_back("label_daily");
-  built.groups_.push_back(FeatureGroup::kDailyLabel);
+  BuildChannelMeta(l, kpi_names, &built.names_, &built.groups_);
 
   // Parallel over sectors; sector i only writes its own (i, :, :) slab.
   util::ParallelFor(0, n, [&](int64_t i64) {

@@ -37,6 +37,16 @@ class FeatureTensor {
                              const Matrix<float>& daily_labels,
                              const std::vector<std::string>& kpi_names = {});
 
+  /// Wraps a tensor whose channel layout already matches Build()'s output
+  /// (l KPIs ‖ 5 calendar ‖ S^h ‖ up(S^d) ‖ up(S^w) ‖ up(Y^d)) — the
+  /// layout the incremental engine's finalized rows carry, which is how
+  /// the adaptation controller turns captured serving-path rows back into
+  /// a trainable tensor without the batch rebuild. Takes ownership of
+  /// `tensor`; dim2 must equal num_kpis + 9.
+  static FeatureTensor FromChannels(Tensor3<float> tensor, int num_kpis,
+                                    const std::vector<std::string>& kpi_names =
+                                        {});
+
   const Tensor3<float>& tensor() const { return tensor_; }
   int num_sectors() const { return tensor_.dim0(); }
   int num_hours() const { return tensor_.dim1(); }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/pipeline_context.h"
+#include "pipeline/stage.h"
 #include "util/logging.h"
 
 namespace hotspot::fleet {
@@ -351,6 +352,12 @@ serialize::Status ForecastFleet::PromoteBundle(
       target.service->PromoteBundle(std::move(bundle), &generation);
   if (status.ok) {
     if (new_generation != nullptr) *new_generation = generation;
+    {
+      std::lock_guard<std::mutex> lock(promotion_mutex_);
+      last_promotion_ns_.resize(shards_.size(), 0);
+      last_promotion_ns_[static_cast<size_t>(shard)] =
+          pipeline::SteadyNowNs();
+    }
     // Shard-tagged promotion event, alongside the service's own shard=-1
     // record — the fleet view of which replica swapped to which model.
     if (obs::PipelineContext* ctx = obs::PipelineContext::Current()) {
@@ -399,6 +406,10 @@ FleetHealth ForecastFleet::Health() const {
     if (shard.service != nullptr) {
       entry.generation = shard.service->generation();
       entry.report = shard.service->Health();
+      std::lock_guard<std::mutex> lock(promotion_mutex_);
+      if (i < last_promotion_ns_.size()) {
+        entry.last_promotion_ns = last_promotion_ns_[i];
+      }
     }
     if (static_cast<int>(entry.report.overall) >
         static_cast<int>(health.overall)) {

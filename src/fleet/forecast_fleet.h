@@ -66,6 +66,11 @@ struct ShardHealth {
   int shard = 0;
   int num_sectors = 0;            ///< sectors this shard owns
   uint64_t generation = 0;        ///< currently installed bundle
+  /// SteadyNowNs() of this shard's most recent successful PromoteBundle,
+  /// 0 while the shard still serves its construction-time bundle — so an
+  /// operator reading the roll-up can tell a freshly promoted shard from
+  /// one that has served the same model since boot.
+  uint64_t last_promotion_ns = 0;
   monitor::HealthReport report;   ///< the shard service's own Health()
 };
 
@@ -274,6 +279,12 @@ class ForecastFleet {
   // thread-safe, so the diff state has its own lock.
   mutable std::mutex health_mutex_;
   mutable std::vector<monitor::AlertState> last_shard_health_;
+
+  // Per-shard timestamp of the last successful promotion (0 = never).
+  // Guarded by a mutex rather than living in Shard as an atomic: Shard
+  // holds a std::thread and must stay movable during construction.
+  mutable std::mutex promotion_mutex_;
+  std::vector<uint64_t> last_promotion_ns_;
 
   // Aggregator (called from every shard's monitor-stage thread).
   std::mutex results_mutex_;

@@ -18,12 +18,15 @@
 ///              the serving path end to end (KpiStreamIngestor,
 ///              IncrementalFeatureEngine)
 ///   pipeline — the staged, backpressured serving runtime behind the
-///              unified facade (pipeline::ServingPipeline); the
-///              synchronous StreamingForecastRunner remains as a
-///              deprecated port
+///              unified facade (pipeline::ServingPipeline)
 ///   fleet    — sharded multi-replica serving with admission control and
 ///              RCU hot bundle swap (fleet::ForecastFleet, ShardMap)
+///   adapt    — drift-triggered continual learning: shadow deployment and
+///              champion/challenger promotion (adapt::AdaptationController)
 
+#include "adapt/adaptation_controller.h"
+#include "adapt/capture.h"
+#include "adapt/champion_challenger.h"
 #include "core/config.h"
 #include "core/dynamics.h"
 #include "core/serving_ops.h"
@@ -34,7 +37,6 @@
 #include "core/labels.h"
 #include "core/score.h"
 #include "core/study.h"
-#include "core/streaming_runner.h"
 #include "core/task.h"
 #include "fleet/forecast_fleet.h"
 #include "fleet/shard_map.h"

@@ -137,6 +137,21 @@ void ServingMonitor::RecordOutcomes(const std::vector<float>& scores,
   }
 }
 
+AlertState ServingMonitor::Damp(AlertState raw, DampedSignal* signal) const {
+  if (config_.ladder_hold_reports <= 0) return raw;
+  if (static_cast<int>(raw) >= static_cast<int>(signal->reported)) {
+    // Escalation (or confirmation of the current rung) is immediate and
+    // resets the descent clock.
+    signal->reported = raw;
+    signal->hold = 0;
+  } else if (++signal->hold >= config_.ladder_hold_reports) {
+    signal->reported =
+        static_cast<AlertState>(static_cast<int>(signal->reported) - 1);
+    signal->hold = 0;
+  }
+  return signal->reported;
+}
+
 HealthReport ServingMonitor::Report() const {
   std::lock_guard<std::mutex> lock(mutex_);
   HealthReport report;
@@ -209,6 +224,15 @@ HealthReport ServingMonitor::Report() const {
     }
   }
 
+  // De-escalation hysteresis: the alerts above describe the raw evidence
+  // of this snapshot, but the reported ladder states are damped — an
+  // escalation lands immediately, a recovery walks down one rung per
+  // `ladder_hold_reports` consecutive calmer Report() calls. The overall
+  // state derives from the damped signals, so it inherits the same
+  // one-rung-at-a-time descent.
+  report.drift_state = Damp(report.drift_state, &damped_drift_);
+  report.quality_state = Damp(report.quality_state, &damped_quality_);
+  report.latency.state = Damp(report.latency.state, &damped_latency_);
   report.overall = WorstState(
       WorstState(report.drift_state, report.quality_state),
       report.latency.state);

@@ -34,6 +34,16 @@ struct MonitorConfig {
   QualityConfig quality;
   QualityThresholds quality_thresholds;
   LatencySlo latency;
+  /// De-escalation hysteresis of the reported ladder states. Escalation
+  /// is always immediate (a raw DRIFT verdict reports as DRIFT on the
+  /// same Report() call), but a reported state only steps DOWN one rung
+  /// after this many consecutive Report() calls whose raw verdict was
+  /// below the reported rung — so a drift episode that subsides walks
+  /// DRIFT→WARN→OK instead of snapping to OK the moment the rolling
+  /// window flushes, and a verdict flickering around a threshold cannot
+  /// oscillate the ladder (each flicker resets the hold count). 0
+  /// disables the hysteresis and reports raw verdicts.
+  int ladder_hold_reports = 2;
 };
 
 /// The online monitoring core a ForecastService owns when monitoring is
@@ -87,6 +97,20 @@ class ServingMonitor {
   mutable AlertState last_drift_ = AlertState::kOk;
   mutable AlertState last_quality_ = AlertState::kOk;
   mutable AlertState last_latency_ = AlertState::kOk;
+  /// De-escalation hysteresis state per signal (see
+  /// MonitorConfig::ladder_hold_reports): the currently reported rung and
+  /// how many consecutive Report() calls saw a raw verdict below it.
+  /// Guarded by mutex_; mutable for the same reason as last_*.
+  struct DampedSignal {
+    AlertState reported = AlertState::kOk;
+    int hold = 0;
+  };
+  /// Applies the one-rung-down-per-hold rule to one signal's raw verdict
+  /// and returns the state to report.
+  AlertState Damp(AlertState raw, DampedSignal* signal) const;
+  mutable DampedSignal damped_drift_;
+  mutable DampedSignal damped_quality_;
+  mutable DampedSignal damped_latency_;
   /// Channels with a non-empty reference reservoir — the only ones worth
   /// observing on the serve path.
   std::vector<int> monitored_channels_;

@@ -25,6 +25,8 @@ const char* FlightEventKindName(FlightEventKind kind) {
       return "shard_health";
     case FlightEventKind::kLadderTransition:
       return "ladder_transition";
+    case FlightEventKind::kAdaptTransition:
+      return "adapt_transition";
     case FlightEventKind::kCustom:
       return "custom";
   }

@@ -32,6 +32,11 @@ enum class FlightEventKind : int {
   /// A monitor ladder signal changed state. a = signal (0 overall,
   /// 1 drift, 2 quality, 3 latency), b = old AlertState, c = new.
   kLadderTransition,
+  /// The adaptation controller's ladder moved. a = old AdaptState,
+  /// b = new AdaptState, c = champion generation at the transition,
+  /// d = the challenger-minus-champion lift delta when one was computed
+  /// (0 otherwise).
+  kAdaptTransition,
   /// Caller-defined payload.
   kCustom,
 };

@@ -79,6 +79,9 @@ ServingPipeline::ServingPipeline(ForecastService* service,
   engine_ =
       std::make_unique<stream::IncrementalFeatureEngine>(feature_config);
   HOTSPOT_CHECK_EQ(engine_->channels(), service_->num_channels());
+  if (options_.feature_row_tap) {
+    engine_->set_row_sink(options_.feature_row_tap);
+  }
   // A window must still be in history when its end-day becomes servable;
   // the frontier can run up to one week past the last served day, so
   // retention needs the window plus that slack (the runner's check).
@@ -315,6 +318,13 @@ uint64_t ServingPipeline::PredictWork(FeatureWork&& work) {
     if (options_.predict_fault_for_test) {
       options_.predict_fault_for_test(work.end_day);
     }
+    // The shadow tee sees the exact windows the champion is about to
+    // score, on the same thread, before the score — so a shadow model
+    // fed from here scores byte-identical inputs with no synchronization
+    // beyond the tee's own handoff.
+    if (options_.predict_tee) {
+      options_.predict_tee(work.end_day, work.target_day, work.windows);
+    }
     out.kind = ScoredWork::Kind::kPrediction;
     out.born_ns = work.born_ns;
     out.prediction.end_day = work.end_day;
@@ -344,11 +354,13 @@ uint64_t ServingPipeline::DeliverWork(ScoredWork&& work) {
         static_cast<int>(awaiting_outcomes_.size()),
         std::memory_order_relaxed);
     if (options_.on_prediction) options_.on_prediction(work.prediction);
+    if (options_.prediction_tee) options_.prediction_tee(work.prediction);
     {
       std::lock_guard<std::mutex> lock(results_mutex_);
       results_.push_back(std::move(work.prediction));
     }
   } else {
+    if (options_.outcome_tee) options_.outcome_tee(work.day, work.labels);
     matured_labels_[work.day] = std::move(work.labels);
   }
   RecordReadyOutcomes();

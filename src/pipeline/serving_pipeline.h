@@ -80,8 +80,7 @@ struct ScoredWork {
 /// The one way to stand up a streaming serving path: ingest → incremental
 /// features → predict → monitor as four explicit, backpressured pipeline
 /// stages behind a single facade, replacing the hand-wired
-/// KpiStreamIngestor / IncrementalFeatureEngine / StreamingForecastRunner
-/// chain (the runner survives as a deprecated synchronous port).
+/// KpiStreamIngestor / IncrementalFeatureEngine / runner chain.
 ///
 /// Dataflow and staging:
 ///
@@ -106,8 +105,7 @@ struct ScoredWork {
 /// so rows, windows and scores flow in the exact order of the direct-call
 /// path; the heavy stage work (window assembly, inference) fans out over
 /// the shared deterministic thread pool with index-owned writes. Streamed
-/// scores are bitwise-identical to StreamingForecastRunner / batch
-/// PredictAtDay at any HOTSPOT_NUM_THREADS and any queue bounds — pinned
+/// scores are bitwise-identical to batch PredictAtDay at any HOTSPOT_NUM_THREADS and any queue bounds — pinned
 /// by tests/pipeline_test.cc, slow-predict injection included.
 ///
 /// The four stage loops run on dedicated orchestration threads rather
@@ -174,6 +172,33 @@ class ServingPipeline {
     /// every served batch, in end-day order. Predictions are also always
     /// collected for TakePredictions().
     std::function<void(const StreamingPrediction&)> on_prediction;
+
+    // --- adaptation taps (src/adapt; all optional, and strictly
+    // read-only with respect to the serving path — with no taps installed
+    // nothing changes, and with them installed the champion's scores stay
+    // bitwise-identical) ---
+    /// Called on the features stage thread for every finalized feature
+    /// row (installed as the engine's row sink): the adaptation
+    /// controller's rolling training-data capture. The row pointer is
+    /// valid only for the duration of the call.
+    stream::FeatureRowSink feature_row_tap;
+    /// Shadow-scoring tee: called on the predict stage thread for every
+    /// prediction batch BEFORE the champion scores it, with the assembled
+    /// windows. The windows are owned by the predict stage and valid only
+    /// for the call — a consumer that scores asynchronously must copy.
+    /// Blocking here backpressures the pipeline (deliberate: lossless
+    /// shadow comparison beats a fast one).
+    std::function<void(int end_day, int target_day,
+                       const Tensor3<float>& windows)>
+        predict_tee;
+    /// Champion-score tee: called on the monitor stage thread for every
+    /// served batch, like on_prediction — which the fleet reserves for
+    /// its aggregation, hence the second hook.
+    std::function<void(const StreamingPrediction&)> prediction_tee;
+    /// Matured-label tee: called on the monitor stage thread when a
+    /// day's ground-truth labels close in the stream.
+    std::function<void(int day, const std::vector<float>& labels)>
+        outcome_tee;
 
     // --- test / chaos knobs ---
     /// Artificial stall per prediction batch in the predict stage — the

@@ -32,6 +32,7 @@ enum BundleSection : uint32_t {
   kClassifierSection = 3,
   kFingerprintsSection = 4,
   kFlatForestSection = 5,
+  kLineageSection = 6,
 };
 
 const char* SectionName(uint32_t id) {
@@ -46,6 +47,8 @@ const char* SectionName(uint32_t id) {
       return "fingerprints";
     case kFlatForestSection:
       return "flat_forest";
+    case kLineageSection:
+      return "lineage";
   }
   return "unknown";
 }
@@ -58,6 +61,7 @@ uint32_t SupportedSectionVersion(uint32_t id) {
     case kClassifierSection:
     case kFingerprintsSection:
     case kFlatForestSection:
+    case kLineageSection:
       return 1;
   }
   return 0;  // unknown section id
@@ -113,6 +117,21 @@ bool DecodeClassifier(ByteReader* reader, ForecastBundle* bundle) {
   return bundle->classifier != nullptr;
 }
 
+void EncodeLineage(const BundleLineage& lineage, ByteWriter* writer) {
+  writer->WriteU64(lineage.parent_generation);
+  writer->WriteU32(lineage.retrain_index);
+  writer->WriteI32(lineage.trained_end_day);
+  writer->WriteString(lineage.source);
+}
+
+bool DecodeLineage(ByteReader* reader, BundleLineage* lineage) {
+  lineage->parent_generation = reader->ReadU64();
+  lineage->retrain_index = reader->ReadU32();
+  lineage->trained_end_day = reader->ReadI32();
+  lineage->source = reader->ReadString();
+  return reader->ok();
+}
+
 /// Decodes the common header fields shared by the v1 and v2 layouts.
 bool DecodeHeader(ByteReader* reader, ForecastBundle* bundle) {
   uint32_t model = reader->ReadU32();
@@ -142,7 +161,7 @@ bool DecodeSectioned(ByteReader* reader, ForecastBundle* bundle) {
     reader->Fail("bundle section count out of range");
     return false;
   }
-  bool seen[kFlatForestSection + 1] = {};
+  bool seen[kLineageSection + 1] = {};
   for (uint32_t s = 0; s < section_count; ++s) {
     uint32_t id = reader->ReadU32();
     uint32_t version = reader->ReadU32();
@@ -217,6 +236,12 @@ bool DecodeSectioned(ByteReader* reader, ForecastBundle* bundle) {
         reader->Skip(size);
         break;
       }
+      case kLineageSection: {
+        auto lineage = std::make_unique<BundleLineage>();
+        if (!DecodeLineage(reader, lineage.get())) return false;
+        bundle->lineage = std::move(lineage);
+        break;
+      }
     }
     if (before - reader->remaining() != size) {
       reader->Fail("bundle '" + std::string(SectionName(id)) +
@@ -267,7 +292,8 @@ void EncodeBundle(const ForecastBundle& bundle, ByteWriter* writer) {
   writer->WriteI32(bundle.feature_dim);
 
   writer->WriteU32(3u + (bundle.fingerprints != nullptr ? 1u : 0u) +
-                   (bundle.flat != nullptr ? 1u : 0u));
+                   (bundle.flat != nullptr ? 1u : 0u) +
+                   (bundle.lineage != nullptr ? 1u : 0u));
   ByteWriter score;
   EncodeScoreConfig(bundle.score, &score);
   WriteSection(kScoreSection, score, writer);
@@ -286,6 +312,11 @@ void EncodeBundle(const ForecastBundle& bundle, ByteWriter* writer) {
     ByteWriter flat;
     ModelAccess::EncodeFlatForest(*bundle.flat, &flat);
     WriteSection(kFlatForestSection, flat, writer);
+  }
+  if (bundle.lineage != nullptr) {
+    ByteWriter lineage;
+    EncodeLineage(*bundle.lineage, &lineage);
+    WriteSection(kLineageSection, lineage, writer);
   }
 }
 

@@ -23,6 +23,25 @@ namespace hotspot::serialize {
 /// the monitoring section, and such bundles serve with monitoring
 /// gracefully disabled.
 ///
+/// Provenance stamp of a bundle produced by the continual-learning loop
+/// (src/adapt): which champion it was retrained from and on what data.
+/// Optional — offline-trained bundles carry none — and round-trips
+/// through the codec as its own section, so a promoted challenger keeps
+/// its ancestry across save/load/clone.
+struct BundleLineage {
+  /// Generation tag of the champion that was serving when this bundle was
+  /// trained (the ForecastService generation the retrain forked from).
+  uint64_t parent_generation = 0;
+  /// Ordinal of the retrain that produced this bundle (1 = first retrain
+  /// of the controller's lifetime).
+  uint32_t retrain_index = 0;
+  /// Stream day the training window ended at (the retrain's day t in
+  /// stream coordinates).
+  int32_t trained_end_day = 0;
+  /// Producer tag, e.g. "adapt/drift" or "adapt/test_override".
+  std::string source;
+};
+
 /// `flat` is the classifier re-compiled into the SoA predict engine
 /// (ml::FlatForest). It is a derived artifact: when the optional
 /// 'flat_forest' section is present on load it must byte-match a fresh
@@ -40,6 +59,7 @@ struct ForecastBundle {
   std::unique_ptr<ml::BinaryClassifier> classifier;
   std::unique_ptr<monitor::BundleFingerprints> fingerprints;
   std::unique_ptr<ml::FlatForest> flat;
+  std::unique_ptr<BundleLineage> lineage;
 };
 
 /// Payload codec; Decode returns null with the reason in reader->error().

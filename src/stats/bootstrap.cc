@@ -1,0 +1,63 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hotspot {
+
+namespace {
+
+/// Linear-interpolated percentile of a sorted sample (the same rule
+/// stats/percentile.cc uses for the paper figures).
+double SortedPercentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+BootstrapCi BootstrapPercentileCi(
+    int n, int resamples, uint64_t seed, double alpha,
+    const std::function<double(const std::vector<int>& indices)>& statistic) {
+  HOTSPOT_CHECK_GT(n, 0);
+  HOTSPOT_CHECK_GT(resamples, 0);
+  HOTSPOT_CHECK(alpha > 0.0 && alpha < 1.0);
+
+  BootstrapCi out;
+  std::vector<int> indices(static_cast<size_t>(n));
+  std::iota(indices.begin(), indices.end(), 0);
+  out.estimate = statistic(indices);
+
+  Rng rng(seed);
+  std::vector<double> draws;
+  draws.reserve(static_cast<size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    for (int i = 0; i < n; ++i) {
+      indices[static_cast<size_t>(i)] =
+          static_cast<int>(rng.UniformInt(0, n - 1));
+    }
+    const double value = statistic(indices);
+    if (std::isfinite(value)) draws.push_back(value);
+  }
+  out.resamples = static_cast<int>(draws.size());
+  if (draws.empty()) {
+    out.ci_low = std::numeric_limits<double>::quiet_NaN();
+    out.ci_high = std::numeric_limits<double>::quiet_NaN();
+    return out;
+  }
+  std::sort(draws.begin(), draws.end());
+  out.ci_low = SortedPercentile(draws, alpha / 2.0);
+  out.ci_high = SortedPercentile(draws, 1.0 - alpha / 2.0);
+  return out;
+}
+
+}  // namespace hotspot

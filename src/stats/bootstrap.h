@@ -1,0 +1,40 @@
+#ifndef HOTSPOT_STATS_BOOTSTRAP_H_
+#define HOTSPOT_STATS_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace hotspot {
+
+/// Percentile-bootstrap summary of a statistic: the point estimate on the
+/// original sample plus an equal-tailed (1 − alpha) confidence interval
+/// from `resamples` with-replacement resamples. `resamples` counts only
+/// the draws whose statistic was finite (NaN draws — e.g. a lift over a
+/// resample with no positives — are excluded from the percentiles).
+struct BootstrapCi {
+  double estimate = 0.0;
+  double ci_low = 0.0;
+  double ci_high = 0.0;
+  int resamples = 0;
+};
+
+/// Generic paired percentile bootstrap over indices [0, n): `statistic`
+/// is evaluated on the identity index set for the point estimate, then on
+/// `resamples` with-replacement index draws of size n, and the CI is cut
+/// at the alpha/2 and 1 − alpha/2 percentiles (linear interpolation) of
+/// the finite draws. Deterministic for a fixed `seed` (util::Rng stream).
+///
+/// "Paired" is the caller's contract: when comparing two models, resample
+/// index i selects the SAME observation from both score vectors, so the
+/// per-observation pairing — and therefore the correlation between the
+/// two metrics — survives the resampling. That is what makes the CI on a
+/// delta statistic tight enough to separate models that agree on most
+/// rows (the champion/challenger use in src/adapt).
+BootstrapCi BootstrapPercentileCi(
+    int n, int resamples, uint64_t seed, double alpha,
+    const std::function<double(const std::vector<int>& indices)>& statistic);
+
+}  // namespace hotspot
+
+#endif  // HOTSPOT_STATS_BOOTSTRAP_H_

@@ -26,7 +26,7 @@ struct FeatureEngineConfig {
   ScoreConfig score;
   /// Finalized feature rows (and daily labels) retained per sector, in
   /// weeks. Must cover the serving window plus at least one week of slack
-  /// (StreamingForecastRunner checks).
+  /// (ServingPipeline checks).
   int history_weeks = 8;
 };
 

@@ -347,6 +347,77 @@ TEST(HealthReport, DegradedQualityFiresTheLiftAlert) {
 }
 
 // ---------------------------------------------------------------------------
+// De-escalation hysteresis: a drift episode that subsides
+// ---------------------------------------------------------------------------
+
+TEST(HealthReport, SubsidedDriftWalksDownTheLadderWithoutOscillating) {
+  monitor::BundleFingerprints fingerprints = GaussianFingerprints();
+  monitor::MonitorConfig config;
+  config.drift_window = 256;
+  config.input_sample_hours = 24;
+  config.ladder_hold_reports = 2;
+  monitor::ServingMonitor monitor(&fingerprints, config);
+
+  // Each ObserveBatch refreshes at most drift_window/4 ring slots (the
+  // per-batch observation budget), so a phase change needs a few batches
+  // before the rolling window fully forgets the previous regime: 4
+  // drifted batches saturate the verdict, 8 calm ones flush every slot.
+  uint64_t seed = 100;
+  auto feed = [&monitor, &seed](double mean, int batches) {
+    for (int b = 0; b < batches; ++b, ++seed) {
+      Tensor3<float> tensor(11, 24, 1);
+      std::vector<float> values = GaussianSample(11 * 24, mean, 1.0, seed);
+      std::copy(values.begin(), values.end(), tensor.data().begin());
+      // Scores stay in-distribution throughout: this test isolates the
+      // input-drift ladder (constant scores would trip the score sketch).
+      monitor.ObserveBatch(tensor, 0, 24,
+                           GaussianSample(11, 0.5, 0.1, seed + 1000),
+                           0.001);
+    }
+  };
+
+  // The injected episode: shifted traffic escalates immediately — no
+  // hysteresis on the way up.
+  feed(3.0, 4);
+  EXPECT_EQ(monitor.Report().drift_state, AlertState::kDrift);
+
+  // The episode subsides: in-distribution traffic flushes the rolling
+  // window, so every raw verdict from here on is OK. The reported ladder
+  // must hold each rung for ladder_hold_reports consecutive calmer
+  // Reports and then step down exactly one rung — DRIFT, DRIFT→WARN,
+  // WARN, WARN→OK — never snapping straight to OK and never climbing
+  // back up without raw evidence.
+  feed(0.0, 8);
+  std::vector<AlertState> walk;
+  for (int report = 0; report < 6; ++report) {
+    monitor::HealthReport snapshot = monitor.Report();
+    // Quality and latency are quiet, so the overall state — the "page
+    // someone" bit — must track the damped drift rung, not the raw OK.
+    EXPECT_EQ(snapshot.overall, snapshot.drift_state);
+    walk.push_back(snapshot.drift_state);
+  }
+  const std::vector<AlertState> expected = {
+      AlertState::kDrift, AlertState::kWarn, AlertState::kWarn,
+      AlertState::kOk,    AlertState::kOk,   AlertState::kOk};
+  EXPECT_EQ(walk, expected);
+
+  // A flicker back into drift mid-descent snaps the ladder straight back
+  // to DRIFT (escalation is immediate) and restarts the descent clock —
+  // the rung sequence never oscillates through intermediate states.
+  feed(3.0, 4);
+  EXPECT_EQ(monitor.Report().drift_state, AlertState::kDrift);
+  feed(0.0, 8);
+  EXPECT_EQ(monitor.Report().drift_state, AlertState::kDrift);  // hold 1/2
+  feed(3.0, 4);  // the flicker: resets the hold count
+  EXPECT_EQ(monitor.Report().drift_state, AlertState::kDrift);
+  feed(0.0, 8);
+  EXPECT_EQ(monitor.Report().drift_state, AlertState::kDrift);  // hold 1/2
+  EXPECT_EQ(monitor.Report().drift_state, AlertState::kWarn);   // step down
+  EXPECT_EQ(monitor.Report().drift_state, AlertState::kWarn);
+  EXPECT_EQ(monitor.Report().drift_state, AlertState::kOk);
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end: injected load drift through a served bundle
 // ---------------------------------------------------------------------------
 

@@ -12,10 +12,10 @@
 #include "core/labels.h"
 #include "monitor/health.h"
 #include "core/score.h"
-#include "core/streaming_runner.h"
 #include "core/study.h"
 #include "features/feature_tensor.h"
 #include "obs/pipeline_context.h"
+#include "pipeline/serving_pipeline.h"
 #include "thread_matrix.h"
 #include "simnet/calendar.h"
 #include "stream/incremental_features.h"
@@ -338,38 +338,34 @@ std::unique_ptr<ForecastService> MakeService(const Study& study) {
   return std::make_unique<ForecastService>(std::move(bundle));
 }
 
-/// Streams the whole study through ingest → engine → runner, polling
-/// once per sector-week, and returns every served prediction.
-std::vector<StreamingPrediction> RunStreamingServe(
-    const Study& study, ForecastService* service) {
-  IncrementalFeatureEngine engine(
-      EngineConfigFor(study, study.num_weeks() + 1));
-  StreamingForecastRunner runner(service, &engine);
-  IngestorConfig ingest;
-  ingest.num_sectors = study.num_sectors();
-  ingest.num_kpis = study.network.num_kpis();
-  KpiStreamIngestor ingestor(ingest, engine.IngestorSink());
-  std::vector<StreamingPrediction> served;
-  const int hours = study.network.num_hours();
-  // Hour-major delivery: all sectors advance together, as live feeds do.
-  for (int j = 0; j < hours; ++j) {
-    for (int i = 0; i < study.num_sectors(); ++i) {
-      ingestor.Push(i, j, study.network.kpis.Slice(i, j),
-                    study.network.kpis.dim2());
-    }
-    if ((j + 1) % kHoursPerWeek == 0) {
-      for (StreamingPrediction& p : runner.Poll()) {
-        served.push_back(std::move(p));
-      }
-    }
-  }
-  for (StreamingPrediction& p : runner.Poll()) {
-    served.push_back(std::move(p));
-  }
-  return served;
+pipeline::ServingPipeline::Options ServeOptionsFor(const Study& study) {
+  pipeline::ServingPipeline::Options options;
+  options.num_sectors = study.num_sectors();
+  options.num_kpis = study.network.num_kpis();
+  options.calendar = &study.network.calendar_matrix;
+  options.score = study.score_config;
+  options.history_weeks = study.num_weeks() + 1;
+  return options;
 }
 
-TEST(StreamingForecastRunner, PredictionsBitwiseEqualBatchServiceAcrossThreads) {
+/// Streams the whole study hour-major (all sectors advance together, as
+/// live feeds do) through a ServingPipeline and returns every served
+/// prediction.
+std::vector<StreamingPrediction> RunStreamingServe(
+    const Study& study, ForecastService* service) {
+  pipeline::ServingPipeline serving(service, ServeOptionsFor(study));
+  const int hours = study.network.num_hours();
+  for (int j = 0; j < hours; ++j) {
+    for (int i = 0; i < study.num_sectors(); ++i) {
+      serving.Push(i, j, study.network.kpis.Slice(i, j),
+                   study.network.kpis.dim2());
+    }
+  }
+  serving.Finish();
+  return serving.TakePredictions();
+}
+
+TEST(StreamServe, PredictionsBitwiseEqualBatchServiceAcrossThreads) {
   const Study& study = SharedStudy();
   std::unique_ptr<ForecastService> service = MakeService(study);
   const int w = service->bundle().window_days;
@@ -397,31 +393,25 @@ TEST(StreamingForecastRunner, PredictionsBitwiseEqualBatchServiceAcrossThreads) 
   });
 }
 
-TEST(StreamingForecastRunner, MaturedOutcomesFeedQualityMonitor) {
+TEST(StreamServe, MaturedOutcomesFeedQualityMonitor) {
   obs::PipelineContext context;
   obs::PipelineContext::ScopedInstall install(&context);
   const Study& study = SharedStudy();
   std::unique_ptr<ForecastService> service = MakeService(study);
   ASSERT_TRUE(service->monitoring_enabled());
-  IncrementalFeatureEngine engine(
-      EngineConfigFor(study, study.num_weeks() + 1));
-  StreamingForecastRunner runner(service.get(), &engine);
-  IngestorConfig ingest;
-  ingest.num_sectors = study.num_sectors();
-  ingest.num_kpis = study.network.num_kpis();
-  KpiStreamIngestor ingestor(ingest, engine.IngestorSink());
+  pipeline::ServingPipeline serving(service.get(), ServeOptionsFor(study));
   for (int i = 0; i < study.num_sectors(); ++i) {
     for (int j = 0; j < study.network.num_hours(); ++j) {
-      ingestor.Push(i, j, study.network.kpis.Slice(i, j),
-                    study.network.kpis.dim2());
+      serving.Push(i, j, study.network.kpis.Slice(i, j),
+                   study.network.kpis.dim2());
     }
   }
-  std::vector<StreamingPrediction> served = runner.Poll();
-  ASSERT_FALSE(served.empty());
+  serving.Finish();
+  ASSERT_FALSE(serving.TakePredictions().empty());
   // Every prediction whose target day the stream has already closed fed
   // the quality monitor; only the frontier ones are still waiting.
   const int horizon = service->bundle().horizon_days;
-  EXPECT_EQ(runner.pending_outcomes(), horizon + 1);
+  EXPECT_EQ(serving.pending_outcomes(), horizon + 1);
   monitor::HealthReport health = service->Health();
   EXPECT_TRUE(health.monitoring_enabled);
   EXPECT_GT(health.quality.labels_total, 0u);
